@@ -1,0 +1,382 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// table/figure (E1–E11, indexed in DESIGN.md §4). Each benchmark runs the
+// corresponding experiment at reduced scale and reports its headline
+// quantity via b.ReportMetric, so `go test -bench=.` both exercises the
+// full protocol pipelines and prints the reproduction's key numbers.
+// `cmd/experiments` runs the same harness at full scale; EXPERIMENTS.md
+// records a full run.
+package robustset_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robustset"
+	"robustset/internal/baseline"
+	"robustset/internal/core"
+	"robustset/internal/emd"
+	"robustset/internal/experiments"
+	"robustset/internal/iblt"
+	"robustset/internal/points"
+	"robustset/internal/protocol"
+	"robustset/internal/sketch"
+	"robustset/internal/workload"
+)
+
+var benchUniverse = points.Universe{Dim: 2, Delta: 1 << 20}
+
+func benchInstance(b *testing.B, n, k int, noise float64) *workload.Instance {
+	b.Helper()
+	inst, err := workload.Generate(workload.Config{
+		N: n, Universe: benchUniverse, Outliers: k,
+		Noise: workload.NoiseUniform, Scale: noise, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// runReconciler executes rec once per iteration and reports mean bytes.
+func runReconciler(b *testing.B, rec baseline.Reconciler, inst *workload.Instance) {
+	b.Helper()
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := rec.Run(inst.Alice, inst.Bob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = out.BytesTransferred()
+	}
+	b.ReportMetric(float64(bytes), "wire-bytes")
+}
+
+// --- E1: communication vs k ---
+
+func BenchmarkE1CommVsK_RobustOneShot_K16(b *testing.B) {
+	inst := benchInstance(b, 1024, 16, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 16}
+	runReconciler(b, baseline.RobustOneShot{Params: params}, inst)
+}
+
+func BenchmarkE1CommVsK_RobustOneShot_K64(b *testing.B) {
+	inst := benchInstance(b, 1024, 64, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 64}
+	runReconciler(b, baseline.RobustOneShot{Params: params}, inst)
+}
+
+func BenchmarkE1CommVsK_ExactIBLT(b *testing.B) {
+	inst := benchInstance(b, 1024, 16, 4)
+	runReconciler(b, baseline.ExactIBLT{Config: protocol.ExactConfig{Universe: benchUniverse, Seed: 11}}, inst)
+}
+
+func BenchmarkE1CommVsK_Naive(b *testing.B) {
+	inst := benchInstance(b, 1024, 16, 4)
+	runReconciler(b, baseline.Naive{Universe: benchUniverse}, inst)
+}
+
+// --- E2: communication vs n ---
+
+func BenchmarkE2CommVsN_Robust_N512(b *testing.B) {
+	inst := benchInstance(b, 512, 16, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 16}
+	runReconciler(b, baseline.RobustOneShot{Params: params}, inst)
+}
+
+func BenchmarkE2CommVsN_Robust_N4096(b *testing.B) {
+	inst := benchInstance(b, 4096, 16, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 16}
+	runReconciler(b, baseline.RobustOneShot{Params: params}, inst)
+}
+
+// --- E3: approximation factor vs dimension ---
+
+func benchApproxRatio(b *testing.B, d int) {
+	u := points.Universe{Dim: d, Delta: 1 << 16}
+	inst, err := workload.Generate(workload.Config{
+		N: 128, Universe: u, Outliers: 4,
+		Noise: workload.NoiseUniform, Scale: 2, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.Params{Universe: u, Seed: 7, DiffBudget: 4}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := baseline.RobustOneShot{Params: params}.Run(inst.Alice, inst.Bob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after, _ := emd.Exact(inst.Alice, out.SPrime, points.L1)
+		floor, _ := emd.Partial(inst.Alice, inst.Bob, points.L1, 4)
+		if floor < 1 {
+			floor = 1
+		}
+		ratio = after / floor
+	}
+	b.ReportMetric(ratio, "emd-ratio")
+	b.ReportMetric(ratio/float64(d), "emd-ratio/d")
+}
+
+func BenchmarkE3ApproxVsDim_D2(b *testing.B)  { benchApproxRatio(b, 2) }
+func BenchmarkE3ApproxVsDim_D8(b *testing.B)  { benchApproxRatio(b, 8) }
+func BenchmarkE3ApproxVsDim_D16(b *testing.B) { benchApproxRatio(b, 16) }
+
+// --- E4: noise sweep ---
+
+func benchNoise(b *testing.B, eps float64) {
+	inst := benchInstance(b, 256, 8, eps)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 8}
+	var robustBytes, exactBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := baseline.RobustOneShot{Params: params}.Run(inst.Alice, inst.Bob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := baseline.ExactIBLT{Config: protocol.ExactConfig{Universe: benchUniverse, Seed: 11}}.
+			Run(inst.Alice, inst.Bob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		robustBytes, exactBytes = r.BytesTransferred(), e.BytesTransferred()
+	}
+	b.ReportMetric(float64(robustBytes), "robust-bytes")
+	b.ReportMetric(float64(exactBytes), "exact-bytes")
+}
+
+func BenchmarkE4NoiseSweep_Eps0(b *testing.B)  { benchNoise(b, 0) }
+func BenchmarkE4NoiseSweep_Eps4(b *testing.B)  { benchNoise(b, 4) }
+func BenchmarkE4NoiseSweep_Eps64(b *testing.B) { benchNoise(b, 64) }
+
+// --- E5: IBLT decode threshold ---
+
+func benchIBLTLoad(b *testing.B, alpha float64) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	const diff = 64
+	cells := int(alpha * diff)
+	ok, total := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := iblt.New(iblt.Config{Cells: cells, HashCount: 4, KeyLen: 16, Seed: rng.Uint64()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var key [16]byte
+		for j := 0; j < diff; j++ {
+			u, v := rng.Uint64(), rng.Uint64()
+			for l := 0; l < 8; l++ {
+				key[l], key[8+l] = byte(u>>(8*l)), byte(v>>(8*l))
+			}
+			t.Insert(key[:])
+		}
+		if _, err := t.Decode(); err == nil {
+			ok++
+		}
+		total++
+	}
+	b.ReportMetric(float64(ok)/float64(total), "decode-rate")
+}
+
+func BenchmarkE5IBLTThreshold_Load1_2(b *testing.B) { benchIBLTLoad(b, 1.2) }
+func BenchmarkE5IBLTThreshold_Load1_5(b *testing.B) { benchIBLTLoad(b, 1.5) }
+func BenchmarkE5IBLTThreshold_Load2_0(b *testing.B) { benchIBLTLoad(b, 2.0) }
+
+// --- E6: level selection vs noise ---
+
+func benchLevel(b *testing.B, eps float64) {
+	inst := benchInstance(b, 512, 8, eps)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 8}
+	sk, err := core.BuildSketch(params, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var level int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Reconcile(sk, inst.Bob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		level = res.Level
+	}
+	b.ReportMetric(float64(level), "decoded-level")
+}
+
+func BenchmarkE6LevelSelection_Eps1(b *testing.B)  { benchLevel(b, 1) }
+func BenchmarkE6LevelSelection_Eps64(b *testing.B) { benchLevel(b, 64) }
+
+// --- E7: runtime scaling (the classic ns/op benchmarks) ---
+
+func benchEncode(b *testing.B, n int) {
+	inst := benchInstance(b, n, 16, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildSketch(params, inst.Alice); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "points")
+}
+
+func BenchmarkE7Runtime_Encode_N1000(b *testing.B)  { benchEncode(b, 1000) }
+func BenchmarkE7Runtime_Encode_N8000(b *testing.B)  { benchEncode(b, 8000) }
+func BenchmarkE7Runtime_Encode_N64000(b *testing.B) { benchEncode(b, 64000) }
+
+func BenchmarkE7Runtime_Reconcile_N8000(b *testing.B) {
+	inst := benchInstance(b, 8000, 16, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 16}
+	sk, err := core.BuildSketch(params, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reconcile(sk, inst.Bob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: exact regime baselines ---
+
+func BenchmarkE8ExactBaselines_CPI(b *testing.B) {
+	inst := benchInstance(b, 1024, 8, 0)
+	runReconciler(b, baseline.CPISync{Config: protocol.CPIConfig{Universe: benchUniverse, Seed: 13, Capacity: 20}}, inst)
+}
+
+func BenchmarkE8ExactBaselines_ExactIBLT(b *testing.B) {
+	inst := benchInstance(b, 1024, 8, 0)
+	runReconciler(b, baseline.ExactIBLT{Config: protocol.ExactConfig{Universe: benchUniverse, Seed: 11}}, inst)
+}
+
+func BenchmarkE8ExactBaselines_Robust(b *testing.B) {
+	inst := benchInstance(b, 1024, 8, 0)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 8}
+	runReconciler(b, baseline.RobustOneShot{Params: params}, inst)
+}
+
+// --- E9: estimator accuracy (throughput of the estimators themselves) ---
+
+func BenchmarkE9Estimators_BottomK(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	keys := make([][]byte, 4096)
+	for i := range keys {
+		k := make([]byte, 16)
+		for j := range k {
+			k[j] = byte(rng.Uint32())
+		}
+		keys[i] = k
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := sketch.NewBottomK(128, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range keys {
+			est.Add(k)
+		}
+	}
+}
+
+// --- E10: protocol variants ---
+
+func BenchmarkE10Variants_OneShot(b *testing.B) {
+	inst := benchInstance(b, 1024, 8, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 8}
+	runReconciler(b, baseline.RobustOneShot{Params: params}, inst)
+}
+
+func BenchmarkE10Variants_EstimateFirst(b *testing.B) {
+	inst := benchInstance(b, 1024, 8, 4)
+	params := core.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 8}
+	runReconciler(b, baseline.RobustEstimateFirst{Params: params}, inst)
+}
+
+// --- E11: design-choice ablations ---
+
+func benchAblation(b *testing.B, q, capFactor int) {
+	inst := benchInstance(b, 512, 16, 4)
+	params := core.Params{
+		Universe: benchUniverse, Seed: 7,
+		DiffBudget: 16, HashCount: q, TableCapacity: capFactor * 16,
+	}
+	var level int
+	var bytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk, err := core.BuildSketch(params, inst.Alice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = sk.WireSize()
+		res, err := core.Reconcile(sk, inst.Bob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		level = res.Level
+	}
+	b.ReportMetric(float64(bytes), "sketch-bytes")
+	b.ReportMetric(float64(level), "decoded-level")
+}
+
+func BenchmarkE11Ablation_Q3_Cap2(b *testing.B) { benchAblation(b, 3, 2) }
+func BenchmarkE11Ablation_Q4_Cap1(b *testing.B) { benchAblation(b, 4, 1) }
+func BenchmarkE11Ablation_Q4_Cap2(b *testing.B) { benchAblation(b, 4, 2) }
+func BenchmarkE11Ablation_Q4_Cap4(b *testing.B) { benchAblation(b, 4, 4) }
+func BenchmarkE11Ablation_Q5_Cap2(b *testing.B) { benchAblation(b, 5, 2) }
+
+// --- whole-suite smoke benchmark ---
+
+// BenchmarkExperimentSuiteQuick runs the entire harness once per
+// iteration at quick scale, guaranteeing every experiment stays runnable.
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if _, err := e.Run(experiments.ScaleQuick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- public API micro-benchmarks ---
+
+func BenchmarkPublicSketchMarshal(b *testing.B) {
+	inst := benchInstance(b, 2048, 16, 4)
+	params := robustset.Params{Universe: benchUniverse, Seed: 7, DiffBudget: 16}
+	sk, err := robustset.NewSketch(params, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicEMDExact_N128(b *testing.B) {
+	inst := benchInstance(b, 128, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := robustset.EMD(inst.Alice, inst.Bob, robustset.L1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicEMDApprox_N4096(b *testing.B) {
+	inst := benchInstance(b, 4096, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := robustset.EMDApprox(inst.Alice, inst.Bob, benchUniverse, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command emdcalc computes Earth Mover's Distances between two point
+// files: the exact EMD (and optionally EMD_k) via min-cost matching, or
+// the fast grid-embedding estimate for large inputs.
+//
+// Usage:
+//
+//	emdcalc -a alice.txt -b bob.txt [-metric l1|l2|linf] [-k 8] [-approx]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustset"
+	"robustset/internal/pointio"
+	"robustset/internal/points"
+)
+
+func main() {
+	aFile := flag.String("a", "", "first point file (required)")
+	bFile := flag.String("b", "", "second point file (required)")
+	metricName := flag.String("metric", "l1", "ground metric: l1, l2 or linf")
+	k := flag.Int("k", -1, "also report EMD_k for this exclusion count")
+	approx := flag.Bool("approx", false, "use the O(n·logΔ) grid estimate instead of exact matching")
+	seed := flag.Uint64("seed", 1, "grid seed for -approx")
+	flag.Parse()
+	if *aFile == "" || *bFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*aFile, *bFile, *metricName, *k, *approx, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "emdcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(aFile, bFile, metricName string, k int, approx bool, seed uint64) error {
+	ua, a, err := readFile(aFile)
+	if err != nil {
+		return err
+	}
+	ub, b, err := readFile(bFile)
+	if err != nil {
+		return err
+	}
+	if ua != ub {
+		return fmt.Errorf("universes differ: %+v vs %+v", ua, ub)
+	}
+	if approx {
+		est, err := robustset.EMDApprox(a, b, ua, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("grid-EMD estimate (l1, O(d·logΔ) distortion): %.0f\n", est)
+		return nil
+	}
+	metric, err := points.MetricByName(metricName)
+	if err != nil {
+		return err
+	}
+	if len(a) > 2000 {
+		return fmt.Errorf("exact EMD on %d points would take too long; use -approx", len(a))
+	}
+	d, err := robustset.EMD(a, b, metric)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EMD (%s): %.2f\n", metric.Name(), d)
+	if k >= 0 {
+		dk, err := robustset.EMDk(a, b, metric, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("EMD_%d (%s): %.2f\n", k, metric.Name(), dk)
+	}
+	return nil
+}
+
+func readFile(path string) (points.Universe, []points.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return points.Universe{}, nil, err
+	}
+	defer f.Close()
+	return pointio.Read(f)
+}

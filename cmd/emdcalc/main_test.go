@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"robustset/internal/pointio"
+	"robustset/internal/points"
+)
+
+func writePoints(t *testing.T, dir, name string, u points.Universe, pts []points.Point) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pointio.Write(f, u, pts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExactAndPartial(t *testing.T) {
+	dir := t.TempDir()
+	u := points.Universe{Dim: 2, Delta: 1 << 10}
+	a := writePoints(t, dir, "a.txt", u, []points.Point{{0, 0}, {10, 10}})
+	b := writePoints(t, dir, "b.txt", u, []points.Point{{1, 1}, {12, 9}})
+	if err := run(a, b, "l1", 1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(a, b, "l2", -1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(a, b, "l1", -1, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	u := points.Universe{Dim: 2, Delta: 1 << 10}
+	a := writePoints(t, dir, "a.txt", u, []points.Point{{0, 0}})
+	other := writePoints(t, dir, "c.txt", points.Universe{Dim: 3, Delta: 1 << 10}, []points.Point{{0, 0, 0}})
+	if err := run(a, other, "l1", -1, false, 1); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+	if err := run(a, a, "manhattan", -1, false, 1); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.txt"), a, "l1", -1, false, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	// The n>2000 guard.
+	big := make([]points.Point, 2001)
+	for i := range big {
+		big[i] = points.Point{int64(i % 1024), 0}
+	}
+	bp := writePoints(t, dir, "big.txt", u, big)
+	if err := run(bp, bp, "l1", -1, false, 1); err == nil {
+		t.Error("oversized exact computation accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure indexed in DESIGN.md §4 (E1–E11), printed as aligned text tables.
+// EXPERIMENTS.md records a full run next to the paper's claimed shapes.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E1,E5]
+//
+// See internal/experiments for the harness itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"robustset/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	scale := experiments.ScaleFull
+	if *quick {
+		scale = experiments.ScaleQuick
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s: %s ...\n", e.ID, e.Name)
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -only")
+		os.Exit(1)
+	}
+}

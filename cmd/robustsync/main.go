@@ -1,0 +1,323 @@
+// Command robustsync is the command-line front end for robust set
+// reconciliation. It can generate workload files, reconcile two local
+// files, and run the protocol across real hosts over TCP.
+//
+// Usage:
+//
+//	robustsync gen      -out points.txt -n 1000 -dim 2 -delta 1048576 [-from base.txt -noise 4 -outliers 10]
+//	robustsync quantize -csv data.csv -cols 1,2 -out points.txt [-delta 16777216] [-min a,b -max c,d]
+//	robustsync local    -alice a.txt -bob b.txt [-k 16] [-adaptive] [-out sprime.txt]
+//	robustsync serve    -data a.txt -listen :7777 [-k 16] [-adaptive]
+//	robustsync pull     -data b.txt -connect host:7777 [-k 16] [-adaptive] [-out sprime.txt]
+//
+// `serve` is Alice (the party whose data is being fetched); `pull` is Bob.
+// Both sides must use the same -k, -seed and -adaptive settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+
+	"robustset"
+	"robustset/internal/pointio"
+	"robustset/internal/points"
+	"robustset/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "quantize":
+		err = cmdQuantize(os.Args[2:])
+	case "local":
+		err = cmdLocal(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "pull":
+		err = cmdPull(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustsync:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: robustsync <gen|quantize|local|serve|pull> [flags]
+  gen       generate a point file (optionally a noisy copy of another file)
+  quantize  ingest float CSV data into a point file
+  local     reconcile two local point files in-process
+  serve     serve a point file to pullers over TCP (Alice)
+  pull      reconcile the local file against a server (Bob)
+run "robustsync <cmd> -h" for flags`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	n := fs.Int("n", 1000, "number of points")
+	dim := fs.Int("dim", 2, "dimensions")
+	delta := fs.Int64("delta", 1<<20, "coordinate range (power of two)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	clusters := fs.Int("clusters", 0, "draw points from this many clusters (0 = uniform)")
+	from := fs.String("from", "", "derive a noisy copy of this base file instead of fresh points")
+	noise := fs.Float64("noise", 0, "uniform per-coordinate noise amplitude for -from")
+	outliers := fs.Int("outliers", 0, "number of fresh replacement points for -from")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var u points.Universe
+	var pts []points.Point
+	if *from != "" {
+		bu, base, err := readFile(*from)
+		if err != nil {
+			return err
+		}
+		u = bu
+		rng := rand.New(rand.NewPCG(*seed, ^*seed))
+		pts = make([]points.Point, len(base))
+		for i, p := range base {
+			if i < *outliers {
+				q := make(points.Point, u.Dim)
+				for j := range q {
+					q[j] = rng.Int64N(u.Delta)
+				}
+				pts[i] = q
+				continue
+			}
+			q := p.Clone()
+			s := int64(*noise)
+			if s > 0 {
+				for j := range q {
+					q[j] += rng.Int64N(2*s+1) - s
+				}
+			}
+			pts[i] = u.Clamp(q)
+		}
+	} else {
+		u = points.Universe{Dim: *dim, Delta: *delta}
+		inst, err := workload.Generate(workload.Config{
+			N: *n, Universe: u, Clusters: *clusters, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		pts = inst.Bob
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pointio.Write(f, u, pts); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points (dim=%d delta=%d) to %s\n", len(pts), u.Dim, u.Delta, *out)
+	return nil
+}
+
+func cmdLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	aliceFile := fs.String("alice", "", "Alice's point file (required)")
+	bobFile := fs.String("bob", "", "Bob's point file (required)")
+	k := fs.Int("k", 16, "difference budget")
+	seed := fs.Uint64("seed", 42, "shared protocol seed")
+	adaptive := fs.Bool("adaptive", false, "use the estimate-first protocol")
+	out := fs.String("out", "", "write Bob's reconciled set here")
+	fs.Parse(args)
+	if *aliceFile == "" || *bobFile == "" {
+		return fmt.Errorf("local: -alice and -bob are required")
+	}
+	u, alice, err := readFile(*aliceFile)
+	if err != nil {
+		return err
+	}
+	ub, bob, err := readFile(*bobFile)
+	if err != nil {
+		return err
+	}
+	if u != ub {
+		return fmt.Errorf("local: universes differ: %+v vs %+v", u, ub)
+	}
+	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
+	res, stats, err := runLocal(params, alice, bob, *adaptive)
+	if err != nil {
+		return err
+	}
+	report(res, stats, u, alice, bob)
+	return writeResult(*out, u, res.SPrime)
+}
+
+// runLocal wires the two sides through an in-process TCP connection so
+// the byte accounting matches a real deployment.
+func runLocal(params robustset.Params, alice, bob []points.Point, adaptive bool) (*robustset.Result, robustset.TransferStats, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, robustset.TransferStats{}, err
+	}
+	defer ln.Close()
+	aliceErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			aliceErr <- err
+			return
+		}
+		defer conn.Close()
+		if adaptive {
+			_, err = robustset.PushAdaptive(conn, params, alice)
+		} else {
+			_, err = robustset.Push(conn, params, alice)
+		}
+		aliceErr <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, robustset.TransferStats{}, err
+	}
+	defer conn.Close()
+	var res *robustset.Result
+	var stats robustset.TransferStats
+	if adaptive {
+		res, stats, err = robustset.PullAdaptive(conn, params, bob, robustset.AdaptiveOptions{})
+	} else {
+		res, stats, err = robustset.Pull(conn, bob)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := <-aliceErr; err != nil {
+		return nil, stats, err
+	}
+	return res, stats, nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", "", "point file to serve (required)")
+	listen := fs.String("listen", ":7777", "listen address")
+	k := fs.Int("k", 16, "difference budget")
+	seed := fs.Uint64("seed", 42, "shared protocol seed")
+	adaptive := fs.Bool("adaptive", false, "serve the estimate-first protocol")
+	once := fs.Bool("once", false, "exit after one session")
+	fs.Parse(args)
+	if *data == "" {
+		return fmt.Errorf("serve: -data is required")
+	}
+	u, pts, err := readFile(*data)
+	if err != nil {
+		return err
+	}
+	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("serving %d points on %s (k=%d adaptive=%v)\n", len(pts), ln.Addr(), *k, *adaptive)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		var stats robustset.TransferStats
+		if *adaptive {
+			stats, err = robustset.PushAdaptive(conn, params, pts)
+		} else {
+			stats, err = robustset.Push(conn, params, pts)
+		}
+		conn.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "session error: %v\n", err)
+		} else {
+			fmt.Printf("session done: %s\n", stats)
+		}
+		if *once {
+			return nil
+		}
+	}
+}
+
+func cmdPull(args []string) error {
+	fs := flag.NewFlagSet("pull", flag.ExitOnError)
+	data := fs.String("data", "", "local point file (required)")
+	connect := fs.String("connect", "", "server address (required)")
+	k := fs.Int("k", 16, "difference budget (must match server)")
+	seed := fs.Uint64("seed", 42, "shared protocol seed (must match server)")
+	adaptive := fs.Bool("adaptive", false, "use the estimate-first protocol (must match server)")
+	out := fs.String("out", "", "write the reconciled set here")
+	fs.Parse(args)
+	if *data == "" || *connect == "" {
+		return fmt.Errorf("pull: -data and -connect are required")
+	}
+	u, bob, err := readFile(*data)
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
+	var res *robustset.Result
+	var stats robustset.TransferStats
+	if *adaptive {
+		res, stats, err = robustset.PullAdaptive(conn, params, bob, robustset.AdaptiveOptions{})
+	} else {
+		res, stats, err = robustset.Pull(conn, bob)
+	}
+	if err != nil {
+		return err
+	}
+	report(res, stats, u, nil, bob)
+	return writeResult(*out, u, res.SPrime)
+}
+
+func report(res *robustset.Result, stats robustset.TransferStats, u points.Universe, alice, bob []points.Point) {
+	fmt.Printf("reconciled at level %d (cell width %d): %d added, %d removed, |S'_B|=%d\n",
+		res.Level, res.CellWidth, len(res.Added), len(res.Removed), len(res.SPrime))
+	fmt.Printf("transfer: %s\n", stats)
+	if alice != nil {
+		before, _ := robustset.EMDApprox(alice, bob, u, 987)
+		after, _ := robustset.EMDApprox(alice, res.SPrime, u, 987)
+		fmt.Printf("grid-EMD estimate to Alice's data: %.0f → %.0f\n", before, after)
+	}
+}
+
+func writeResult(path string, u points.Universe, pts []points.Point) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pointio.Write(f, u, pts); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points to %s\n", len(pts), path)
+	return nil
+}
+
+func readFile(path string) (points.Universe, []points.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return points.Universe{}, nil, err
+	}
+	defer f.Close()
+	return pointio.Read(f)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"robustset/internal/pointio"
+	"robustset/internal/points"
+)
+
+// TestGenLocalWorkflow drives the CLI's primary workflow end to end:
+// generate a base file, derive a noisy copy, reconcile them, and verify
+// the written result.
+func TestGenLocalWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	bob := filepath.Join(dir, "bob.txt")
+	alice := filepath.Join(dir, "alice.txt")
+	sprime := filepath.Join(dir, "sprime.txt")
+
+	if err := cmdGen([]string{"-out", bob, "-n", "300", "-dim", "2", "-delta", "65536", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-out", alice, "-from", bob, "-noise", "3", "-outliers", "7", "-seed", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLocal([]string{"-alice", alice, "-bob", bob, "-k", "7", "-out", sprime}); err != nil {
+		t.Fatal(err)
+	}
+
+	u, got, err := readFile(sprime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("result has %d points, want 300", len(got))
+	}
+	if err := u.CheckSet(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenAdaptiveLocal(t *testing.T) {
+	dir := t.TempDir()
+	bob := filepath.Join(dir, "bob.txt")
+	alice := filepath.Join(dir, "alice.txt")
+	if err := cmdGen([]string{"-out", bob, "-n", "200", "-dim", "2", "-delta", "16384", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-out", alice, "-from", bob, "-noise", "2", "-outliers", "4", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLocal([]string{"-alice", alice, "-bob", bob, "-k", "4", "-adaptive"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenClusters(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c.txt")
+	if err := cmdGen([]string{"-out", out, "-n", "100", "-dim", "3", "-delta", "1024", "-clusters", "2", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	u, pts, err := pointio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Dim != 3 || u.Delta != 1024 || len(pts) != 100 {
+		t.Fatalf("unexpected file contents: %+v, %d points", u, len(pts))
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdGen([]string{"-n", "10"}); err == nil {
+		t.Error("gen without -out accepted")
+	}
+	if err := cmdLocal([]string{"-alice", "nope.txt"}); err == nil {
+		t.Error("local without -bob accepted")
+	}
+	if err := cmdLocal([]string{"-alice", "nope.txt", "-bob", "nope2.txt"}); err == nil {
+		t.Error("local with missing files accepted")
+	}
+	// Universe mismatch is rejected.
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	if err := cmdGen([]string{"-out", a, "-n", "10", "-dim", "2", "-delta", "1024", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-out", b, "-n", "10", "-dim", "3", "-delta", "1024", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLocal([]string{"-alice", a, "-bob", b}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	_ = points.Point{} // keep the import honest if assertions change
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"robustset"
+	"robustset/internal/pointio"
+	"robustset/internal/points"
+)
+
+// cmdQuantize ingests real-valued CSV data into a point file via the
+// library's affine quantizer, so float datasets can be reconciled with
+// the rest of the toolchain:
+//
+//	robustsync quantize -csv data.csv -cols 1,3 -out pts.txt \
+//	    -delta 16777216 [-min 0,0 -max 100,130] [-skip-header]
+//
+// When -min/-max are omitted the ranges are computed from the data and
+// printed; pass those printed ranges explicitly on the peer so both
+// sides quantize identically (the ranges are part of the shared
+// configuration, like the seed).
+func cmdQuantize(args []string) error {
+	fs := flag.NewFlagSet("quantize", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV file (required)")
+	out := fs.String("out", "", "output point file (required)")
+	cols := fs.String("cols", "", "comma-separated zero-based CSV column indices (required)")
+	delta := fs.Int64("delta", 1<<24, "grid resolution per axis (power of two)")
+	minStr := fs.String("min", "", "comma-separated per-column lower bounds (default: from data)")
+	maxStr := fs.String("max", "", "comma-separated per-column upper bounds (default: from data)")
+	skipHeader := fs.Bool("skip-header", false, "skip the first CSV row")
+	fs.Parse(args)
+	if *csvPath == "" || *out == "" || *cols == "" {
+		return fmt.Errorf("quantize: -csv, -out and -cols are required")
+	}
+	colIdx, err := parseIntList(*cols)
+	if err != nil {
+		return fmt.Errorf("quantize: -cols: %w", err)
+	}
+	rows, err := readCSVColumns(*csvPath, colIdx, *skipHeader)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("quantize: no data rows in %s", *csvPath)
+	}
+	dim := len(colIdx)
+	min, max, err := resolveRanges(rows, dim, *minStr, *maxStr)
+	if err != nil {
+		return err
+	}
+	u := points.Universe{Dim: dim, Delta: *delta}
+	q, err := robustset.NewQuantizer(u, min, max)
+	if err != nil {
+		return err
+	}
+	pts, err := q.QuantizeSet(rows)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pointio.Write(f, u, pts); err != nil {
+		return err
+	}
+	fmt.Printf("quantized %d rows × %d columns into %s (delta=%d)\n", len(pts), dim, *out, *delta)
+	fmt.Printf("ranges (pass these on the peer): -min %s -max %s\n",
+		formatFloatList(min), formatFloatList(max))
+	for i := range min {
+		fmt.Printf("  column %d: step %.6g\n", colIdx[i], q.Step(i))
+	}
+	return nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative column index %d", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseFloatList(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("have %d values, want %d", len(parts), want)
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func formatFloatList(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func readCSVColumns(path string, cols []int, skipHeader bool) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	var rows [][]float64
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("quantize: %s: %w", path, err)
+		}
+		line++
+		if skipHeader && line == 1 {
+			continue
+		}
+		row := make([]float64, len(cols))
+		for i, c := range cols {
+			if c >= len(rec) {
+				return nil, fmt.Errorf("quantize: %s line %d: column %d out of range (%d fields)", path, line, c, len(rec))
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[c]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("quantize: %s line %d column %d: %w", path, line, c, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func resolveRanges(rows [][]float64, dim int, minStr, maxStr string) (min, max []float64, err error) {
+	if (minStr == "") != (maxStr == "") {
+		return nil, nil, fmt.Errorf("quantize: pass both -min and -max or neither")
+	}
+	if minStr != "" {
+		min, err = parseFloatList(minStr, dim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("quantize: -min: %w", err)
+		}
+		max, err = parseFloatList(maxStr, dim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("quantize: -max: %w", err)
+		}
+		return min, max, nil
+	}
+	// Derive from data with a small margin so boundary values do not all
+	// pile into the edge buckets.
+	min = make([]float64, dim)
+	max = make([]float64, dim)
+	for i := range min {
+		min[i], max[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			if v < min[i] {
+				min[i] = v
+			}
+			if v > max[i] {
+				max[i] = v
+			}
+		}
+	}
+	for i := range min {
+		span := max[i] - min[i]
+		if span <= 0 {
+			span = 1
+		}
+		min[i] -= span * 0.01
+		max[i] += span * 0.01
+	}
+	return min, max, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQuantizeWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, dir, "data.csv",
+		"temp,pressure,site\n21.5,101.3,a\n21.6,101.1,b\n99.0,80.5,c\n")
+	out := filepath.Join(dir, "pts.txt")
+	err := cmdQuantize([]string{
+		"-csv", csvPath, "-cols", "0,1", "-out", out,
+		"-delta", "65536", "-min", "0,50", "-max", "100,150", "-skip-header",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, pts, err := readFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Dim != 2 || u.Delta != 65536 {
+		t.Fatalf("universe %+v", u)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	// The two close rows must be close on the grid; the third far.
+	d01 := abs64(pts[0][0]-pts[1][0]) + abs64(pts[0][1]-pts[1][1])
+	d02 := abs64(pts[0][0]-pts[2][0]) + abs64(pts[0][1]-pts[2][1])
+	if d01 >= d02 {
+		t.Errorf("close rows (%d apart) not closer than far rows (%d apart)", d01, d02)
+	}
+}
+
+func TestQuantizeAutoRange(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, dir, "data.csv", "1.0,5.0\n2.0,6.0\n3.0,7.0\n")
+	out := filepath.Join(dir, "pts.txt")
+	if err := cmdQuantize([]string{"-csv", csvPath, "-cols", "0,1", "-out", out, "-delta", "1024"}); err != nil {
+		t.Fatal(err)
+	}
+	_, pts, err := readFile(out)
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("%d points, %v", len(pts), err)
+	}
+}
+
+func TestQuantizeErrors(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, dir, "data.csv", "1.0,x\n")
+	out := filepath.Join(dir, "pts.txt")
+	if err := cmdQuantize([]string{"-csv", csvPath, "-cols", "0,1", "-out", out}); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+	if err := cmdQuantize([]string{"-out", out}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := cmdQuantize([]string{"-csv", csvPath, "-cols", "0,5", "-out", out}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := cmdQuantize([]string{"-csv", csvPath, "-cols", "0", "-out", out, "-min", "0"}); err == nil {
+		t.Error("min without max accepted")
+	}
+	empty := writeCSV(t, dir, "empty.csv", "")
+	if err := cmdQuantize([]string{"-csv", empty, "-cols", "0", "-out", out}); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

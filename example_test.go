@@ -1,0 +1,68 @@
+package robustset_test
+
+import (
+	"fmt"
+
+	"robustset"
+)
+
+// Example shows the minimal one-shot reconciliation flow: Alice sketches,
+// Bob reconciles, and with zero value noise the result is exact.
+func Example() {
+	u := robustset.Universe{Dim: 2, Delta: 1 << 10}
+	params := robustset.Params{Universe: u, Seed: 42, DiffBudget: 2}
+
+	bob := []robustset.Point{{10, 10}, {500, 900}, {77, 4}}
+	alice := []robustset.Point{{10, 10}, {500, 900}, {123, 456}} // one replaced point
+
+	sketch, err := robustset.NewSketch(params, alice)
+	if err != nil {
+		panic(err)
+	}
+	blob, _ := sketch.MarshalBinary() // what actually crosses the network
+
+	var wire robustset.Sketch
+	if err := wire.UnmarshalBinary(blob); err != nil {
+		panic(err)
+	}
+	res, err := robustset.Reconcile(&wire, bob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("added:  ", res.Added)
+	fmt.Println("removed:", res.Removed)
+	fmt.Println("exact:  ", robustset.EqualMultisets(res.SPrime, alice))
+	// Output:
+	// added:   [(123,456)]
+	// removed: [(77,4)]
+	// exact:   true
+}
+
+// ExampleEMDk shows how the accuracy floor is computed: the EMD after
+// excluding the k genuinely-different points from each side.
+func ExampleEMDk() {
+	x := []robustset.Point{{0}, {10}, {1000}}
+	y := []robustset.Point{{1}, {11}, {5}}
+	full, _ := robustset.EMD(x, y, robustset.L1)
+	floor, _ := robustset.EMDk(x, y, robustset.L1, 1)
+	fmt.Printf("EMD=%.0f EMD_1=%.0f\n", full, floor)
+	// Output: EMD=995 EMD_1=2
+}
+
+// ExampleNewMaintainer shows incremental sketch maintenance: updates cost
+// O(levels) and the sketch stays identical to a full rebuild.
+func ExampleNewMaintainer() {
+	u := robustset.Universe{Dim: 1, Delta: 1 << 8}
+	params := robustset.Params{Universe: u, Seed: 7, DiffBudget: 2}
+	m, err := robustset.NewMaintainer(params, []robustset.Point{{5}, {9}})
+	if err != nil {
+		panic(err)
+	}
+	_ = m.Add(robustset.Point{100})
+	_ = m.Remove(robustset.Point{5})
+	fresh, _ := robustset.NewSketch(params, []robustset.Point{{9}, {100}})
+	a, _ := m.Sketch().MarshalBinary()
+	b, _ := fresh.MarshalBinary()
+	fmt.Println("count:", m.Count(), "identical to rebuild:", string(a) == string(b))
+	// Output: count: 2 identical to rebuild: true
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"robustset/internal/points"
+	"robustset/internal/workload"
+)
+
+func benchWorkload(b *testing.B, n int) (*workload.Instance, Params) {
+	b.Helper()
+	u := points.Universe{Dim: 2, Delta: 1 << 20}
+	inst, err := workload.Generate(workload.Config{
+		N: n, Universe: u, Outliers: 16,
+		Noise: workload.NoiseUniform, Scale: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst, Params{Universe: u, Seed: 7, DiffBudget: 16}
+}
+
+func BenchmarkBuildSketch4096(b *testing.B) {
+	inst, p := benchWorkload(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSketch(p, inst.Alice); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(4096, "points")
+}
+
+func BenchmarkReconcile4096(b *testing.B) {
+	inst, p := benchWorkload(b, 4096)
+	sk, err := BuildSketch(p, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconcile(sk, inst.Bob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaintainerAdd(b *testing.B) {
+	inst, p := benchWorkload(b, 1024)
+	m, err := NewMaintainer(p, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := inst.Bob
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Add(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaintainerAddRemove(b *testing.B) {
+	inst, p := benchWorkload(b, 1024)
+	m, err := NewMaintainer(p, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := points.Point{12345, 67890}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Add(pt); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Remove(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchMarshal(b *testing.B) {
+	inst, p := benchWorkload(b, 4096)
+	sk, err := BuildSketch(p, inst.Alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,500 @@
+// Package core implements the robust set reconciliation protocol of
+// "Robust Set Reconciliation" (SIGMOD 2014): a one-way protocol that lets
+// Bob transform his point multiset S_B into a multiset S'_B close to
+// Alice's S_A in Earth Mover's Distance, with communication proportional
+// to the number of genuine differences k rather than to n.
+//
+// # Construction
+//
+// Both parties share a seed (public coins) that fixes a randomly shifted
+// hierarchical grid over the universe [Δ]^d and a family of IBLT hash
+// functions. For every grid level ℓ, Alice rounds each of her points to
+// its grid cell and inserts the key (cell coordinates, occurrence index)
+// into a level-ℓ IBLT with O(k) cells; the occurrence index — "this is my
+// j-th point in this cell" — gives the IBLT exact multiset semantics, so
+// after Bob subtracts his identically built table, the level-ℓ sketch
+// holds exactly Σ_c |a_c − b_c| keys, where a_c, b_c are the parties'
+// cell occupancies.
+//
+// Bob scans levels from finest to coarsest and decodes the first table
+// whose peeling succeeds: at fine levels measurement noise separates
+// nearly every corresponding pair (too many differences, decode fails);
+// at coarse levels noisy pairs share cells and cancel, leaving roughly
+// the k true differences. At the chosen level Bob repairs his multiset:
+// he deletes his own points named by Bob-only keys and adds the cell
+// centers of Alice-only keys. The random shift makes the probability of
+// a pair at distance x surviving to level ℓ proportional to x/w_ℓ, which
+// yields the paper's O(d)·EMD_k(S_A,S_B) expected accuracy.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"robustset/internal/grid"
+	"robustset/internal/hashutil"
+	"robustset/internal/iblt"
+	"robustset/internal/points"
+	"robustset/internal/sketch"
+)
+
+// Params is the shared configuration of a reconciliation. Both parties
+// must use identical Params (they are carried in the sketch wire format,
+// so in practice Bob adopts whatever Alice sent).
+type Params struct {
+	// Universe is the point domain [Δ]^d.
+	Universe points.Universe
+	// Seed is the public-coins seed fixing the grid shift and all hash
+	// functions.
+	Seed uint64
+	// DiffBudget is k: the number of genuine differences the sketch is
+	// provisioned for. Each level's IBLT is sized to decode about
+	// 2·DiffBudget keys (k Alice-only plus k Bob-only).
+	DiffBudget int
+	// HashCount is the IBLT hash count q. 0 means the default (4).
+	HashCount int
+	// MinLevel and MaxLevel bound the grid levels included in the sketch.
+	// Zero values mean the full hierarchy 0..log2(Δ). A party that knows
+	// the noise scale can clamp MaxLevel to save communication.
+	MinLevel, MaxLevel int
+	// TableCapacity overrides the per-level IBLT key capacity. 0 means
+	// the default 2·DiffBudget (plus a small floor).
+	TableCapacity int
+	// levelsSet records whether MaxLevel was explicitly provided.
+	levelsSet bool
+}
+
+// DefaultHashCount is the IBLT hash count used when Params.HashCount is 0.
+const DefaultHashCount = 4
+
+// WithLevels returns a copy of p restricted to grid levels [lo, hi].
+func (p Params) WithLevels(lo, hi int) Params {
+	p.MinLevel, p.MaxLevel, p.levelsSet = lo, hi, true
+	return p
+}
+
+// Hard parameter ceilings. They are far beyond any sensible deployment
+// and exist so that wire-derived Params can never drive pathological
+// allocations (a hostile sketch header is rejected before any table is
+// built).
+const (
+	// MaxDim bounds the universe dimension.
+	MaxDim = 512
+	// MaxDiffBudget bounds DiffBudget and TableCapacity.
+	MaxDiffBudget = 1 << 24
+)
+
+// normalized validates p and fills defaults.
+func (p Params) normalized() (Params, error) {
+	if err := p.Universe.Validate(); err != nil {
+		return p, err
+	}
+	if p.Universe.Dim > MaxDim {
+		return p, fmt.Errorf("core: dimension %d exceeds limit %d", p.Universe.Dim, MaxDim)
+	}
+	if p.DiffBudget < 1 {
+		return p, fmt.Errorf("core: diff budget %d < 1", p.DiffBudget)
+	}
+	if p.DiffBudget > MaxDiffBudget {
+		return p, fmt.Errorf("core: diff budget %d exceeds limit %d", p.DiffBudget, MaxDiffBudget)
+	}
+	if p.TableCapacity < 0 || p.TableCapacity > MaxDiffBudget {
+		return p, fmt.Errorf("core: table capacity %d outside [0,%d]", p.TableCapacity, MaxDiffBudget)
+	}
+	if p.HashCount == 0 {
+		p.HashCount = DefaultHashCount
+	}
+	if p.HashCount < 2 || p.HashCount > 16 {
+		return p, fmt.Errorf("core: hash count %d outside [2,16]", p.HashCount)
+	}
+	maxLevel := p.Universe.Levels()
+	if !p.levelsSet && p.MaxLevel == 0 && p.MinLevel == 0 {
+		p.MaxLevel = maxLevel
+	}
+	if p.MinLevel < 0 || p.MaxLevel > maxLevel || p.MinLevel > p.MaxLevel {
+		return p, fmt.Errorf("core: level range [%d,%d] invalid for universe with %d levels", p.MinLevel, p.MaxLevel, maxLevel)
+	}
+	if p.TableCapacity == 0 {
+		p.TableCapacity = 2 * p.DiffBudget
+	}
+	// Floor the capacity: very small IBLTs stall with non-negligible
+	// probability, and a stall at the finest (lossless) level silently
+	// degrades an exact-regime reconciliation to a rounded one.
+	if p.TableCapacity < 8 {
+		p.TableCapacity = 8
+	}
+	return p, nil
+}
+
+// KeyLen returns the IBLT key length for dimension d: 8 bytes per cell
+// coordinate plus 4 bytes of occurrence index.
+func KeyLen(d int) int { return 8*d + 4 }
+
+// gridFor builds the shared grid for the params.
+func gridFor(p Params) (*grid.Grid, error) {
+	return grid.New(p.Universe, hashutil.DeriveSeed(p.Seed, "core/grid"))
+}
+
+// levelTable constructs the empty IBLT for one level under p.
+func levelTable(p Params, level, capacity int) (*iblt.Table, error) {
+	return iblt.New(iblt.Config{
+		Cells:     iblt.RecommendedCells(capacity, p.HashCount),
+		HashCount: p.HashCount,
+		KeyLen:    KeyLen(p.Universe.Dim),
+		Seed:      hashutil.DeriveSeedN(p.Seed, "core/level", level),
+	})
+}
+
+// appendKey encodes the (cell, occurrence) IBLT key.
+func appendKey(dst []byte, g *grid.Grid, c grid.Cell, occ uint32) []byte {
+	dst = g.EncodeCell(dst, c)
+	dst = append(dst, byte(occ), byte(occ>>8), byte(occ>>16), byte(occ>>24))
+	return dst
+}
+
+// splitKey decodes an IBLT key back into cell and occurrence.
+func splitKey(g *grid.Grid, key []byte) (grid.Cell, uint32, error) {
+	cs := g.EncodedCellSize()
+	if len(key) != cs+4 {
+		return nil, 0, fmt.Errorf("core: key length %d, want %d", len(key), cs+4)
+	}
+	c, err := g.DecodeCell(key[:cs])
+	if err != nil {
+		return nil, 0, err
+	}
+	occ := uint32(key[cs]) | uint32(key[cs+1])<<8 | uint32(key[cs+2])<<16 | uint32(key[cs+3])<<24
+	return c, occ, nil
+}
+
+// fillLevel inserts every point's (cell, occurrence) key for one level.
+func fillLevel(t *iblt.Table, g *grid.Grid, level int, pts []points.Point) {
+	occ := make(map[string]uint32, len(pts))
+	buf := make([]byte, 0, KeyLen(g.Universe().Dim))
+	cellBuf := make([]byte, 0, g.EncodedCellSize())
+	for _, p := range pts {
+		cell := g.Cell(level, p)
+		cellBuf = g.EncodeCell(cellBuf[:0], cell)
+		o := occ[string(cellBuf)]
+		occ[string(cellBuf)] = o + 1
+		buf = appendKey(buf[:0], g, cell, o)
+		t.Insert(buf)
+	}
+}
+
+// Sketch is Alice's transmissible summary: one IBLT per grid level in
+// [Params.MinLevel, Params.MaxLevel].
+type Sketch struct {
+	Params Params
+	// Count is the number of points summarized (|S_A|), carried for
+	// diagnostics and for the repair-size invariant check.
+	Count int
+	// Tables holds one IBLT per level, indexed by level−MinLevel.
+	Tables []*iblt.Table
+}
+
+// BuildSketch summarizes pts under p. This is Alice's encoder; it is also
+// invoked by Bob to build the identical structure he subtracts.
+func BuildSketch(p Params, pts []points.Point) (*Sketch, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Universe.CheckSet(pts); err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sketch{Params: p, Count: len(pts)}
+	for l := p.MinLevel; l <= p.MaxLevel; l++ {
+		t, err := levelTable(p, l, p.TableCapacity)
+		if err != nil {
+			return nil, err
+		}
+		fillLevel(t, g, l, pts)
+		s.Tables = append(s.Tables, t)
+	}
+	return s, nil
+}
+
+// WireSize returns the total marshalled size of the sketch in bytes.
+func (s *Sketch) WireSize() int {
+	n := sketchHeaderSize
+	for _, t := range s.Tables {
+		n += 4 + t.WireSize()
+	}
+	return n
+}
+
+// LevelOutcome records what happened at one level during Reconcile's scan.
+type LevelOutcome struct {
+	Level    int
+	Decoded  bool
+	DiffSize int // decoded keys (valid only when Decoded)
+}
+
+// Result is the outcome of a reconciliation on Bob's side.
+type Result struct {
+	// SPrime is Bob's reconciled multiset S'_B.
+	SPrime []points.Point
+	// Level is the finest grid level whose sketch decoded.
+	Level int
+	// CellWidth is the grid cell width at Level.
+	CellWidth int64
+	// Added holds the cell-center points inserted into S'_B (one per
+	// Alice-only key).
+	Added []points.Point
+	// Removed holds Bob's own points deleted from S'_B (one per Bob-only
+	// key).
+	Removed []points.Point
+	// Outcomes records the decode attempt at every scanned level, finest
+	// first, ending with the successful one.
+	Outcomes []LevelOutcome
+}
+
+// DiffSize returns the total number of decoded difference keys.
+func (r *Result) DiffSize() int { return len(r.Added) + len(r.Removed) }
+
+// ErrNoDecodableLevel is returned when no level of the sketch decodes —
+// the difference exceeded the sketch's budget at every resolution. The
+// caller should retry with a larger DiffBudget (the estimate-first
+// protocol automates this).
+var ErrNoDecodableLevel = errors.New("core: no level of the sketch decoded; increase DiffBudget")
+
+// ErrInconsistentSketch is returned when a decoded difference contradicts
+// Bob's own data (e.g. a Bob-only key whose cell Bob never occupied),
+// which indicates corruption or mismatched parameters.
+var ErrInconsistentSketch = errors.New("core: decoded difference inconsistent with local set")
+
+// Reconcile is Bob's side of the one-shot protocol: given Alice's sketch
+// and his own points, it returns S'_B ≈ S_A. Bob's points must lie in the
+// sketch's universe.
+func Reconcile(s *Sketch, bobPts []points.Point) (*Result, error) {
+	p, err := s.Params.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Tables) != p.MaxLevel-p.MinLevel+1 {
+		return nil, fmt.Errorf("core: sketch has %d tables for level range [%d,%d]", len(s.Tables), p.MinLevel, p.MaxLevel)
+	}
+	if err := p.Universe.CheckSet(bobPts); err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	mine, err := BuildSketch(p, bobPts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for l := p.MaxLevel; l >= p.MinLevel; l-- {
+		idx := l - p.MinLevel
+		t := s.Tables[idx].Clone()
+		if err := t.Sub(mine.Tables[idx]); err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", l, err)
+		}
+		diff, derr := t.Decode()
+		if derr != nil {
+			res.Outcomes = append(res.Outcomes, LevelOutcome{Level: l})
+			continue
+		}
+		res.Outcomes = append(res.Outcomes, LevelOutcome{Level: l, Decoded: true, DiffSize: diff.Size()})
+		if err := repair(res, g, l, diff, bobPts); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return nil, ErrNoDecodableLevel
+}
+
+// repair applies a decoded level difference to Bob's multiset.
+func repair(res *Result, g *grid.Grid, level int, diff *iblt.Diff, bobPts []points.Point) error {
+	res.Level = level
+	res.CellWidth = g.CellWidth(level)
+	// Recompute Bob's occupancy at this level so Bob-only keys (cell,occ)
+	// resolve to concrete points of his.
+	occupants := make(map[string][]int, len(bobPts)) // cell key → point indices, in slice order
+	cellBuf := make([]byte, 0, g.EncodedCellSize())
+	for i, p := range bobPts {
+		cellBuf = g.EncodeCell(cellBuf[:0], g.Cell(level, p))
+		occupants[string(cellBuf)] = append(occupants[string(cellBuf)], i)
+	}
+	remove := make(map[int]bool, len(diff.Neg))
+	for _, key := range diff.Neg {
+		cell, occ, err := splitKey(g, key)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInconsistentSketch, err)
+		}
+		cellBuf = g.EncodeCell(cellBuf[:0], cell)
+		ids := occupants[string(cellBuf)]
+		if int(occ) >= len(ids) {
+			return fmt.Errorf("%w: bob-only key names occurrence %d of a cell with %d local points", ErrInconsistentSketch, occ, len(ids))
+		}
+		idx := ids[occ]
+		if remove[idx] {
+			return fmt.Errorf("%w: point %d removed twice", ErrInconsistentSketch, idx)
+		}
+		remove[idx] = true
+		res.Removed = append(res.Removed, bobPts[idx])
+	}
+	res.SPrime = make([]points.Point, 0, len(bobPts)-len(remove)+len(diff.Pos))
+	for i, p := range bobPts {
+		if !remove[i] {
+			res.SPrime = append(res.SPrime, p.Clone())
+		}
+	}
+	for _, key := range diff.Pos {
+		cell, _, err := splitKey(g, key)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInconsistentSketch, err)
+		}
+		center := g.Center(level, cell)
+		res.Added = append(res.Added, center)
+		res.SPrime = append(res.SPrime, center)
+	}
+	return nil
+}
+
+// BuildLevelTable builds the single-level IBLT used by the estimate-first
+// protocol, with an explicit key capacity.
+func BuildLevelTable(p Params, pts []points.Point, level, capacity int) (*iblt.Table, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if level < 0 || level > p.Universe.Levels() {
+		return nil, fmt.Errorf("core: level %d outside [0,%d]", level, p.Universe.Levels())
+	}
+	if err := p.Universe.CheckSet(pts); err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	t, err := levelTable(p, level, capacity)
+	if err != nil {
+		return nil, err
+	}
+	fillLevel(t, g, level, pts)
+	return t, nil
+}
+
+// ReconcileLevel is the single-level analogue of Reconcile, used by the
+// estimate-first protocol once a level has been negotiated: it subtracts
+// Bob's identically sized table and repairs at exactly that level.
+func ReconcileLevel(p Params, aliceTable *iblt.Table, bobPts []points.Point, level int) (*Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Universe.CheckSet(bobPts); err != nil {
+		return nil, err
+	}
+	mine, err := iblt.New(aliceTable.Config())
+	if err != nil {
+		return nil, err
+	}
+	fillLevel(mine, g, level, bobPts)
+	t := aliceTable.Clone()
+	if err := t.Sub(mine); err != nil {
+		return nil, err
+	}
+	diff, err := t.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("core: level %d table did not decode: %w", level, err)
+	}
+	res := &Result{Outcomes: []LevelOutcome{{Level: level, Decoded: true, DiffSize: diff.Size()}}}
+	if err := repair(res, g, level, diff, bobPts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// LevelEstimators builds one bottom-k difference estimator per level over
+// the same (cell, occurrence) keys the IBLTs would hold. The estimate-first
+// protocol sends these instead of full tables in its first round.
+func LevelEstimators(p Params, pts []points.Point, k int) ([]*sketch.BottomK, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Universe.CheckSet(pts); err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	ests := make([]*sketch.BottomK, 0, p.MaxLevel-p.MinLevel+1)
+	buf := make([]byte, 0, KeyLen(p.Universe.Dim))
+	cellBuf := make([]byte, 0, g.EncodedCellSize())
+	for l := p.MinLevel; l <= p.MaxLevel; l++ {
+		e, err := sketch.NewBottomK(k, hashutil.DeriveSeedN(p.Seed, "core/est", l))
+		if err != nil {
+			return nil, err
+		}
+		occ := make(map[string]uint32, len(pts))
+		for _, pt := range pts {
+			cell := g.Cell(l, pt)
+			cellBuf = g.EncodeCell(cellBuf[:0], cell)
+			o := occ[string(cellBuf)]
+			occ[string(cellBuf)] = o + 1
+			buf = appendKey(buf[:0], g, cell, o)
+			e.Add(buf)
+		}
+		ests = append(ests, e)
+	}
+	return ests, nil
+}
+
+// ChooseLevel picks the finest level whose estimated difference fits the
+// given key budget, given Alice's and Bob's level estimators. It returns
+// the level and the estimated difference size at that level (already
+// padded for estimator resolution — size tables from it directly). If no
+// level fits, it returns the coarsest level with its estimate.
+//
+// A bottom-k estimator resolves the difference only to about one
+// quantization step of (|A|+|B|)/k keys, so raw estimates near zero are
+// unreliable for large sets; half a step is added before both the budget
+// comparison and the returned estimate. Callers that need fine level
+// selection on large sets should raise the estimator size accordingly
+// (k ≈ n/32 makes the step ~64 keys).
+func ChooseLevel(p Params, alice, bob []*sketch.BottomK, budget int) (level int, estimate float64, err error) {
+	p, err = p.normalized()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(alice) != len(bob) || len(alice) != p.MaxLevel-p.MinLevel+1 {
+		return 0, 0, fmt.Errorf("core: estimator count mismatch (%d alice, %d bob, want %d)", len(alice), len(bob), p.MaxLevel-p.MinLevel+1)
+	}
+	for i := len(alice) - 1; i >= 0; i-- {
+		est, err := sketch.EstimateDiff(alice[i], bob[i])
+		if err != nil {
+			return 0, 0, err
+		}
+		step := float64(alice[i].Count()+bob[i].Count()) / float64(alice[i].K())
+		est += step / 2
+		// A level is affordable if its padded estimate fits the budget;
+		// when the budget is below the estimator's own resolution, one
+		// step is the honest acceptance bar (the caller provisions at
+		// least that much capacity anyway, and rejecting everything the
+		// estimator cannot resolve would drive selection uselessly
+		// coarse).
+		limit := float64(budget)
+		if step > limit {
+			limit = step
+		}
+		if est <= limit || i == 0 {
+			return p.MinLevel + i, est, nil
+		}
+	}
+	return p.MinLevel, 0, nil // unreachable; loop always returns at i==0
+}

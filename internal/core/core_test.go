@@ -1,0 +1,456 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/emd"
+	"robustset/internal/points"
+	"robustset/internal/workload"
+)
+
+func testParams(u points.Universe, k int, seed uint64) Params {
+	return Params{Universe: u, Seed: seed, DiffBudget: k}
+}
+
+func genInstance(t *testing.T, cfg workload.Config) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestParamsValidation(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 10}
+	if _, err := BuildSketch(Params{Universe: u, DiffBudget: 0}, nil); err == nil {
+		t.Error("zero diff budget accepted")
+	}
+	if _, err := BuildSketch(Params{Universe: points.Universe{Dim: 0, Delta: 4}, DiffBudget: 1}, nil); err == nil {
+		t.Error("invalid universe accepted")
+	}
+	if _, err := BuildSketch(testParams(u, 4, 1).WithLevels(5, 2), nil); err == nil {
+		t.Error("inverted level range accepted")
+	}
+	if _, err := BuildSketch(testParams(u, 4, 1).WithLevels(0, 99), nil); err == nil {
+		t.Error("excessive max level accepted")
+	}
+	if _, err := BuildSketch(Params{Universe: u, DiffBudget: 1, HashCount: 1}, nil); err == nil {
+		t.Error("hash count 1 accepted")
+	}
+	// Out-of-universe points rejected.
+	if _, err := BuildSketch(testParams(u, 4, 1), []points.Point{{-1, 0}}); err == nil {
+		t.Error("out-of-universe point accepted")
+	}
+}
+
+func TestExactRegimeRecoversExactDifference(t *testing.T) {
+	// With zero noise the finest level (width-1 cells, lossless) decodes,
+	// and Bob ends with exactly Alice's multiset.
+	u := points.Universe{Dim: 2, Delta: 1 << 16}
+	for _, k := range []int{1, 5, 20} {
+		inst := genInstance(t, workload.Config{
+			N: 500, Universe: u, Outliers: k, Noise: workload.NoiseNone, Seed: uint64(k),
+		})
+		sk, err := BuildSketch(testParams(u, k, 42), inst.Alice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Reconcile(sk, inst.Bob)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Level != u.Levels() {
+			t.Errorf("k=%d: decoded at level %d, want finest %d", k, res.Level, u.Levels())
+		}
+		if !points.EqualMultisets(res.SPrime, inst.Alice) {
+			t.Errorf("k=%d: S'_B != S_A in exact regime", k)
+		}
+		if len(res.Added) != k || len(res.Removed) != k {
+			t.Errorf("k=%d: added %d removed %d, want %d each", k, len(res.Added), len(res.Removed), k)
+		}
+	}
+}
+
+func TestIdenticalSetsNoOp(t *testing.T) {
+	u := points.Universe{Dim: 3, Delta: 1 << 12}
+	inst := genInstance(t, workload.Config{N: 300, Universe: u, Seed: 7})
+	sk, _ := BuildSketch(testParams(u, 2, 1), inst.Bob)
+	res, err := Reconcile(sk, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiffSize() != 0 {
+		t.Errorf("identical sets decoded %d differences", res.DiffSize())
+	}
+	if !points.EqualMultisets(res.SPrime, inst.Bob) {
+		t.Error("S'_B changed for identical sets")
+	}
+	if res.Level != u.Levels() {
+		t.Errorf("identical sets should decode at the finest level, got %d", res.Level)
+	}
+}
+
+func TestNoisyReconciliationImprovesEMD(t *testing.T) {
+	// The headline behaviour: under noise, Bob's reconciled set is much
+	// closer to Alice's than his original set was, and the size invariant
+	// |S'_B| = n holds.
+	u := points.Universe{Dim: 2, Delta: 1 << 16}
+	inst := genInstance(t, workload.Config{
+		N: 160, Universe: u, Outliers: 6,
+		Noise: workload.NoiseUniform, Scale: 3, Seed: 99,
+	})
+	sk, err := BuildSketch(testParams(u, 6, 1234), inst.Alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reconcile(sk, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SPrime) != len(inst.Bob) {
+		t.Fatalf("|S'_B| = %d, want %d", len(res.SPrime), len(inst.Bob))
+	}
+	for _, p := range res.SPrime {
+		if !u.Contains(p) {
+			t.Fatalf("reconciled point %v outside universe", p)
+		}
+	}
+	before, err := emd.Exact(inst.Alice, inst.Bob, points.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := emd.Exact(inst.Alice, res.SPrime, points.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("reconciliation did not improve EMD: before %v, after %v", before, after)
+	}
+	// Outliers are huge in a 2^16 universe; the residual should be within
+	// a moderate factor of the noise floor rather than outlier-sized.
+	if after > before/4 {
+		t.Errorf("EMD only improved from %v to %v; expected at least 4×", before, after)
+	}
+}
+
+func TestApproximationFactorAgainstEMDk(t *testing.T) {
+	// EMD(S_A, S'_B) should be within a dimension-dependent constant of
+	// EMD_k(S_A, S_B). The paper proves O(d) in expectation; we allow a
+	// generous empirical band (d·logn-ish) to keep the test stable.
+	u := points.Universe{Dim: 2, Delta: 1 << 14}
+	k := 4
+	worst := 0.0
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := genInstance(t, workload.Config{
+			N: 100, Universe: u, Outliers: k,
+			Noise: workload.NoiseUniform, Scale: 2, Seed: seed,
+		})
+		sk, _ := BuildSketch(testParams(u, k, seed+100), inst.Alice)
+		res, err := Reconcile(sk, inst.Bob)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after, _ := emd.Exact(inst.Alice, res.SPrime, points.L1)
+		base, _ := emd.Partial(inst.Alice, inst.Bob, points.L1, k)
+		if base == 0 {
+			base = 1
+		}
+		if ratio := after / base; ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 60 {
+		t.Errorf("worst EMD/EMD_k ratio %.1f implausibly high for d=2", worst)
+	}
+}
+
+func TestLevelSelectionTracksNoise(t *testing.T) {
+	// Higher noise must force decoding at coarser (smaller) levels.
+	u := points.Universe{Dim: 2, Delta: 1 << 16}
+	level := func(scale float64) int {
+		inst := genInstance(t, workload.Config{
+			N: 400, Universe: u, Outliers: 4,
+			Noise: workload.NoiseUniform, Scale: scale, Seed: uint64(scale * 10),
+		})
+		sk, _ := BuildSketch(testParams(u, 4, 5), inst.Alice)
+		res, err := Reconcile(sk, inst.Bob)
+		if err != nil {
+			t.Fatalf("scale %v: %v", scale, err)
+		}
+		return res.Level
+	}
+	lo, hi := level(1), level(512)
+	if !(hi < lo) {
+		t.Errorf("level at high noise (%d) not coarser than at low noise (%d)", hi, lo)
+	}
+}
+
+func TestUnequalSizes(t *testing.T) {
+	// The protocol tolerates |S_A| != |S_B|: the repaired size equals
+	// Alice's count.
+	u := points.Universe{Dim: 2, Delta: 1 << 12}
+	inst := genInstance(t, workload.Config{N: 200, Universe: u, Seed: 3})
+	alice := inst.Alice[:180]
+	sk, _ := BuildSketch(testParams(u, 25, 9), alice)
+	res, err := Reconcile(sk, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SPrime) != len(alice) {
+		t.Errorf("|S'_B| = %d, want %d", len(res.SPrime), len(alice))
+	}
+}
+
+func TestDuplicatePointsMultisetSemantics(t *testing.T) {
+	// Heavy duplication: the occurrence-index encoding must keep counts
+	// straight. Alice has the same point 50×, Bob 47×, plus distinct junk.
+	u := points.Universe{Dim: 1, Delta: 1 << 10}
+	dup := points.Point{500}
+	var alice, bob []points.Point
+	for i := 0; i < 50; i++ {
+		alice = append(alice, dup.Clone())
+	}
+	for i := 0; i < 47; i++ {
+		bob = append(bob, dup.Clone())
+	}
+	for i := int64(0); i < 20; i++ {
+		alice = append(alice, points.Point{i})
+		bob = append(bob, points.Point{i})
+	}
+	sk, err := BuildSketch(testParams(u, 6, 11), alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reconcile(sk, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points.EqualMultisets(res.SPrime, alice) {
+		t.Error("duplicate-heavy multiset not reconciled exactly in exact regime")
+	}
+	if len(res.Added) != 3 || len(res.Removed) != 0 {
+		t.Errorf("added %d removed %d, want 3 and 0", len(res.Added), len(res.Removed))
+	}
+}
+
+func TestOverBudgetFailsLoudly(t *testing.T) {
+	// Differences an order of magnitude past the budget at every level:
+	// Reconcile must return ErrNoDecodableLevel, not garbage. Disjoint
+	// uniform sets differ everywhere, including level 1; restricting the
+	// sketch to fine levels removes the coarse safety net.
+	u := points.Universe{Dim: 2, Delta: 1 << 12}
+	rng := rand.New(rand.NewPCG(5, 5))
+	mk := func() []points.Point {
+		s := make([]points.Point, 400)
+		for i := range s {
+			s[i] = points.Point{rng.Int64N(u.Delta), rng.Int64N(u.Delta)}
+		}
+		return s
+	}
+	p := testParams(u, 2, 13).WithLevels(6, u.Levels())
+	sk, err := BuildSketch(p, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Reconcile(sk, mk())
+	if !errors.Is(err, ErrNoDecodableLevel) {
+		t.Fatalf("want ErrNoDecodableLevel, got %v", err)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 14}
+	inst := genInstance(t, workload.Config{
+		N: 200, Universe: u, Outliers: 3, Noise: workload.NoiseUniform, Scale: 2, Seed: 21,
+	})
+	run := func() *Result {
+		sk, _ := BuildSketch(testParams(u, 3, 77), inst.Alice)
+		res, err := Reconcile(sk, inst.Bob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Level != b.Level || !points.EqualMultisets(a.SPrime, b.SPrime) {
+		t.Error("protocol not deterministic for fixed seed")
+	}
+}
+
+func TestSketchMarshalRoundtrip(t *testing.T) {
+	u := points.Universe{Dim: 3, Delta: 1 << 10}
+	inst := genInstance(t, workload.Config{N: 150, Universe: u, Outliers: 4, Seed: 31})
+	sk, _ := BuildSketch(testParams(u, 4, 55), inst.Alice)
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != sk.WireSize() {
+		t.Errorf("wire size %d != declared %d", len(blob), sk.WireSize())
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reconcile(&got, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points.EqualMultisets(res.SPrime, inst.Alice) {
+		t.Error("reconciliation via unmarshalled sketch failed")
+	}
+}
+
+func TestSketchUnmarshalRejectsCorrupt(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 8}
+	sk, _ := BuildSketch(testParams(u, 2, 1), []points.Point{{1, 2}, {3, 4}})
+	good, _ := sk.MarshalBinary()
+	var got Sketch
+	cases := map[string][]byte{
+		"short":     good[:10],
+		"bad magic": append([]byte("NOPE"), good[4:]...),
+		"truncated": good[:len(good)-2],
+		"trailing":  append(append([]byte{}, good...), 9),
+	}
+	for name, blob := range cases {
+		if err := got.UnmarshalBinary(blob); err == nil {
+			t.Errorf("%s: corrupt sketch accepted", name)
+		}
+	}
+	// Corrupting the embedded seed must be detected via config mismatch
+	// (the tables' seeds no longer match the sketch parameters).
+	bad := append([]byte{}, good...)
+	bad[14] ^= 0xff
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Error("seed-corrupted sketch accepted")
+	}
+}
+
+func TestFixedLevelReconcile(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 14}
+	inst := genInstance(t, workload.Config{
+		N: 300, Universe: u, Outliers: 5, Noise: workload.NoiseUniform, Scale: 4, Seed: 61,
+	})
+	p := testParams(u, 5, 7)
+	// Choose a level coarse enough that noise cancels: width ≥ 64·noise.
+	level := u.Levels() - 10
+	alice, err := BuildLevelTable(p, inst.Alice, level, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReconcileLevel(p, alice, inst.Bob, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != level {
+		t.Errorf("level = %d, want %d", res.Level, level)
+	}
+	if len(res.SPrime) != len(inst.Bob) {
+		t.Errorf("|S'_B| = %d, want %d", len(res.SPrime), len(inst.Bob))
+	}
+}
+
+func TestReconcileLevelFailsWhenOverloaded(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 14}
+	inst := genInstance(t, workload.Config{
+		N: 300, Universe: u, Outliers: 5, Noise: workload.NoiseUniform, Scale: 4, Seed: 61,
+	})
+	p := testParams(u, 5, 7)
+	// The finest level separates nearly every pair; a 16-key table must fail.
+	alice, err := BuildLevelTable(p, inst.Alice, u.Levels(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconcileLevel(p, alice, inst.Bob, u.Levels()); err == nil {
+		t.Error("overloaded single-level reconcile succeeded")
+	}
+}
+
+func TestLevelEstimatorsAndChooseLevel(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 14}
+	inst := genInstance(t, workload.Config{
+		N: 500, Universe: u, Outliers: 8, Noise: workload.NoiseUniform, Scale: 8, Seed: 71,
+	})
+	p := testParams(u, 8, 19)
+	ae, err := LevelEstimators(p, inst.Alice, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := LevelEstimators(p, inst.Bob, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level, est, err := ChooseLevel(p, ae, be, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level < 0 || level > u.Levels() {
+		t.Fatalf("chosen level %d out of range", level)
+	}
+	// The chosen level must actually reconcile with a table sized from
+	// the estimate.
+	capacity := int(est*1.5) + 16
+	alice, err := BuildLevelTable(p, inst.Alice, level, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReconcileLevel(p, alice, inst.Bob, level)
+	if err != nil {
+		t.Fatalf("estimate-chosen level %d (est %.0f, cap %d) failed: %v", level, est, capacity, err)
+	}
+	if len(res.SPrime) != len(inst.Bob) {
+		t.Errorf("|S'_B| = %d, want %d", len(res.SPrime), len(inst.Bob))
+	}
+	// Estimator count mismatch is rejected.
+	if _, _, err := ChooseLevel(p, ae[:3], be, 64); err == nil {
+		t.Error("estimator count mismatch accepted")
+	}
+}
+
+func TestKeyRoundtrip(t *testing.T) {
+	u := points.Universe{Dim: 3, Delta: 1 << 8}
+	p, _ := testParams(u, 1, 1).normalized()
+	g, err := gridFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := g.Cell(4, points.Point{10, 200, 77})
+	key := appendKey(nil, g, cell, 123456)
+	if len(key) != KeyLen(3) {
+		t.Fatalf("key length %d != %d", len(key), KeyLen(3))
+	}
+	c2, occ, err := splitKey(g, key)
+	if err != nil || !c2.Equal(cell) || occ != 123456 {
+		t.Fatalf("key roundtrip: %v %d %v", c2, occ, err)
+	}
+	if _, _, err := splitKey(g, key[:5]); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestOutcomesRecorded(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 12}
+	inst := genInstance(t, workload.Config{
+		N: 300, Universe: u, Outliers: 3, Noise: workload.NoiseUniform, Scale: 16, Seed: 81,
+	})
+	sk, _ := BuildSketch(testParams(u, 3, 3), inst.Alice)
+	res, err := Reconcile(sk, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) == 0 {
+		t.Fatal("no outcomes recorded")
+	}
+	last := res.Outcomes[len(res.Outcomes)-1]
+	if !last.Decoded || last.Level != res.Level {
+		t.Errorf("last outcome %+v inconsistent with result level %d", last, res.Level)
+	}
+	for _, o := range res.Outcomes[:len(res.Outcomes)-1] {
+		if o.Decoded {
+			t.Errorf("non-final outcome %+v marked decoded", o)
+		}
+	}
+}

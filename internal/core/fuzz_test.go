@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"robustset/internal/points"
+)
+
+// FuzzSketchUnmarshal feeds arbitrary bytes through the sketch wire
+// parser and, on success, through a full reconciliation against a small
+// local set. No input may panic, hang, or produce an out-of-universe
+// point.
+func FuzzSketchUnmarshal(f *testing.F) {
+	u := points.Universe{Dim: 2, Delta: 1 << 8}
+	alice := []points.Point{{1, 2}, {3, 4}, {100, 200}}
+	bob := []points.Point{{1, 2}, {3, 5}, {90, 210}}
+	sk, err := BuildSketch(testParams(u, 2, 5), alice)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, _ := sk.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte("RSK1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Sketch
+		if err := got.UnmarshalBinary(data); err != nil {
+			return
+		}
+		res, err := Reconcile(&got, bob)
+		if err != nil {
+			return // failing loudly is fine; corrupting silently is not
+		}
+		for _, p := range res.SPrime {
+			if !got.Params.Universe.Contains(p) {
+				t.Fatalf("reconcile emitted out-of-universe point %v", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"robustset/internal/points"
+	"robustset/internal/workload"
+)
+
+// TestTrimmedLevelRange exercises sketches restricted to a sub-range of
+// grid levels — the configuration a deployment uses when it knows the
+// noise scale a priori and wants to skip useless resolutions.
+func TestTrimmedLevelRange(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 16}
+	inst := genInstance(t, workload.Config{
+		N: 300, Universe: u, Outliers: 5,
+		Noise: workload.NoiseUniform, Scale: 4, Seed: 51,
+	})
+	full := testParams(u, 5, 3)
+	fullSk, err := BuildSketch(full, inst.Alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := Reconcile(fullSk, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim to a window around the level the full scan chose.
+	lo, hi := fullRes.Level-2, fullRes.Level+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > u.Levels() {
+		hi = u.Levels()
+	}
+	trimmed := testParams(u, 5, 3).WithLevels(lo, hi)
+	sk, err := BuildSketch(trimmed, inst.Alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sk.Tables), hi-lo+1; got != want {
+		t.Fatalf("trimmed sketch has %d tables, want %d", got, want)
+	}
+	if sk.WireSize() >= fullSk.WireSize() {
+		t.Errorf("trimmed sketch (%dB) not smaller than full (%dB)", sk.WireSize(), fullSk.WireSize())
+	}
+	// The trimmed sketch must survive the wire and reconcile within its
+	// window.
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire Sketch
+	if err := wire.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reconcile(&wire, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level < lo || res.Level > hi {
+		t.Errorf("decoded level %d outside trimmed range [%d,%d]", res.Level, lo, hi)
+	}
+	if len(res.SPrime) != len(inst.Bob) {
+		t.Errorf("|S'_B| = %d, want %d", len(res.SPrime), len(inst.Bob))
+	}
+}
+
+// TestSingleLevelParams pins MinLevel == MaxLevel.
+func TestSingleLevelParams(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 10}
+	inst := genInstance(t, workload.Config{N: 100, Universe: u, Outliers: 3, Seed: 53})
+	p := testParams(u, 3, 9).WithLevels(u.Levels(), u.Levels())
+	sk, err := BuildSketch(p, inst.Alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk.Tables) != 1 {
+		t.Fatalf("%d tables, want 1", len(sk.Tables))
+	}
+	res, err := Reconcile(sk, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points.EqualMultisets(res.SPrime, inst.Alice) {
+		t.Error("single finest level should be exact in the exact regime")
+	}
+}
+
+// TestParamCeilings verifies the anti-DoS parameter bounds.
+func TestParamCeilings(t *testing.T) {
+	base := points.Universe{Dim: 2, Delta: 1 << 8}
+	if _, err := BuildSketch(Params{Universe: points.Universe{Dim: MaxDim + 1, Delta: 4}, DiffBudget: 1}, nil); err == nil {
+		t.Error("dimension over ceiling accepted")
+	}
+	if _, err := BuildSketch(Params{Universe: base, DiffBudget: MaxDiffBudget + 1}, nil); err == nil {
+		t.Error("diff budget over ceiling accepted")
+	}
+	if _, err := BuildSketch(Params{Universe: base, DiffBudget: 1, TableCapacity: MaxDiffBudget + 1}, nil); err == nil {
+		t.Error("table capacity over ceiling accepted")
+	}
+	if _, err := BuildSketch(Params{Universe: base, DiffBudget: 1, TableCapacity: -1}, nil); err == nil {
+		t.Error("negative table capacity accepted")
+	}
+}
+
+// TestSketchSizeDeclaredMismatchRejected covers the wire-size cross-check
+// that keeps hostile headers from driving allocations.
+func TestSketchSizeDeclaredMismatchRejected(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 8}
+	sk, _ := BuildSketch(testParams(u, 2, 1), []points.Point{{1, 2}})
+	good, _ := sk.MarshalBinary()
+	// Inflate the declared capacity field (offset 29, u32): tables no
+	// longer match what the parameters imply.
+	bad := append([]byte{}, good...)
+	bad[29] = 0xff
+	var got Sketch
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("capacity-inflated sketch accepted")
+	}
+}

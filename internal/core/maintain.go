@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"robustset/internal/grid"
+	"robustset/internal/points"
+)
+
+// Maintainer keeps Alice's sketch synchronized with a changing multiset:
+// Add and Remove update every level table in O(levels) hash operations,
+// instead of the O(n·levels) cost of rebuilding with BuildSketch after
+// each change. A sync server that ingests a stream of updates keeps one
+// Maintainer per dataset and serves Sketch() on demand.
+//
+// Correctness rests on the anonymity of occurrence indices: each level
+// table holds exactly the keys {(cell, j) : j < count(cell)}, regardless
+// of which points produced them. Add inserts (cell, count) and Remove
+// deletes (cell, count−1), so after any sequence of updates the tables
+// are bitwise identical to what BuildSketch would produce on the final
+// multiset — a property the tests assert on the wire encoding.
+//
+// The maintainer stores per-level cell occupancies, which costs O(n ·
+// levels) memory; datasets that are rebuilt rarely and updated never are
+// cheaper off with plain BuildSketch.
+type Maintainer struct {
+	params Params
+	g      *grid.Grid
+	sketch *Sketch
+	occ    []map[string]uint32 // per level: cell key → occupancy count
+	count  int
+}
+
+// NewMaintainer builds the sketch for the initial multiset and the
+// occupancy state needed for incremental updates.
+func NewMaintainer(p Params, pts []points.Point) (*Maintainer, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	sk, err := BuildSketch(p, pts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{params: p, g: g, sketch: sk, count: len(pts)}
+	m.occ = make([]map[string]uint32, p.MaxLevel-p.MinLevel+1)
+	cellBuf := make([]byte, 0, g.EncodedCellSize())
+	for l := p.MinLevel; l <= p.MaxLevel; l++ {
+		occ := make(map[string]uint32, len(pts))
+		for _, pt := range pts {
+			cellBuf = g.EncodeCell(cellBuf[:0], g.Cell(l, pt))
+			occ[string(cellBuf)]++
+		}
+		m.occ[l-p.MinLevel] = occ
+	}
+	return m, nil
+}
+
+// Count returns the current multiset size.
+func (m *Maintainer) Count() int { return m.count }
+
+// Params returns the maintainer's normalized parameters.
+func (m *Maintainer) Params() Params { return m.params }
+
+// Sketch returns the live sketch for the current multiset. The returned
+// value shares state with the maintainer: marshal it (or Clone the
+// tables) before mutating the set again if a stable snapshot is needed.
+func (m *Maintainer) Sketch() *Sketch {
+	m.sketch.Count = m.count
+	return m.sketch
+}
+
+// Add inserts one point into the maintained multiset.
+func (m *Maintainer) Add(pt points.Point) error {
+	if !m.params.Universe.Contains(pt) {
+		return fmt.Errorf("core: maintainer: point %v outside universe", pt)
+	}
+	keyBuf := make([]byte, 0, KeyLen(m.params.Universe.Dim))
+	cellBuf := make([]byte, 0, m.g.EncodedCellSize())
+	for l := m.params.MinLevel; l <= m.params.MaxLevel; l++ {
+		idx := l - m.params.MinLevel
+		cell := m.g.Cell(l, pt)
+		cellBuf = m.g.EncodeCell(cellBuf[:0], cell)
+		o := m.occ[idx][string(cellBuf)]
+		keyBuf = appendKey(keyBuf[:0], m.g, cell, o)
+		m.sketch.Tables[idx].Insert(keyBuf)
+		m.occ[idx][string(cellBuf)] = o + 1
+	}
+	m.count++
+	return nil
+}
+
+// ErrNotPresent is returned by Remove when the point cannot be in the
+// maintained multiset.
+var ErrNotPresent = errors.New("core: maintainer: point not present")
+
+// Remove deletes one instance of a point from the maintained multiset.
+// When the sketch includes the finest grid level (the default), absence
+// is detected exactly; with a trimmed MaxLevel, removal of an absent
+// point that shares every included cell with a present one will instead
+// remove that neighbour — the same ambiguity the protocol's repair has
+// at that resolution.
+func (m *Maintainer) Remove(pt points.Point) error {
+	if !m.params.Universe.Contains(pt) {
+		return fmt.Errorf("core: maintainer: point %v outside universe", pt)
+	}
+	// Validate every level before touching any table, so a failed remove
+	// leaves the sketch untouched.
+	for l := m.params.MinLevel; l <= m.params.MaxLevel; l++ {
+		idx := l - m.params.MinLevel
+		cellKey := string(m.g.EncodeCell(nil, m.g.Cell(l, pt)))
+		if m.occ[idx][cellKey] == 0 {
+			return fmt.Errorf("%w: %v (empty cell at level %d)", ErrNotPresent, pt, l)
+		}
+	}
+	keyBuf := make([]byte, 0, KeyLen(m.params.Universe.Dim))
+	cellBuf := make([]byte, 0, m.g.EncodedCellSize())
+	for l := m.params.MinLevel; l <= m.params.MaxLevel; l++ {
+		idx := l - m.params.MinLevel
+		cell := m.g.Cell(l, pt)
+		cellBuf = m.g.EncodeCell(cellBuf[:0], cell)
+		o := m.occ[idx][string(cellBuf)] - 1
+		keyBuf = appendKey(keyBuf[:0], m.g, cell, o)
+		m.sketch.Tables[idx].Delete(keyBuf)
+		if o == 0 {
+			delete(m.occ[idx], string(cellBuf))
+		} else {
+			m.occ[idx][string(cellBuf)] = o
+		}
+	}
+	m.count--
+	return nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/points"
+	"robustset/internal/workload"
+)
+
+func TestMaintainerMatchesRebuildBitwise(t *testing.T) {
+	// The central property: after any add/remove sequence the maintained
+	// sketch is bitwise identical (on the wire) to a fresh BuildSketch of
+	// the final multiset.
+	u := points.Universe{Dim: 2, Delta: 1 << 12}
+	p := testParams(u, 4, 99)
+	rng := rand.New(rand.NewPCG(1, 2))
+	inst := genInstance(t, workload.Config{N: 100, Universe: u, Seed: 3})
+
+	m, err := NewMaintainer(p, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := points.Clone(inst.Bob)
+	for step := 0; step < 300; step++ {
+		if len(current) > 0 && rng.IntN(2) == 0 {
+			i := rng.IntN(len(current))
+			if err := m.Remove(current[i]); err != nil {
+				t.Fatalf("step %d: remove: %v", step, err)
+			}
+			current = append(current[:i], current[i+1:]...)
+		} else {
+			pt := points.Point{rng.Int64N(u.Delta), rng.Int64N(u.Delta)}
+			if err := m.Add(pt); err != nil {
+				t.Fatalf("step %d: add: %v", step, err)
+			}
+			current = append(current, pt)
+		}
+	}
+	if m.Count() != len(current) {
+		t.Fatalf("count %d, want %d", m.Count(), len(current))
+	}
+	got, err := m.Sketch().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := BuildSketch(p, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rebuilt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("maintained sketch differs from rebuilt sketch")
+	}
+}
+
+func TestMaintainerSketchReconciles(t *testing.T) {
+	// End-to-end: a maintained sketch must drive Reconcile exactly like a
+	// built one.
+	u := points.Universe{Dim: 2, Delta: 1 << 14}
+	p := testParams(u, 6, 5)
+	inst := genInstance(t, workload.Config{
+		N: 200, Universe: u, Seed: 7,
+	})
+	m, err := NewMaintainer(p, inst.Alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice's data drifts: she learns 4 new points and drops 4.
+	rng := rand.New(rand.NewPCG(8, 8))
+	alice := points.Clone(inst.Alice)
+	for i := 0; i < 4; i++ {
+		pt := points.Point{rng.Int64N(u.Delta), rng.Int64N(u.Delta)}
+		if err := m.Add(pt); err != nil {
+			t.Fatal(err)
+		}
+		alice = append(alice, pt)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.Remove(alice[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alice = alice[4:]
+	res, err := Reconcile(m.Sketch(), inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points.EqualMultisets(res.SPrime, alice) {
+		t.Fatal("reconciliation against maintained sketch wrong (exact regime)")
+	}
+}
+
+func TestMaintainerRemoveAbsent(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 10}
+	p := testParams(u, 2, 1)
+	m, err := NewMaintainer(p, []points.Point{{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(points.Point{6, 6}); !errors.Is(err, ErrNotPresent) {
+		t.Fatalf("removing absent point: %v", err)
+	}
+	// The failed removal must not have corrupted the sketch.
+	got, _ := m.Sketch().MarshalBinary()
+	fresh, _ := BuildSketch(p, []points.Point{{5, 5}})
+	want, _ := fresh.MarshalBinary()
+	if !bytes.Equal(got, want) {
+		t.Fatal("failed Remove mutated the sketch")
+	}
+	// Removing the real point then re-removing fails.
+	if err := m.Remove(points.Point{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(points.Point{5, 5}); !errors.Is(err, ErrNotPresent) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if m.Count() != 0 {
+		t.Fatalf("count %d, want 0", m.Count())
+	}
+}
+
+func TestMaintainerDuplicates(t *testing.T) {
+	u := points.Universe{Dim: 1, Delta: 1 << 8}
+	p := testParams(u, 2, 1)
+	m, err := NewMaintainer(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := points.Point{42}
+	for i := 0; i < 5; i++ {
+		if err := m.Add(dup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.Remove(dup); err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+	}
+	if err := m.Remove(dup); !errors.Is(err, ErrNotPresent) {
+		t.Fatal("sixth remove should fail")
+	}
+	got, _ := m.Sketch().MarshalBinary()
+	fresh, _ := BuildSketch(p, nil)
+	want, _ := fresh.MarshalBinary()
+	if !bytes.Equal(got, want) {
+		t.Fatal("sketch not empty after symmetric add/remove")
+	}
+}
+
+func TestMaintainerValidation(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 1 << 8}
+	p := testParams(u, 2, 1)
+	if _, err := NewMaintainer(Params{Universe: u}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+	m, err := NewMaintainer(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(points.Point{-1, 0}); err == nil {
+		t.Error("out-of-universe add accepted")
+	}
+	if err := m.Remove(points.Point{999, 0}); err == nil {
+		t.Error("out-of-universe remove accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"robustset/internal/iblt"
+)
+
+// Sketch wire format:
+//
+//	"RSK1" | dim u16 | delta u64 | seed u64 | diffBudget u32 |
+//	hashCount u8 | minLevel u8 | maxLevel u8 | tableCapacity u32 |
+//	count u32 | nTables u16 | nTables × ( u32 len | IBLT blob )
+const (
+	sketchMagic      = "RSK1"
+	sketchHeaderSize = 4 + 2 + 8 + 8 + 4 + 1 + 1 + 1 + 4 + 4 + 2
+)
+
+// MarshalBinary encodes the sketch for transmission. The parameters ride
+// along, so Bob reconstructs everything (grid, hash functions) from the
+// message alone plus the shared universe conventions.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	p, err := s.Params.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if p.MaxLevel > 255 || p.MinLevel > 255 {
+		return nil, fmt.Errorf("core: levels [%d,%d] exceed wire format", p.MinLevel, p.MaxLevel)
+	}
+	out := make([]byte, 0, s.WireSize())
+	out = append(out, sketchMagic...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(p.Universe.Dim))
+	out = binary.LittleEndian.AppendUint64(out, uint64(p.Universe.Delta))
+	out = binary.LittleEndian.AppendUint64(out, p.Seed)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.DiffBudget))
+	out = append(out, byte(p.HashCount), byte(p.MinLevel), byte(p.MaxLevel))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.TableCapacity))
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.Count))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Tables)))
+	for _, t := range s.Tables {
+		blob, err := t.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary parses MarshalBinary output.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < sketchHeaderSize || string(data[:4]) != sketchMagic {
+		return errors.New("core: sketch: bad magic or short header")
+	}
+	p := Params{}
+	p.Universe.Dim = int(binary.LittleEndian.Uint16(data[4:]))
+	p.Universe.Delta = int64(binary.LittleEndian.Uint64(data[6:]))
+	p.Seed = binary.LittleEndian.Uint64(data[14:])
+	p.DiffBudget = int(binary.LittleEndian.Uint32(data[22:]))
+	p.HashCount = int(data[26])
+	p.MinLevel = int(data[27])
+	p.MaxLevel = int(data[28])
+	p.levelsSet = true
+	p.TableCapacity = int(binary.LittleEndian.Uint32(data[29:]))
+	count := int(binary.LittleEndian.Uint32(data[33:]))
+	nTables := int(binary.LittleEndian.Uint16(data[37:]))
+	p, err := p.normalized()
+	if err != nil {
+		return fmt.Errorf("core: sketch: %w", err)
+	}
+	if nTables != p.MaxLevel-p.MinLevel+1 {
+		return fmt.Errorf("core: sketch: %d tables for level range [%d,%d]", nTables, p.MinLevel, p.MaxLevel)
+	}
+	ns := &Sketch{Params: p, Count: count}
+	// The size of every conforming level table follows from the
+	// parameters alone; computing it up front means a hostile header can
+	// never trigger an allocation bigger than the bytes it actually sent.
+	expectTable := iblt.WireSizeFor(
+		iblt.RecommendedCells(p.TableCapacity, p.HashCount), KeyLen(p.Universe.Dim))
+	off := sketchHeaderSize
+	for i := 0; i < nTables; i++ {
+		if off+4 > len(data) {
+			return errors.New("core: sketch: truncated table header")
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if l != expectTable {
+			return fmt.Errorf("core: sketch: level %d table is %d bytes, parameters imply %d", p.MinLevel+i, l, expectTable)
+		}
+		if off+l > len(data) {
+			return errors.New("core: sketch: truncated table body")
+		}
+		t, err := levelTable(p, p.MinLevel+i, p.TableCapacity)
+		if err != nil {
+			return err
+		}
+		got := t.Clone() // placeholder replaced below by unmarshal
+		if err := got.UnmarshalBinary(data[off : off+l]); err != nil {
+			return fmt.Errorf("core: sketch: level %d: %w", p.MinLevel+i, err)
+		}
+		// The embedded table must match the config implied by the sketch
+		// parameters, or Bob's locally built tables would not subtract.
+		if got.Config() != t.Config() {
+			return fmt.Errorf("core: sketch: level %d table config %+v does not match parameters (%+v)", p.MinLevel+i, got.Config(), t.Config())
+		}
+		off += l
+		ns.Tables = append(ns.Tables, got)
+	}
+	if off != len(data) {
+		return errors.New("core: sketch: trailing bytes")
+	}
+	*s = *ns
+	return nil
+}

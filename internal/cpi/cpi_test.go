@@ -1,0 +1,256 @@
+package cpi
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/gf"
+)
+
+func randElems(rng *rand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		e := rng.Uint64() % gf.P
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sortedEqual(a []uint64, want map[uint64]bool) bool {
+	if len(a) != len(want) {
+		return false
+	}
+	for _, v := range a {
+		if !want[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func toSet(s []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}
+
+func TestNewSketchValidation(t *testing.T) {
+	if _, err := NewSketch(nil, 0, 1); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewSketch([]uint64{gf.P}, 4, 1); !errors.Is(err, ErrBadElement) {
+		t.Error("element ≥ P accepted")
+	}
+	if _, err := NewSketch([]uint64{7, 7}, 4, 1); !errors.Is(err, ErrBadElement) {
+		t.Error("duplicate element accepted")
+	}
+}
+
+func TestDiffExactRecovery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, tc := range []struct{ shared, da, db, capacity int }{
+		{100, 0, 0, 4},
+		{100, 1, 0, 4},
+		{100, 0, 1, 4},
+		{100, 2, 2, 4},
+		{100, 3, 1, 4},
+		{500, 5, 5, 10},
+		{50, 8, 3, 11},
+		{50, 0, 7, 7},
+		{1000, 16, 16, 32},
+	} {
+		shared := randElems(rng, tc.shared)
+		onlyA := randElems(rng, tc.da)
+		onlyB := randElems(rng, tc.db)
+		a, err := NewSketch(append(append([]uint64{}, shared...), onlyA...), tc.capacity, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSketch(append(append([]uint64{}, shared...), onlyB...), tc.capacity, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, gotB, err := Diff(a, b)
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		if !sortedEqual(gotA, toSet(onlyA)) {
+			t.Fatalf("case %+v: onlyA = %v, want %v", tc, gotA, onlyA)
+		}
+		if !sortedEqual(gotB, toSet(onlyB)) {
+			t.Fatalf("case %+v: onlyB = %v, want %v", tc, gotB, onlyB)
+		}
+	}
+}
+
+func TestDiffSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	shared := randElems(rng, 200)
+	oa := randElems(rng, 3)
+	ob := randElems(rng, 4)
+	a, _ := NewSketch(append(append([]uint64{}, shared...), oa...), 8, 7)
+	b, _ := NewSketch(append(append([]uint64{}, shared...), ob...), 8, 7)
+	a1, b1, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, a2, err := Diff(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortedEqual(a1, toSet(a2)) || !sortedEqual(b1, toSet(b2)) {
+		t.Error("Diff not symmetric under argument swap")
+	}
+}
+
+func TestDiffCapacityExceededDetected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	shared := randElems(rng, 100)
+	onlyA := randElems(rng, 12) // capacity 6 < 12 differences
+	a, _ := NewSketch(append(append([]uint64{}, shared...), onlyA...), 6, 9)
+	b, _ := NewSketch(shared, 6, 9)
+	_, _, err := Diff(a, b)
+	if !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("want ErrCapacityExceeded, got %v", err)
+	}
+}
+
+func TestDiffCapacityExceededBothSides(t *testing.T) {
+	// Differences split across both sides, total > capacity but each side
+	// below it: must still be detected (this is where the verification
+	// points matter, since the size delta alone looks fine).
+	rng := rand.New(rand.NewPCG(4, 4))
+	shared := randElems(rng, 100)
+	oa := randElems(rng, 5)
+	ob := randElems(rng, 5)
+	a, _ := NewSketch(append(append([]uint64{}, shared...), oa...), 6, 11)
+	b, _ := NewSketch(append(append([]uint64{}, shared...), ob...), 6, 11)
+	_, _, err := Diff(a, b)
+	if !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("want ErrCapacityExceeded, got %v", err)
+	}
+}
+
+func TestDiffSizeDeltaBeyondCapacity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	a, _ := NewSketch(randElems(rng, 50), 4, 13)
+	b, _ := NewSketch(randElems(rng, 10), 4, 13)
+	if _, _, err := Diff(a, b); !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("want ErrCapacityExceeded, got %v", err)
+	}
+}
+
+func TestDiffIncompatible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	e := randElems(rng, 10)
+	a, _ := NewSketch(e, 4, 1)
+	b, _ := NewSketch(e, 8, 1)
+	c, _ := NewSketch(e, 4, 2)
+	if _, _, err := Diff(a, b); !errors.Is(err, ErrIncompatible) {
+		t.Error("capacity mismatch accepted")
+	}
+	if _, _, err := Diff(a, c); !errors.Is(err, ErrIncompatible) {
+		t.Error("seed mismatch accepted")
+	}
+}
+
+func TestDiffEmptySets(t *testing.T) {
+	a, err := NewSketch(nil, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSketch([]uint64{123, 456}, 4, 3)
+	oa, ob, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oa) != 0 || !sortedEqual(ob, toSet([]uint64{123, 456})) {
+		t.Errorf("diff vs empty: %v %v", oa, ob)
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	shared := randElems(rng, 100)
+	oa := randElems(rng, 2)
+	a, _ := NewSketch(append(append([]uint64{}, shared...), oa...), 8, 5)
+	b, _ := NewSketch(shared, 8, 5)
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != a.WireSize() {
+		t.Errorf("wire size %d != declared %d", len(blob), a.WireSize())
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Capacity() != 8 || got.Count() != 102 {
+		t.Errorf("roundtrip metadata: cap %d count %d", got.Capacity(), got.Count())
+	}
+	ra, rb, err := Diff(&got, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortedEqual(ra, toSet(oa)) || len(rb) != 0 {
+		t.Error("diff via roundtripped sketch wrong")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	a, _ := NewSketch([]uint64{1, 2, 3}, 4, 5)
+	good, _ := a.MarshalBinary()
+	var s Sketch
+	for name, blob := range map[string][]byte{
+		"short":     good[:10],
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-1],
+		"trailing":  append(append([]byte{}, good...), 0),
+	} {
+		if err := s.UnmarshalBinary(blob); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Non-canonical field element.
+	bad := append([]byte{}, good...)
+	for i := 24; i < 32; i++ {
+		bad[i] = 0xff
+	}
+	if err := s.UnmarshalBinary(bad); err == nil {
+		t.Error("non-canonical evaluation accepted")
+	}
+}
+
+func TestWireSizeIndependentOfSetSize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	small, _ := NewSketch(randElems(rng, 10), 16, 1)
+	large, _ := NewSketch(randElems(rng, 10000), 16, 1)
+	if small.WireSize() != large.WireSize() {
+		t.Errorf("wire sizes %d vs %d should be equal", small.WireSize(), large.WireSize())
+	}
+}
+
+func TestLargeCapacityDiff(t *testing.T) {
+	// A protocol-sized case: 128 differences at capacity 128.
+	rng := rand.New(rand.NewPCG(9, 9))
+	shared := randElems(rng, 400)
+	oa := randElems(rng, 64)
+	ob := randElems(rng, 64)
+	a, _ := NewSketch(append(append([]uint64{}, shared...), oa...), 128, 21)
+	b, _ := NewSketch(append(append([]uint64{}, shared...), ob...), 128, 21)
+	gotA, gotB, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortedEqual(gotA, toSet(oa)) || !sortedEqual(gotB, toSet(ob)) {
+		t.Error("large diff not recovered exactly")
+	}
+}

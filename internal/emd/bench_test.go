@@ -1,0 +1,61 @@
+package emd
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/grid"
+	"robustset/internal/points"
+)
+
+func benchSets(n int) (x, y []points.Point) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	return randSet(rng, n, 2, 1<<16), randSet(rng, n, 2, 1<<16)
+}
+
+func BenchmarkExact64(b *testing.B) {
+	x, y := benchSets(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(x, y, points.L1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExact256(b *testing.B) {
+	x, y := benchSets(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(x, y, points.L1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartial256K8(b *testing.B) {
+	x, y := benchSets(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partial(x, y, points.L1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridApprox4096(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	u := points.Universe{Dim: 2, Delta: 1 << 16}
+	x := randSet(rng, 4096, 2, u.Delta)
+	y := randSet(rng, 4096, 2, u.Delta)
+	g, err := grid.New(u, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GridApprox(x, y, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package emd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/points"
+)
+
+// TestTranslationInvariance: EMD is translation invariant — shifting both
+// multisets by the same vector leaves it unchanged.
+func TestTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(10)
+		d := 1 + rng.IntN(3)
+		x := randSet(rng, n, d, 1000)
+		y := randSet(rng, n, d, 1000)
+		shift := make(points.Point, d)
+		for i := range shift {
+			shift[i] = rng.Int64N(500)
+		}
+		translate := func(s []points.Point) []points.Point {
+			out := make([]points.Point, len(s))
+			for i, p := range s {
+				q := p.Clone()
+				for j := range q {
+					q[j] += shift[j]
+				}
+				out[i] = q
+			}
+			return out
+		}
+		a, _ := Exact(x, y, points.L1)
+		b, _ := Exact(translate(x), translate(y), points.L1)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("translation changed EMD: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestScalingHomogeneity: scaling all coordinates by c scales L1 EMD by c.
+func TestScalingHomogeneity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	x := randSet(rng, 8, 2, 100)
+	y := randSet(rng, 8, 2, 100)
+	scale := func(s []points.Point, c int64) []points.Point {
+		out := make([]points.Point, len(s))
+		for i, p := range s {
+			q := p.Clone()
+			for j := range q {
+				q[j] *= c
+			}
+			out[i] = q
+		}
+		return out
+	}
+	a, _ := Exact(x, y, points.L1)
+	b, _ := Exact(scale(x, 7), scale(y, 7), points.L1)
+	if math.Abs(7*a-b) > 1e-6 {
+		t.Fatalf("scaling broke homogeneity: 7·%v != %v", a, b)
+	}
+}
+
+// TestSingleOutlierDecomposition: adding one identical far pair to both
+// sides changes nothing; adding it to one side's matching partner costs
+// exactly that pair's distance when everything else matches at zero.
+func TestSingleOutlierDecomposition(t *testing.T) {
+	base := []points.Point{{10, 10}, {20, 20}, {30, 30}}
+	x := append(points.Clone(base), points.Point{1000, 1000})
+	y := append(points.Clone(base), points.Point{1000, 1000})
+	if d, _ := Exact(x, y, points.L1); d != 0 {
+		t.Fatalf("identical sets with far pair: EMD %v", d)
+	}
+	y2 := append(points.Clone(base), points.Point{1002, 1001})
+	if d, _ := Exact(x, y2, points.L1); d != 3 {
+		t.Fatalf("perturbed far pair: EMD %v, want 3", d)
+	}
+}
+
+// TestPartialVsExclusionSemantics: EMD_k equals the minimum over all
+// ways of deleting k points from each side, checked explicitly for k=1
+// on small instances by enumerating deletions.
+func TestPartialVsExclusionSemantics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.IntN(4)
+		x := randSet(rng, n, 2, 64)
+		y := randSet(rng, n, 2, 64)
+		want := math.MaxFloat64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				xs := append(points.Clone(x[:i]), points.Clone(x[i+1:])...)
+				ys := append(points.Clone(y[:j]), points.Clone(y[j+1:])...)
+				if d, _ := Exact(xs, ys, points.L1); d < want {
+					want = d
+				}
+			}
+		}
+		got, _ := Partial(x, y, points.L1, 1)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("EMD_1 = %v, exhaustive deletion min = %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package emd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/grid"
+	"robustset/internal/points"
+)
+
+func randSet(rng *rand.Rand, n, d int, delta int64) []points.Point {
+	s := make([]points.Point, n)
+	for i := range s {
+		p := make(points.Point, d)
+		for j := range p {
+			p[j] = rng.Int64N(delta)
+		}
+		s[i] = p
+	}
+	return s
+}
+
+func TestExactTrivialCases(t *testing.T) {
+	m := points.L1
+	if got, err := Exact(nil, nil, m); err != nil || got != 0 {
+		t.Errorf("empty sets: %v %v", got, err)
+	}
+	x := []points.Point{{1, 1}}
+	y := []points.Point{{4, 5}}
+	if got, _ := Exact(x, y, m); got != 7 {
+		t.Errorf("single pair = %v, want 7", got)
+	}
+	if got, _ := Exact(x, x, m); got != 0 {
+		t.Errorf("identical sets = %v, want 0", got)
+	}
+}
+
+func TestExactKnownAssignment(t *testing.T) {
+	// Crossing pairs: the greedy pairing is suboptimal; optimal swaps.
+	x := []points.Point{{0}, {10}}
+	y := []points.Point{{9}, {1}}
+	got, err := Exact(x, y, points.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 { // 0↔1 and 10↔9
+		t.Errorf("EMD = %v, want 2", got)
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	_, err := Exact([]points.Point{{1}}, nil, points.L1)
+	if err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPartialValidation(t *testing.T) {
+	x := randSet(rand.New(rand.NewPCG(1, 1)), 4, 2, 100)
+	if _, err := Partial(x, x, points.L1, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := Partial(x, x, points.L1, 5); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, m := range []points.Metric{points.L1, points.L2, points.LInf} {
+		for trial := 0; trial < 60; trial++ {
+			n := 1 + rng.IntN(7)
+			d := 1 + rng.IntN(3)
+			x := randSet(rng, n, d, 64)
+			y := randSet(rng, n, d, 64)
+			want, err := BruteForce(x, y, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Exact(x, y, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("%s n=%d: hungarian %v != brute force %v\nx=%v\ny=%v", m.Name(), n, got, want, x, y)
+			}
+		}
+	}
+}
+
+func TestPartialMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.IntN(6)
+		k := rng.IntN(n + 1)
+		x := randSet(rng, n, 2, 64)
+		y := randSet(rng, n, 2, 64)
+		want, err := BruteForcePartial(x, y, points.L1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Partial(x, y, points.L1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("n=%d k=%d: partial %v != brute force %v\nx=%v\ny=%v", n, k, got, want, x, y)
+		}
+	}
+}
+
+func TestPartialMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	x := randSet(rng, 12, 2, 1000)
+	y := randSet(rng, 12, 2, 1000)
+	prev := math.MaxFloat64
+	for k := 0; k <= 12; k++ {
+		v, err := Partial(x, y, points.L1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev+1e-9 {
+			t.Fatalf("EMD_%d = %v > EMD_%d = %v (must be nonincreasing)", k, v, k-1, prev)
+		}
+		prev = v
+	}
+	if prev != 0 {
+		t.Errorf("EMD_n = %v, want 0", prev)
+	}
+}
+
+func TestPartialZeroEqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	x := randSet(rng, 20, 3, 512)
+	y := randSet(rng, 20, 3, 512)
+	a, _ := Exact(x, y, points.L2)
+	b, _ := Partial(x, y, points.L2, 0)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("EMD_0 %v != EMD %v", b, a)
+	}
+}
+
+func TestPartialRemovesOutlier(t *testing.T) {
+	// 5 coincident pairs plus one huge outlier on each side: EMD_1 must
+	// drop the outlier cost entirely.
+	x := []points.Point{{0}, {10}, {20}, {30}, {40}, {1 << 20}}
+	y := []points.Point{{0}, {10}, {20}, {30}, {40}, {5}}
+	full, _ := Exact(x, y, points.L1)
+	part, _ := Partial(x, y, points.L1, 1)
+	if part != 0 {
+		t.Errorf("EMD_1 = %v, want 0", part)
+	}
+	if full < 1<<19 {
+		t.Errorf("EMD = %v, expected outlier-dominated", full)
+	}
+}
+
+func TestMetricPropertiesOfEMD(t *testing.T) {
+	// EMD inherits symmetry and the triangle inequality from the ground
+	// metric (it is a metric on multisets).
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.IntN(6)
+		x := randSet(rng, n, 2, 128)
+		y := randSet(rng, n, 2, 128)
+		z := randSet(rng, n, 2, 128)
+		dxy, _ := Exact(x, y, points.L1)
+		dyx, _ := Exact(y, x, points.L1)
+		if math.Abs(dxy-dyx) > 1e-6 {
+			t.Fatalf("EMD not symmetric: %v vs %v", dxy, dyx)
+		}
+		dxz, _ := Exact(x, z, points.L1)
+		dyz, _ := Exact(y, z, points.L1)
+		if dxz > dxy+dyz+1e-6 {
+			t.Fatalf("EMD triangle inequality violated: %v > %v + %v", dxz, dxy, dyz)
+		}
+	}
+}
+
+func TestEMDPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	x := randSet(rng, 15, 2, 100)
+	y := randSet(rng, 15, 2, 100)
+	a, _ := Exact(x, y, points.L1)
+	// Shuffle both sides.
+	xs, ys := points.Clone(x), points.Clone(y)
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	rng.Shuffle(len(ys), func(i, j int) { ys[i], ys[j] = ys[j], ys[i] })
+	b, _ := Exact(xs, ys, points.L1)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("EMD not permutation invariant: %v vs %v", a, b)
+	}
+}
+
+func TestMatchPairsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	x := randSet(rng, 10, 2, 256)
+	y := randSet(rng, 10, 2, 256)
+	res, err := Match(x, y, points.L1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, j := range res.Pairs {
+		if j == -1 {
+			continue
+		}
+		matched++
+		if seen[j] {
+			t.Fatalf("column %d matched twice", j)
+		}
+		seen[j] = true
+		sum += points.L1.Distance(x[i], y[j])
+	}
+	if matched != 7 {
+		t.Errorf("matched %d pairs, want n-k = 7", matched)
+	}
+	if math.Abs(sum-res.Cost) > 1e-9 {
+		t.Errorf("pair cost sum %v != reported cost %v", sum, res.Cost)
+	}
+}
+
+func TestGridApproxBounds(t *testing.T) {
+	// The grid estimate must be 0 for identical multisets, positive for
+	// different ones, and within a plausible distortion band of the truth
+	// on random inputs.
+	rng := rand.New(rand.NewPCG(9, 9))
+	u := points.Universe{Dim: 2, Delta: 1 << 10}
+	g, err := grid.New(u, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randSet(rng, 40, 2, u.Delta)
+	same, err := GridApprox(x, x, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 0 {
+		t.Errorf("identical multisets estimate %v, want 0", same)
+	}
+	y := randSet(rng, 40, 2, u.Delta)
+	est, _ := GridApprox(x, y, g)
+	truth, _ := Exact(x, y, points.L1)
+	if est <= 0 {
+		t.Fatalf("estimate %v for different sets", est)
+	}
+	ratio := est / truth
+	// O(d log Δ) distortion: d=2, logΔ=10 → ratio in a generous band.
+	if ratio < 0.05 || ratio > 60 {
+		t.Errorf("grid estimate ratio %v wildly off (est=%v truth=%v)", ratio, est, truth)
+	}
+	// Unequal sizes are allowed: the extra mass must cost something.
+	uneq, err := GridApprox(x, x[:10], g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uneq <= 0 {
+		t.Error("unequal sizes should have positive histogram distance")
+	}
+}
+
+func TestGridApproxTracksScale(t *testing.T) {
+	// Doubling all displacement magnitudes should roughly double the
+	// estimate (it is a sum of per-level ℓ1 histogram distances).
+	rng := rand.New(rand.NewPCG(10, 10))
+	u := points.Universe{Dim: 1, Delta: 1 << 14}
+	x := randSet(rng, 200, 1, u.Delta/2)
+	mkShift := func(off int64) []points.Point {
+		y := points.Clone(x)
+		for i := range y {
+			y[i][0] += off
+		}
+		return y
+	}
+	small, big := 0.0, 0.0
+	const reps = 30
+	for r := 0; r < reps; r++ {
+		g, _ := grid.New(u, rng.Uint64())
+		s, _ := GridApprox(x, mkShift(16), g)
+		b, _ := GridApprox(x, mkShift(64), g)
+		small += s
+		big += b
+	}
+	if big < 1.5*small {
+		t.Errorf("estimate did not grow with displacement: small=%v big=%v", small, big)
+	}
+}
+
+func TestHungarianLargerRandom(t *testing.T) {
+	// Cross-check n=40 against an independent LP-free lower bound: the
+	// sum over rows of the row minimum is ≤ optimal ≤ any feasible
+	// matching (identity pairing).
+	rng := rand.New(rand.NewPCG(11, 11))
+	x := randSet(rng, 40, 3, 1024)
+	y := randSet(rng, 40, 3, 1024)
+	got, err := Exact(x, y, points.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, upper := 0.0, 0.0
+	for i := range x {
+		rowMin := math.MaxFloat64
+		for j := range y {
+			if d := points.L1.Distance(x[i], y[j]); d < rowMin {
+				rowMin = d
+			}
+		}
+		lower += rowMin
+		upper += points.L1.Distance(x[i], y[i])
+	}
+	if got < lower-1e-6 || got > upper+1e-6 {
+		t.Errorf("EMD %v outside [rowmin %v, identity %v]", got, lower, upper)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"robustset/internal/core"
+	"robustset/internal/workload"
+)
+
+// E11Ablation regenerates the design-choice ablation called out in
+// DESIGN.md: how the IBLT hash count q and the per-level table capacity
+// (as a multiple of k) trade sketch size against the resolution of the
+// level the sketch decodes at. More capacity lets fine levels absorb
+// separated noise pairs (finer level ⇒ less rounding error) at a linear
+// byte cost; q=4 dominates q=3 for these small tables (E5) while q=5
+// buys nothing but wider cells.
+func E11Ablation(scale Scale) (*Table, error) {
+	n, k, reps := 2048, 16, 3
+	qs := []int{3, 4, 5}
+	factors := []int{1, 2, 4}
+	if scale == ScaleQuick {
+		n, reps = 512, 1
+		qs = []int{4}
+		factors = []int{2, 4}
+	}
+	tbl := &Table{
+		ID:      "E11",
+		Title:   "ablation: hash count q × table capacity",
+		Columns: []string{"q", "capacity (×k)", "sketch bytes", "median level", "median diffs", "failures"},
+		Notes: fmt.Sprintf("workload: n=%d, k=%d, d=2, Δ=2^20, uniform noise ±4, %d reps.\n"+
+			"expected shape: bytes grow with q's load factor and linearly with capacity; larger capacity decodes finer levels (less rounding); q=4 gives the smallest tables at equal reliability.", n, k, reps),
+	}
+	for _, q := range qs {
+		for _, f := range factors {
+			var bytes int
+			var levels, diffs []int
+			fails := 0
+			for rep := 0; rep < reps; rep++ {
+				inst := gen(workload.Config{
+					N: n, Universe: defaultUniverse, Outliers: k,
+					Noise: workload.NoiseUniform, Scale: 4, Seed: uint64(11000 + 17*q + 3*f + rep),
+				})
+				params := core.Params{
+					Universe: defaultUniverse, Seed: uint64(200 + rep),
+					DiffBudget: k, HashCount: q, TableCapacity: f * k,
+				}
+				sk, err := core.BuildSketch(params, inst.Alice)
+				if err != nil {
+					return nil, err
+				}
+				bytes = sk.WireSize()
+				res, err := core.Reconcile(sk, inst.Bob)
+				if err != nil {
+					if errors.Is(err, core.ErrNoDecodableLevel) {
+						fails++
+						continue
+					}
+					return nil, err
+				}
+				levels = append(levels, res.Level)
+				diffs = append(diffs, res.DiffSize())
+			}
+			medLevel, medDiffs := "-", "-"
+			if len(levels) > 0 {
+				sortInts(levels)
+				sortInts(diffs)
+				medLevel = fmt.Sprintf("%d", levels[len(levels)/2])
+				medDiffs = fmt.Sprintf("%d", diffs[len(diffs)/2])
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%d", q),
+				fmt.Sprintf("%d", f),
+				fmtBytes(int64(bytes)),
+				medLevel,
+				medDiffs,
+				fmt.Sprintf("%d/%d", fails, reps),
+			)
+		}
+	}
+	return tbl, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robustset/internal/baseline"
+	"robustset/internal/core"
+	"robustset/internal/protocol"
+	"robustset/internal/workload"
+)
+
+// E1CommVsK regenerates the "communication vs k" figure: with n, d, Δ and
+// noise fixed, the robust protocols' cost must grow linearly in the
+// difference budget k while naive transfer is flat at Θ(n) and exact sync
+// is stuck at Θ(n) because noise makes almost every pair differ.
+func E1CommVsK(scale Scale) (*Table, error) {
+	n := 4096
+	ks := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if scale == ScaleQuick {
+		n = 1024
+		ks = []int{4, 16, 64}
+	}
+	tbl := &Table{
+		ID:      "E1",
+		Title:   "communication vs difference budget k",
+		Columns: []string{"k", "robust-oneshot", "robust-estimate", "exact-iblt", "naive"},
+		Notes: fmt.Sprintf("workload: n=%d, d=%d, Δ=2^20, uniform noise ±4, k outliers; bytes are full-protocol totals incl. framing.\n"+
+			"expected shape: robust columns grow ∝ k; naive flat at 16n; exact-iblt ≈ Θ(n) regardless of k (noise ⇒ ~2n differences).", n, defaultUniverse.Dim),
+	}
+	for _, k := range ks {
+		inst := gen(workload.Config{
+			N: n, Universe: defaultUniverse, Outliers: k,
+			Noise: workload.NoiseUniform, Scale: 4, Seed: uint64(1000 + k),
+		})
+		params := core.Params{Universe: defaultUniverse, Seed: 7, DiffBudget: k}
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, rec := range []baseline.Reconciler{
+			baseline.RobustOneShot{Params: params},
+			baseline.RobustEstimateFirst{Params: params},
+			baseline.ExactIBLT{Config: protocol.ExactConfig{Universe: defaultUniverse, Seed: 11}},
+			baseline.Naive{Universe: defaultUniverse},
+		} {
+			out, err := rec.Run(inst.Alice, inst.Bob)
+			if err != nil {
+				row = append(row, "fail")
+				continue
+			}
+			row = append(row, fmtBytes(out.BytesTransferred()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// E2CommVsN regenerates the "communication vs n" figure: with k fixed,
+// the robust protocols' cost must be flat in n while the comparators grow
+// linearly — including the crossover point below which naive transfer is
+// cheaper (the one-shot sketch costs O(k·logΔ) regardless of n).
+func E2CommVsN(scale Scale) (*Table, error) {
+	k := 16
+	ns := []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+	if scale == ScaleQuick {
+		ns = []int{512, 2048}
+	}
+	tbl := &Table{
+		ID:      "E2",
+		Title:   "communication vs set size n",
+		Columns: []string{"n", "robust-oneshot", "robust-estimate", "exact-iblt", "naive"},
+		Notes: fmt.Sprintf("workload: k=%d outliers, d=2, Δ=2^20, uniform noise ±4.\n"+
+			"expected shape: robust columns ~flat in n; naive and exact-iblt linear; note the small-n regime where naive wins.", k),
+	}
+	for _, n := range ns {
+		inst := gen(workload.Config{
+			N: n, Universe: defaultUniverse, Outliers: k,
+			Noise: workload.NoiseUniform, Scale: 4, Seed: uint64(2000 + n),
+		})
+		params := core.Params{Universe: defaultUniverse, Seed: 7, DiffBudget: k}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, rec := range []baseline.Reconciler{
+			baseline.RobustOneShot{Params: params},
+			baseline.RobustEstimateFirst{Params: params},
+			baseline.ExactIBLT{Config: protocol.ExactConfig{Universe: defaultUniverse, Seed: 11}},
+			baseline.Naive{Universe: defaultUniverse},
+		} {
+			out, err := rec.Run(inst.Alice, inst.Bob)
+			if err != nil {
+				row = append(row, "fail")
+				continue
+			}
+			row = append(row, fmtBytes(out.BytesTransferred()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuiteQuick runs every experiment at quick scale: the harness is a
+// deliverable, so it gets the same "must stay green" treatment as the
+// library. Skipped under -short (it takes a few seconds).
+func TestSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(ScaleQuick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tbl.Columns))
+				}
+				for _, cell := range row {
+					if strings.Contains(cell, "fail") {
+						t.Errorf("row %d reports failure: %v", i, row)
+					}
+				}
+			}
+			var sb strings.Builder
+			if err := tbl.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), tbl.Title) {
+				t.Error("rendered output missing title")
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(sb.String(), "## "+e.ID) {
+			t.Errorf("RunAll output missing %s", e.ID)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		12:        "12B",
+		2048:      "2.0KiB",
+		3 << 20:   "3.0MiB",
+		1<<10 - 1: "1023B",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

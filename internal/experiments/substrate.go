@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"robustset/internal/iblt"
+	"robustset/internal/sketch"
+)
+
+// E5IBLTThreshold regenerates the substrate table: IBLT decode success as
+// a function of the cells-per-key load factor, for each hash count. This
+// validates the sizing constants every protocol in the module depends on
+// and reproduces the classic sharp peeling threshold.
+func E5IBLTThreshold(scale Scale) (*Table, error) {
+	diff, trials := 64, 200
+	alphas := []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.7, 2.0}
+	qs := []int{3, 4, 5}
+	if scale == ScaleQuick {
+		diff, trials = 32, 40
+		alphas = []float64{1.2, 1.5}
+		qs = []int{4}
+	}
+	cols := []string{"cells/key α"}
+	for _, q := range qs {
+		cols = append(cols, fmt.Sprintf("q=%d success", q))
+	}
+	tbl := &Table{
+		ID:      "E5",
+		Title:   "IBLT decode threshold",
+		Columns: cols,
+		Notes: fmt.Sprintf("%d keys per table, %d trials per cell; success = full peeling.\n"+
+			"expected shape: sharp rise near the asymptotic thresholds (1.22 for q=3, 1.30 for q=4, 1.43 for q=5) with finite-size softening; q=4 is the best small-table choice.", diff, trials),
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	for _, alpha := range alphas {
+		row := []string{fmt.Sprintf("%.1f", alpha)}
+		for _, q := range qs {
+			cells := int(math.Ceil(alpha * float64(diff)))
+			ok := 0
+			for trial := 0; trial < trials; trial++ {
+				t, err := iblt.New(iblt.Config{Cells: cells, HashCount: q, KeyLen: 16, Seed: rng.Uint64()})
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < diff; i++ {
+					var key [16]byte
+					u, v := rng.Uint64(), rng.Uint64()
+					for j := 0; j < 8; j++ {
+						key[j] = byte(u >> (8 * j))
+						key[8+j] = byte(v >> (8 * j))
+					}
+					t.Insert(key[:])
+				}
+				if _, err := t.Decode(); err == nil {
+					ok++
+				}
+			}
+			row = append(row, fmt.Sprintf("%.0f%%", 100*float64(ok)/float64(trials)))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// E9Estimators regenerates the estimator-accuracy figure: relative error
+// of the bottom-k and strata difference estimators across true difference
+// sizes. The estimate-first protocol's sizing rule (1.5× estimate + 16)
+// relies on these staying within ~50%.
+func E9Estimators(scale Scale) (*Table, error) {
+	shared, reps := 4096, 10
+	diffs := []int{4, 16, 64, 256, 1024}
+	if scale == ScaleQuick {
+		shared, reps = 1024, 3
+		diffs = []int{16, 256}
+	}
+	tbl := &Table{
+		ID:      "E9",
+		Title:   "difference estimator accuracy",
+		Columns: []string{"true diff", "bottom-k (128) mean rel err", "strata mean rel err"},
+		Notes: fmt.Sprintf("%d shared keys, diff split evenly, %d reps.\n"+
+			"expected shape: strata near-exact for small diffs; bottom-k error shrinking as diff grows; both within the 1.5× provisioning rule.", shared, reps),
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	mkKey := func() []byte {
+		var key [16]byte
+		u, v := rng.Uint64(), rng.Uint64()
+		for j := 0; j < 8; j++ {
+			key[j] = byte(u >> (8 * j))
+			key[8+j] = byte(v >> (8 * j))
+		}
+		return key[:]
+	}
+	for _, diff := range diffs {
+		var bkErr, stErr float64
+		for rep := 0; rep < reps; rep++ {
+			seed := rng.Uint64()
+			bkA, _ := sketch.NewBottomK(128, seed)
+			bkB, _ := sketch.NewBottomK(128, seed)
+			stA, _ := sketch.NewStrata(sketch.StrataConfig{KeyLen: 16, Seed: seed})
+			stB, _ := sketch.NewStrata(sketch.StrataConfig{KeyLen: 16, Seed: seed})
+			for i := 0; i < shared; i++ {
+				k := mkKey()
+				bkA.Add(k)
+				bkB.Add(k)
+				stA.Add(k)
+				stB.Add(k)
+			}
+			for i := 0; i < diff; i++ {
+				k := mkKey()
+				if i%2 == 0 {
+					bkA.Add(k)
+					stA.Add(k)
+				} else {
+					bkB.Add(k)
+					stB.Add(k)
+				}
+			}
+			be, err := sketch.EstimateDiff(bkA, bkB)
+			if err != nil {
+				return nil, err
+			}
+			se, err := sketch.EstimateStrataDiff(stA, stB)
+			if err != nil {
+				return nil, err
+			}
+			bkErr += math.Abs(be-float64(diff)) / float64(diff)
+			stErr += math.Abs(se-float64(diff)) / float64(diff)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", diff),
+			fmt.Sprintf("%.0f%%", 100*bkErr/float64(reps)),
+			fmt.Sprintf("%.0f%%", 100*stErr/float64(reps)),
+		)
+	}
+	return tbl, nil
+}

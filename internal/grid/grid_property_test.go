@@ -1,0 +1,72 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"robustset/internal/points"
+)
+
+// TestRoundIdempotent: rounding is a projection — applying it twice at
+// the same level changes nothing.
+func TestRoundIdempotent(t *testing.T) {
+	u := testUniverse(3, 1<<10)
+	g, _ := New(u, 31)
+	f := func(a, b, c uint16, lvl uint8) bool {
+		p := points.Point{int64(a) % u.Delta, int64(b) % u.Delta, int64(c) % u.Delta}
+		l := int(lvl) % (g.Levels() + 1)
+		once := g.Round(l, p)
+		twice := g.Round(l, once)
+		return twice.Equal(once)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundContractive: rounding never moves a point more than the cell
+// radius, and rounding at a finer level never moves it further than at a
+// coarser one by more than that radius (the hierarchy is nested).
+func TestRoundContractive(t *testing.T) {
+	u := testUniverse(2, 1<<12)
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 300; trial++ {
+		g, _ := New(u, rng.Uint64())
+		p := randPoint(rng, u)
+		for l := 0; l <= g.Levels(); l++ {
+			r := g.Round(l, p)
+			if d := points.LInf.Distance(p, r); d >= float64(g.CellWidth(l)) {
+				t.Fatalf("level %d: rounded point moved %v ≥ cell width %d", l, d, g.CellWidth(l))
+			}
+		}
+	}
+}
+
+// TestShiftInvariantCollisions: whether two points collide depends only
+// on their difference vector's interaction with the shift, so
+// translating BOTH points by the same vector preserves expected
+// collision rates. Verified by comparing collision counts over many
+// seeds for a pair and its translate.
+func TestShiftInvariantCollisions(t *testing.T) {
+	u := testUniverse(1, 1<<12)
+	p1, q1 := points.Point{100}, points.Point{135}
+	p2, q2 := points.Point{2000}, points.Point{2035} // same gap, translated
+	level := 5
+	const trials = 3000
+	coll1, coll2 := 0, 0
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < trials; i++ {
+		g, _ := New(u, rng.Uint64())
+		if g.Cell(level, p1).Equal(g.Cell(level, q1)) {
+			coll1++
+		}
+		if g.Cell(level, p2).Equal(g.Cell(level, q2)) {
+			coll2++
+		}
+	}
+	diff := float64(coll1-coll2) / trials
+	if diff < -0.05 || diff > 0.05 {
+		t.Errorf("collision rates differ by %.3f for translated pairs (%d vs %d)", diff, coll1, coll2)
+	}
+}

@@ -1,0 +1,77 @@
+package iblt
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchKeys(n, keyLen int) [][]byte {
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, keyLen)
+		for j := range k {
+			k[j] = byte(rng.Uint32())
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := benchKeys(1024, 20)
+	tbl, _ := New(Config{Cells: RecommendedCells(1024, 4), HashCount: 4, KeyLen: 20, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkSubtractAndDecode64(b *testing.B) {
+	shared := benchKeys(4096, 20)
+	diff := benchKeys(64, 20)
+	cfg := Config{Cells: RecommendedCells(64, 4), HashCount: 4, KeyLen: 20, Seed: 1}
+	alice, _ := New(cfg)
+	bob, _ := New(cfg)
+	alice.InsertAll(shared)
+	alice.InsertAll(diff)
+	bob.InsertAll(shared)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := alice.Clone()
+		if err := w.Sub(bob); err != nil {
+			b.Fatal(err)
+		}
+		d, err := w.Decode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Size() != 64 {
+			b.Fatalf("decoded %d keys", d.Size())
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	tbl, _ := New(Config{Cells: RecommendedCells(256, 4), HashCount: 4, KeyLen: 20, Seed: 1})
+	tbl.InsertAll(benchKeys(256, 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	tbl, _ := New(Config{Cells: RecommendedCells(256, 4), HashCount: 4, KeyLen: 20, Seed: 1})
+	tbl.InsertAll(benchKeys(256, 20))
+	blob, _ := tbl.MarshalBinary()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got Table
+		if err := got.UnmarshalBinary(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

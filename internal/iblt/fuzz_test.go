@@ -1,0 +1,40 @@
+package iblt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalDecode feeds arbitrary bytes through the wire parser and,
+// when parsing succeeds, through the peeling decoder. Nothing may panic
+// or loop; a reparse of a remarshal must be stable.
+func FuzzUnmarshalDecode(f *testing.F) {
+	// Seed corpus: a valid small table, an empty one, and header variants.
+	tbl, _ := New(Config{Cells: 24, HashCount: 3, KeyLen: 8, Seed: 7})
+	tbl.Insert([]byte("deadbeef"))
+	tbl.Insert([]byte("cafef00d"))
+	blob, _ := tbl.MarshalBinary()
+	f.Add(blob)
+	empty, _ := New(Config{Cells: 12, HashCount: 4, KeyLen: 4, Seed: 1})
+	eb, _ := empty.MarshalBinary()
+	f.Add(eb)
+	f.Add([]byte("IBL1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Table
+		if err := got.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Valid parse: decode must terminate without panicking.
+		_, _ = got.Decode()
+		// Remarshal must be byte-identical (canonical wire form).
+		re, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of parsed table failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("remarshal not canonical:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package pointio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"robustset/internal/points"
+)
+
+// FuzzRead feeds arbitrary text through the point-file parser; valid
+// parses must survive a write/read roundtrip unchanged.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, points.Universe{Dim: 2, Delta: 16}, []points.Point{{1, 2}, {3, 4}})
+	f.Add(buf.String())
+	f.Add("# robustset points v1\ndim=1 delta=4\n\n3\n")
+	f.Add("")
+	f.Add("# robustset points v1\ndim=0 delta=0\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		u, pts, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, u, pts); err != nil {
+			t.Fatalf("rewrite of parsed file failed: %v", err)
+		}
+		u2, pts2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if u2 != u || !points.EqualMultisets(pts, pts2) {
+			t.Fatal("roundtrip not stable")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// Package pointio reads and writes point-set files for the command-line
+// tools. The format is line-oriented text so datasets are diffable and
+// scriptable:
+//
+//	# robustset points v1
+//	dim=2 delta=1048576
+//	12 34
+//	56 78
+//
+// Blank lines and lines starting with '#' (after the header) are ignored.
+package pointio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"robustset/internal/points"
+)
+
+// header is the mandatory first line.
+const header = "# robustset points v1"
+
+// Write emits a point set with its universe to w.
+func Write(w io.Writer, u points.Universe, pts []points.Point) error {
+	if err := u.CheckSet(pts); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, header)
+	fmt.Fprintf(bw, "dim=%d delta=%d\n", u.Dim, u.Delta)
+	for _, p := range pts {
+		for i, c := range p {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.FormatInt(c, 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Read parses a point-set file.
+func Read(r io.Reader) (points.Universe, []points.Point, error) {
+	var u points.Universe
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return u, nil, fmt.Errorf("pointio: empty file")
+	}
+	if strings.TrimSpace(sc.Text()) != header {
+		return u, nil, fmt.Errorf("pointio: missing header %q", header)
+	}
+	if !sc.Scan() {
+		return u, nil, fmt.Errorf("pointio: missing universe line")
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "dim=%d delta=%d", &u.Dim, &u.Delta); err != nil {
+		return u, nil, fmt.Errorf("pointio: bad universe line: %w", err)
+	}
+	if err := u.Validate(); err != nil {
+		return u, nil, err
+	}
+	var pts []points.Point
+	line := 2
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != u.Dim {
+			return u, nil, fmt.Errorf("pointio: line %d: %d coordinates, want %d", line, len(fields), u.Dim)
+		}
+		p := make(points.Point, u.Dim)
+		for i, f := range fields {
+			c, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return u, nil, fmt.Errorf("pointio: line %d: %w", line, err)
+			}
+			p[i] = c
+		}
+		if !u.Contains(p) {
+			return u, nil, fmt.Errorf("pointio: line %d: point %v outside universe", line, p)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return u, nil, err
+	}
+	return u, pts, nil
+}

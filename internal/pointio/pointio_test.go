@@ -1,0 +1,77 @@
+package pointio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"robustset/internal/points"
+)
+
+func TestRoundtrip(t *testing.T) {
+	u := points.Universe{Dim: 3, Delta: 1 << 10}
+	pts := []points.Point{{0, 1, 2}, {1023, 1023, 1023}, {500, 0, 7}}
+	var buf bytes.Buffer
+	if err := Write(&buf, u, pts); err != nil {
+		t.Fatal(err)
+	}
+	gu, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gu != u {
+		t.Fatalf("universe %+v, want %+v", gu, u)
+	}
+	if !points.EqualMultisets(got, pts) {
+		t.Fatalf("points %v, want %v", got, pts)
+	}
+}
+
+func TestEmptySetRoundtrip(t *testing.T) {
+	u := points.Universe{Dim: 1, Delta: 4}
+	var buf bytes.Buffer
+	if err := Write(&buf, u, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Read(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty roundtrip: %v %v", got, err)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	u := points.Universe{Dim: 2, Delta: 16}
+	var buf bytes.Buffer
+	if err := Write(&buf, u, []points.Point{{99, 0}}); err == nil {
+		t.Error("out-of-universe point written")
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	input := "# robustset points v1\ndim=2 delta=16\n\n# a comment\n3 4\n\n5 6\n"
+	_, got, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d points, want 2", len(got))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "nope\ndim=2 delta=16\n",
+		"missing uni":     "# robustset points v1\n",
+		"bad uni":         "# robustset points v1\nd=2\n",
+		"invalid uni":     "# robustset points v1\ndim=0 delta=16\n",
+		"wrong arity":     "# robustset points v1\ndim=2 delta=16\n1 2 3\n",
+		"not a number":    "# robustset points v1\ndim=2 delta=16\n1 x\n",
+		"out of universe": "# robustset points v1\ndim=2 delta=16\n1 99\n",
+	}
+	for name, in := range cases {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

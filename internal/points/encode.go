@@ -1,0 +1,71 @@
+package points
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedSize returns the number of bytes Encode produces for a point of
+// dimension d: 8 bytes per coordinate, little endian.
+func EncodedSize(d int) int { return 8 * d }
+
+// Encode appends the canonical fixed-width binary encoding of p to dst and
+// returns the extended slice. The encoding is 8 little-endian bytes per
+// coordinate, which is what the IBLT layer uses as key material.
+func Encode(dst []byte, p Point) []byte {
+	for _, c := range p {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(c))
+	}
+	return dst
+}
+
+// EncodeNew is Encode into a freshly allocated buffer.
+func EncodeNew(p Point) []byte {
+	return Encode(make([]byte, 0, EncodedSize(len(p))), p)
+}
+
+// Decode parses a point of dimension d from the canonical encoding.
+func Decode(b []byte, d int) (Point, error) {
+	if len(b) != EncodedSize(d) {
+		return nil, fmt.Errorf("points: decode: have %d bytes, want %d for dim %d", len(b), EncodedSize(d), d)
+	}
+	p := make(Point, d)
+	for i := 0; i < d; i++ {
+		p[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return p, nil
+}
+
+// EncodeSet encodes a slice of points as a length-prefixed concatenation of
+// canonical point encodings. This is the payload format used when a
+// protocol transfers raw points (e.g. the naive baseline).
+func EncodeSet(s []Point, d int) []byte {
+	out := make([]byte, 0, 4+len(s)*EncodedSize(d))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+	for _, p := range s {
+		out = Encode(out, p)
+	}
+	return out
+}
+
+// DecodeSet parses the EncodeSet format.
+func DecodeSet(b []byte, d int) ([]Point, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("points: decode set: short header (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	sz := EncodedSize(d)
+	if len(b) != n*sz {
+		return nil, fmt.Errorf("points: decode set: have %d payload bytes, want %d (n=%d dim=%d)", len(b), n*sz, n, d)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		p, err := Decode(b[i*sz:(i+1)*sz], d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

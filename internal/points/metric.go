@@ -1,0 +1,116 @@
+package points
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric measures the distance between two points of equal dimension. All
+// metrics in this package are true metrics (non-negative, symmetric,
+// triangle inequality, zero iff equal).
+type Metric interface {
+	// Distance returns the distance between a and b. It panics if the
+	// dimensions differ — mixing dimensions is always a programming error.
+	Distance(a, b Point) float64
+	// Name returns a short stable identifier ("l1", "l2", "linf") used in
+	// wire formats and CLI flags.
+	Name() string
+}
+
+type l1Metric struct{}
+type l2Metric struct{}
+type linfMetric struct{}
+
+// L1 is the Manhattan metric, the primary metric of the paper's analysis.
+var L1 Metric = l1Metric{}
+
+// L2 is the Euclidean metric.
+var L2 Metric = l2Metric{}
+
+// LInf is the Chebyshev metric.
+var LInf Metric = linfMetric{}
+
+func checkDims(a, b Point) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("points: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+func (l1Metric) Name() string { return "l1" }
+
+func (l1Metric) Distance(a, b Point) float64 {
+	checkDims(a, b)
+	var sum int64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum)
+}
+
+func (l2Metric) Name() string { return "l2" }
+
+func (l2Metric) Distance(a, b Point) float64 {
+	checkDims(a, b)
+	var sum float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+func (linfMetric) Name() string { return "linf" }
+
+func (linfMetric) Distance(a, b Point) float64 {
+	checkDims(a, b)
+	var max int64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return float64(max)
+}
+
+// MetricByName resolves a metric identifier as produced by Metric.Name.
+func MetricByName(name string) (Metric, error) {
+	switch name {
+	case "l1":
+		return L1, nil
+	case "l2":
+		return L2, nil
+	case "linf":
+		return LInf, nil
+	}
+	return nil, fmt.Errorf("points: unknown metric %q", name)
+}
+
+// CellRadius returns the maximum distance, under m, between any two points
+// of an axis-aligned hypercube with side width in d dimensions. This bounds
+// the rounding error introduced by snapping a point to its grid cell center
+// (within a factor 2; the center-to-corner distance is half of it).
+func CellRadius(m Metric, d int, width int64) float64 {
+	w := float64(width - 1)
+	if w < 0 {
+		w = 0
+	}
+	switch m.Name() {
+	case "l1":
+		return w * float64(d)
+	case "l2":
+		return w * math.Sqrt(float64(d))
+	case "linf":
+		return w
+	default:
+		// Conservative default: l1 diameter dominates the others.
+		return w * float64(d)
+	}
+}

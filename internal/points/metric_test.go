@@ -1,0 +1,136 @@
+package points
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randPoint(rng *rand.Rand, d int, delta int64) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.Int64N(delta)
+	}
+	return p
+}
+
+func TestMetricBasics(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if got := L1.Distance(a, b); got != 7 {
+		t.Errorf("L1 = %v, want 7", got)
+	}
+	if got := L2.Distance(a, b); got != 5 {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+	if got := LInf.Distance(a, b); got != 4 {
+		t.Errorf("LInf = %v, want 4", got)
+	}
+}
+
+func TestMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	metrics := []Metric{L1, L2, LInf}
+	for _, m := range metrics {
+		for trial := 0; trial < 200; trial++ {
+			d := 1 + rng.IntN(8)
+			x := randPoint(rng, d, 1<<20)
+			y := randPoint(rng, d, 1<<20)
+			z := randPoint(rng, d, 1<<20)
+			dxy := m.Distance(x, y)
+			dyx := m.Distance(y, x)
+			if dxy != dyx {
+				t.Fatalf("%s not symmetric: %v vs %v", m.Name(), dxy, dyx)
+			}
+			if m.Distance(x, x) != 0 {
+				t.Fatalf("%s: d(x,x) != 0", m.Name())
+			}
+			if dxy < 0 {
+				t.Fatalf("%s: negative distance", m.Name())
+			}
+			if dxy == 0 && !x.Equal(y) {
+				t.Fatalf("%s: zero distance for distinct points", m.Name())
+			}
+			// Triangle inequality with float tolerance for L2.
+			if m.Distance(x, z) > dxy+m.Distance(y, z)+1e-6 {
+				t.Fatalf("%s: triangle inequality violated", m.Name())
+			}
+		}
+	}
+}
+
+func TestMetricDominanceOrder(t *testing.T) {
+	// For any pair: LInf ≤ L2 ≤ L1.
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.IntN(10)
+		x := randPoint(rng, d, 1000)
+		y := randPoint(rng, d, 1000)
+		li, l2, l1 := LInf.Distance(x, y), L2.Distance(x, y), L1.Distance(x, y)
+		if li > l2+1e-9 || l2 > l1+1e-9 {
+			t.Fatalf("dominance violated: linf=%v l2=%v l1=%v", li, l2, l1)
+		}
+	}
+}
+
+func TestMetricByName(t *testing.T) {
+	for _, m := range []Metric{L1, L2, LInf} {
+		got, err := MetricByName(m.Name())
+		if err != nil || got.Name() != m.Name() {
+			t.Errorf("MetricByName(%q) = %v, %v", m.Name(), got, err)
+		}
+	}
+	if _, err := MetricByName("hamming"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	L1.Distance(Point{1}, Point{1, 2})
+}
+
+func TestCellRadius(t *testing.T) {
+	// The radius must bound the distance between any two points of a cell.
+	rng := rand.New(rand.NewPCG(3, 14))
+	for _, m := range []Metric{L1, L2, LInf} {
+		for trial := 0; trial < 100; trial++ {
+			d := 1 + rng.IntN(6)
+			width := int64(1) << uint(1+rng.IntN(10))
+			r := CellRadius(m, d, width)
+			// Sample two points in the same width-cell.
+			a := make(Point, d)
+			b := make(Point, d)
+			for i := 0; i < d; i++ {
+				a[i] = rng.Int64N(width)
+				b[i] = rng.Int64N(width)
+			}
+			if dist := m.Distance(a, b); dist > r+1e-9 {
+				t.Fatalf("%s: dist %v exceeds cell radius %v (d=%d w=%d)", m.Name(), dist, r, d, width)
+			}
+		}
+	}
+	if CellRadius(L1, 3, 1) != 0 {
+		t.Error("width-1 cells must have zero radius")
+	}
+}
+
+func TestCellRadiusExactCorners(t *testing.T) {
+	// Opposite corners of a width-w cell achieve the bound exactly.
+	d, w := 4, int64(8)
+	a := Point{0, 0, 0, 0}
+	b := Point{w - 1, w - 1, w - 1, w - 1}
+	if got, want := L1.Distance(a, b), CellRadius(L1, d, w); got != want {
+		t.Errorf("L1 corner distance %v != radius %v", got, want)
+	}
+	if got, want := LInf.Distance(a, b), CellRadius(LInf, d, w); got != want {
+		t.Errorf("LInf corner distance %v != radius %v", got, want)
+	}
+	if got, want := L2.Distance(a, b), CellRadius(L2, d, w); math.Abs(got-want) > 1e-9 {
+		t.Errorf("L2 corner distance %v != radius %v", got, want)
+	}
+}

@@ -1,0 +1,193 @@
+// Package points defines the geometric vocabulary shared by every other
+// package in this repository: points in a discretized universe [Δ]^d,
+// metrics over them, canonical binary encodings, and multiset helpers.
+//
+// All reconciliation protocols in this module operate on multisets of
+// Point values drawn from a Universe. Coordinates are int64 so that the
+// randomly shifted grid arithmetic in internal/grid never overflows for
+// any Δ ≤ 2^32.
+package points
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Point is a point in [Δ]^d. Points are plain slices so callers can build
+// them with literals; every function in this module treats them as
+// immutable values and copies before mutating.
+type Point []int64
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical dimension and coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders points lexicographically. It is the canonical ordering used
+// to make multiset operations deterministic.
+func (p Point) Less(q Point) bool {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return len(p) < len(q)
+}
+
+// String renders the point as "(x1,x2,...)".
+func (p Point) String() string {
+	s := "("
+	for i, c := range p {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", c)
+	}
+	return s + ")"
+}
+
+// Universe describes the discretized metric space [Δ]^d: Dim coordinates,
+// each in [0, Delta). Delta must be a power of two so the hierarchical grid
+// in internal/grid can halve cell widths exactly.
+type Universe struct {
+	Dim   int   // number of coordinates d, ≥ 1
+	Delta int64 // coordinate range: valid coordinates are 0 .. Delta-1
+}
+
+// ErrInvalidUniverse is returned when a Universe fails validation.
+var ErrInvalidUniverse = errors.New("points: invalid universe")
+
+// Validate checks that the universe is well formed: Dim ≥ 1 and Delta a
+// power of two ≥ 2.
+func (u Universe) Validate() error {
+	if u.Dim < 1 {
+		return fmt.Errorf("%w: dim %d < 1", ErrInvalidUniverse, u.Dim)
+	}
+	if u.Delta < 2 || u.Delta&(u.Delta-1) != 0 {
+		return fmt.Errorf("%w: delta %d is not a power of two ≥ 2", ErrInvalidUniverse, u.Delta)
+	}
+	return nil
+}
+
+// Levels returns log2(Delta), the number of times a cell of width Delta can
+// be halved before reaching width 1.
+func (u Universe) Levels() int {
+	return bits.Len64(uint64(u.Delta)) - 1
+}
+
+// Contains reports whether p is a valid point of the universe.
+func (u Universe) Contains(p Point) bool {
+	if len(p) != u.Dim {
+		return false
+	}
+	for _, c := range p {
+		if c < 0 || c >= u.Delta {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp returns a copy of p with every coordinate clamped into [0, Delta).
+// The dimension must already match.
+func (u Universe) Clamp(p Point) Point {
+	q := p.Clone()
+	for i, c := range q {
+		if c < 0 {
+			q[i] = 0
+		} else if c >= u.Delta {
+			q[i] = u.Delta - 1
+		}
+	}
+	return q
+}
+
+// CheckSet validates that every point of s belongs to the universe.
+func (u Universe) CheckSet(s []Point) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	for i, p := range s {
+		if !u.Contains(p) {
+			return fmt.Errorf("points: point %d %v outside universe (dim=%d delta=%d)", i, p, u.Dim, u.Delta)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies a slice of points.
+func Clone(s []Point) []Point {
+	out := make([]Point, len(s))
+	for i, p := range s {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Sort sorts a slice of points lexicographically, in place.
+func Sort(s []Point) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+}
+
+// EqualMultisets reports whether a and b contain the same points with the
+// same multiplicities. It does not mutate its inputs.
+func EqualMultisets(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac, bc := Clone(a), Clone(b)
+	Sort(ac)
+	Sort(bc)
+	for i := range ac {
+		if !ac[i].Equal(bc[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MultisetDiff returns the multiset differences a\b and b\a (with
+// multiplicity). The result slices are sorted. It does not mutate inputs.
+func MultisetDiff(a, b []Point) (onlyA, onlyB []Point) {
+	ac, bc := Clone(a), Clone(b)
+	Sort(ac)
+	Sort(bc)
+	i, j := 0, 0
+	for i < len(ac) && j < len(bc) {
+		switch {
+		case ac[i].Equal(bc[j]):
+			i++
+			j++
+		case ac[i].Less(bc[j]):
+			onlyA = append(onlyA, ac[i])
+			i++
+		default:
+			onlyB = append(onlyB, bc[j])
+			j++
+		}
+	}
+	onlyA = append(onlyA, ac[i:]...)
+	onlyB = append(onlyB, bc[j:]...)
+	return onlyA, onlyB
+}

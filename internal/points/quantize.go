@@ -1,0 +1,109 @@
+package points
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps real-valued records into a Universe and back — the
+// ingestion step every deployment of robust reconciliation over float
+// data needs (database rows, sensor readings, feature vectors). Each
+// coordinate i is affinely mapped from [Min[i], Max[i]] onto [0, Δ) and
+// rounded; Dequantize returns the center of the quantization bucket, so a
+// quantize→dequantize roundtrip moves a value by at most half a step.
+//
+// Because robust reconciliation treats nearby points as equal, the
+// quantization error simply adds (at most Step/2 per coordinate) to the
+// noise floor the protocol already absorbs; choose the universe's Delta
+// so the step is comfortably below the distance that separates "same
+// object" from "different object" in the application.
+type Quantizer struct {
+	// Universe is the discrete target domain.
+	Universe Universe
+	// Min and Max bound each coordinate's real range; values outside are
+	// clamped. Max[i] must exceed Min[i].
+	Min, Max []float64
+}
+
+// NewQuantizer validates and constructs a quantizer.
+func NewQuantizer(u Universe, min, max []float64) (*Quantizer, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if len(min) != u.Dim || len(max) != u.Dim {
+		return nil, fmt.Errorf("points: quantizer: bounds have %d/%d entries, want %d", len(min), len(max), u.Dim)
+	}
+	for i := range min {
+		if !(max[i] > min[i]) || math.IsInf(min[i], 0) || math.IsInf(max[i], 0) ||
+			math.IsNaN(min[i]) || math.IsNaN(max[i]) {
+			return nil, fmt.Errorf("points: quantizer: invalid range [%v,%v] on coordinate %d", min[i], max[i], i)
+		}
+	}
+	return &Quantizer{Universe: u, Min: min, Max: max}, nil
+}
+
+// Step returns the real-valued width of one quantization bucket along
+// coordinate i.
+func (q *Quantizer) Step(i int) float64 {
+	return (q.Max[i] - q.Min[i]) / float64(q.Universe.Delta)
+}
+
+// Quantize maps a real vector to its grid point. Values are clamped into
+// [Min, Max]; NaN is clamped to Min.
+func (q *Quantizer) Quantize(v []float64) (Point, error) {
+	if len(v) != q.Universe.Dim {
+		return nil, fmt.Errorf("points: quantize: %d values for dimension %d", len(v), q.Universe.Dim)
+	}
+	p := make(Point, q.Universe.Dim)
+	for i, x := range v {
+		if math.IsNaN(x) || x < q.Min[i] {
+			x = q.Min[i]
+		} else if x > q.Max[i] {
+			x = q.Max[i]
+		}
+		c := int64(math.Floor((x - q.Min[i]) / q.Step(i)))
+		if c >= q.Universe.Delta {
+			c = q.Universe.Delta - 1 // x == Max lands on the top bucket
+		}
+		p[i] = c
+	}
+	return p, nil
+}
+
+// Dequantize maps a grid point back to the center of its bucket.
+func (q *Quantizer) Dequantize(p Point) ([]float64, error) {
+	if !q.Universe.Contains(p) {
+		return nil, fmt.Errorf("points: dequantize: point %v outside universe", p)
+	}
+	v := make([]float64, len(p))
+	for i, c := range p {
+		v[i] = q.Min[i] + (float64(c)+0.5)*q.Step(i)
+	}
+	return v, nil
+}
+
+// QuantizeSet maps a slice of real vectors.
+func (q *Quantizer) QuantizeSet(vs [][]float64) ([]Point, error) {
+	out := make([]Point, len(vs))
+	for i, v := range vs {
+		p, err := q.Quantize(v)
+		if err != nil {
+			return nil, fmt.Errorf("points: row %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// DequantizeSet maps a slice of grid points back to real vectors.
+func (q *Quantizer) DequantizeSet(ps []Point) ([][]float64, error) {
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		v, err := q.Dequantize(p)
+		if err != nil {
+			return nil, fmt.Errorf("points: row %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package points
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func mkQuantizer(t *testing.T) *Quantizer {
+	t.Helper()
+	q, err := NewQuantizer(Universe{Dim: 2, Delta: 1 << 16}, []float64{-10, 0}, []float64{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestQuantizerValidation(t *testing.T) {
+	u := Universe{Dim: 2, Delta: 16}
+	if _, err := NewQuantizer(Universe{Dim: 0, Delta: 16}, nil, nil); err == nil {
+		t.Error("invalid universe accepted")
+	}
+	if _, err := NewQuantizer(u, []float64{0}, []float64{1, 2}); err == nil {
+		t.Error("bounds length mismatch accepted")
+	}
+	if _, err := NewQuantizer(u, []float64{0, 5}, []float64{1, 5}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewQuantizer(u, []float64{0, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN bound accepted")
+	}
+	if _, err := NewQuantizer(u, []float64{0, 0}, []float64{1, math.Inf(1)}); err == nil {
+		t.Error("infinite bound accepted")
+	}
+}
+
+func TestQuantizeRoundtripError(t *testing.T) {
+	q := mkQuantizer(t)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 1000; trial++ {
+		v := []float64{rng.Float64()*20 - 10, rng.Float64() * 100}
+		p, err := q.Quantize(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Universe.Contains(p) {
+			t.Fatalf("quantized point %v outside universe", p)
+		}
+		back, err := q.Dequantize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v {
+			if math.Abs(back[i]-v[i]) > q.Step(i)/2+1e-12 {
+				t.Fatalf("coordinate %d: roundtrip error %v exceeds step/2 %v", i, math.Abs(back[i]-v[i]), q.Step(i)/2)
+			}
+		}
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	// Larger real values never map to smaller grid coordinates.
+	q := mkQuantizer(t)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Float64()*20 - 10
+		b := rng.Float64()*20 - 10
+		if a > b {
+			a, b = b, a
+		}
+		pa, _ := q.Quantize([]float64{a, 50})
+		pb, _ := q.Quantize([]float64{b, 50})
+		if pa[0] > pb[0] {
+			t.Fatalf("monotonicity violated: %v→%d, %v→%d", a, pa[0], b, pb[0])
+		}
+	}
+}
+
+func TestQuantizeClamping(t *testing.T) {
+	q := mkQuantizer(t)
+	lo, err := q.Quantize([]float64{-999, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 0 || lo[1] != 0 {
+		t.Errorf("below-range values should clamp to 0: %v", lo)
+	}
+	hi, _ := q.Quantize([]float64{999, 200})
+	if hi[0] != q.Universe.Delta-1 || hi[1] != q.Universe.Delta-1 {
+		t.Errorf("above-range values should clamp to Delta-1: %v", hi)
+	}
+	nan, _ := q.Quantize([]float64{math.NaN(), 50})
+	if nan[0] != 0 {
+		t.Errorf("NaN should clamp to the bottom bucket: %v", nan)
+	}
+	// Max itself must be valid (top bucket, not Delta).
+	top, _ := q.Quantize([]float64{10, 100})
+	if !q.Universe.Contains(top) {
+		t.Errorf("Max value quantized outside universe: %v", top)
+	}
+}
+
+func TestQuantizeErrors(t *testing.T) {
+	q := mkQuantizer(t)
+	if _, err := q.Quantize([]float64{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := q.Dequantize(Point{0}); err == nil {
+		t.Error("wrong-dimension point accepted")
+	}
+	if _, err := q.Dequantize(Point{-1, 0}); err == nil {
+		t.Error("out-of-universe point accepted")
+	}
+}
+
+func TestQuantizeSetRoundtrip(t *testing.T) {
+	q := mkQuantizer(t)
+	rows := [][]float64{{-10, 0}, {0, 50}, {9.999, 99.999}}
+	ps, err := q.QuantizeSet(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := q.DequantizeSet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if math.Abs(back[i][j]-rows[i][j]) > q.Step(j) {
+				t.Fatalf("row %d coord %d drifted %v", i, j, math.Abs(back[i][j]-rows[i][j]))
+			}
+		}
+	}
+	if _, err := q.QuantizeSet([][]float64{{1}}); err == nil {
+		t.Error("bad row accepted")
+	}
+	if _, err := q.DequantizeSet([]Point{{9, 9, 9}}); err == nil {
+		t.Error("bad point accepted")
+	}
+}
+
+func TestQuantizerPreservesCloseness(t *testing.T) {
+	// The property that matters for the protocol: values within ε of each
+	// other quantize to grid points within ε/Step + 1 cells.
+	q := mkQuantizer(t)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 500; trial++ {
+		base := rng.Float64()*18 - 9
+		eps := rng.Float64() * 0.01
+		a, _ := q.Quantize([]float64{base, 50})
+		b, _ := q.Quantize([]float64{base + eps, 50})
+		maxCells := int64(eps/q.Step(0)) + 1
+		if d := b[0] - a[0]; d < 0 || d > maxCells {
+			t.Fatalf("close values separated by %d cells (max %d)", d, maxCells)
+		}
+	}
+}

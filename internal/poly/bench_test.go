@@ -1,0 +1,66 @@
+package poly
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/gf"
+)
+
+func BenchmarkMulDeg64(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	p := randPoly(rng, 64)
+	q := randPoly(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(p, q)
+	}
+}
+
+func BenchmarkRoots32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	roots := make([]gf.Elem, 32)
+	for i := range roots {
+		roots[i] = gf.New(rng.Uint64())
+	}
+	p := FromRoots(roots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := Roots(p, uint64(i))
+		if err != nil || len(got) != 32 {
+			b.Fatalf("roots: %d, %v", len(got), err)
+		}
+	}
+}
+
+func BenchmarkRationalInterpolate32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	p0 := randPoly(rng, 16)
+	q0 := Monic(randPoly(rng, 16))
+	m := 33
+	xs := make([]gf.Elem, m)
+	rs := make([]gf.Elem, m)
+	for i := 0; i < m; i++ {
+		xs[i] = gf.New(uint64(1000 + 7*i))
+		rs[i] = gf.Div(p0.Eval(xs[i]), q0.Eval(xs[i]))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RationalInterpolate(xs, rs, 16, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGFMul(b *testing.B) {
+	x := gf.New(0x123456789abcdef)
+	y := gf.New(0xfedcba987654321)
+	var acc gf.Elem = 1
+	for i := 0; i < b.N; i++ {
+		acc = gf.Mul(acc, x)
+		acc = gf.Add(acc, y)
+	}
+	if acc == 0 {
+		b.Fatal("degenerate")
+	}
+}

@@ -1,0 +1,129 @@
+package poly
+
+import (
+	"errors"
+
+	"robustset/internal/gf"
+)
+
+// ErrInconsistentSystem is returned by SolveLinear for unsolvable systems.
+var ErrInconsistentSystem = errors.New("poly: inconsistent linear system")
+
+// SolveLinear solves A·x = b over GF(2^61−1) by Gaussian elimination with
+// partial pivoting (exact arithmetic, pivoting only for nonzero pivots).
+// A is row-major with rows × cols entries; b has rows entries. When the
+// system is underdetermined, free variables are set to zero and one valid
+// solution is returned. It returns ErrInconsistentSystem when no solution
+// exists.
+//
+// The rational interpolation of characteristic-polynomial reconciliation
+// reduces to such a system, where underdetermination corresponds to the
+// true difference being smaller than the provisioned capacity — any
+// solution then carries a common polynomial factor that the caller
+// removes with a gcd.
+func SolveLinear(a []gf.Elem, b []gf.Elem, rows, cols int) ([]gf.Elem, error) {
+	if len(a) != rows*cols || len(b) != rows {
+		return nil, errors.New("poly: solve: dimension mismatch")
+	}
+	// Work on copies: callers reuse their buffers.
+	m := append([]gf.Elem(nil), a...)
+	rhs := append([]gf.Elem(nil), b...)
+
+	pivotCol := make([]int, 0, rows) // column of the pivot in each pivot row
+	row := 0
+	for col := 0; col < cols && row < rows; col++ {
+		// Find a nonzero pivot in this column at or below `row`.
+		sel := -1
+		for r := row; r < rows; r++ {
+			if m[r*cols+col] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue // free column
+		}
+		if sel != row {
+			for c := 0; c < cols; c++ {
+				m[sel*cols+c], m[row*cols+c] = m[row*cols+c], m[sel*cols+c]
+			}
+			rhs[sel], rhs[row] = rhs[row], rhs[sel]
+		}
+		inv := gf.Inv(m[row*cols+col])
+		for c := col; c < cols; c++ {
+			m[row*cols+c] = gf.Mul(m[row*cols+c], inv)
+		}
+		rhs[row] = gf.Mul(rhs[row], inv)
+		for r := 0; r < rows; r++ {
+			if r == row || m[r*cols+col] == 0 {
+				continue
+			}
+			f := m[r*cols+col]
+			for c := col; c < cols; c++ {
+				m[r*cols+c] = gf.Sub(m[r*cols+c], gf.Mul(f, m[row*cols+c]))
+			}
+			rhs[r] = gf.Sub(rhs[r], gf.Mul(f, rhs[row]))
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	// Rows below the last pivot must have zero rhs, or the system is
+	// inconsistent.
+	for r := row; r < rows; r++ {
+		if rhs[r] != 0 {
+			return nil, ErrInconsistentSystem
+		}
+	}
+	x := make([]gf.Elem, cols)
+	for r, c := range pivotCol {
+		x[c] = rhs[r]
+	}
+	return x, nil
+}
+
+// RationalInterpolate finds polynomials P (degree ≤ dp) and Q (monic,
+// degree exactly dq) with P(x_i) = r_i · Q(x_i) at every sample, given
+// m = dp + dq + 1 samples. This is Cauchy interpolation of the rational
+// function P/Q; characteristic-polynomial reconciliation uses it with
+// r_i = χ_A(x_i)/χ_B(x_i), whose reduced form reveals the two set
+// differences. When the true degrees are lower than (dp, dq) the returned
+// pair carries a common factor; callers divide it out via GCD.
+func RationalInterpolate(xs, rs []gf.Elem, dp, dq int) (p, q Poly, err error) {
+	m := len(xs)
+	if len(rs) != m {
+		return nil, nil, errors.New("poly: rational interpolate: xs/rs length mismatch")
+	}
+	if dp < 0 || dq < 0 {
+		return nil, nil, errors.New("poly: rational interpolate: negative degree bound")
+	}
+	if m < dp+dq+1 {
+		return nil, nil, errors.New("poly: rational interpolate: not enough samples")
+	}
+	// Unknowns: p_0..p_dp, then q_0..q_{dq-1} (q_dq = 1 fixed).
+	cols := dp + 1 + dq
+	a := make([]gf.Elem, m*cols)
+	b := make([]gf.Elem, m)
+	for i := 0; i < m; i++ {
+		xp := gf.Elem(1)
+		for j := 0; j <= dp; j++ {
+			a[i*cols+j] = xp
+			xp = gf.Mul(xp, xs[i])
+		}
+		xq := gf.Elem(1)
+		for j := 0; j < dq; j++ {
+			a[i*cols+dp+1+j] = gf.Neg(gf.Mul(rs[i], xq))
+			xq = gf.Mul(xq, xs[i])
+		}
+		// xq is now x_i^dq; move the monic term to the rhs.
+		b[i] = gf.Mul(rs[i], xq)
+	}
+	sol, err := SolveLinear(a, b, m, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	p = trim(append(Poly(nil), sol[:dp+1]...))
+	q = make(Poly, dq+1)
+	copy(q, sol[dp+1:])
+	q[dq] = 1
+	return p, q, nil
+}

@@ -1,0 +1,275 @@
+// Package poly implements dense univariate polynomial arithmetic over
+// GF(2^61−1): the ring operations, evaluation, interpolation (including
+// the rational-function interpolation at the heart of characteristic
+// polynomial set reconciliation), and root finding over the field.
+package poly
+
+import (
+	"errors"
+	"fmt"
+
+	"robustset/internal/gf"
+)
+
+// Poly is a polynomial with coefficients in ascending degree order.
+// Canonical form has no trailing zero coefficients; the zero polynomial is
+// the empty (or nil) slice. All functions return canonical polynomials and
+// accept non-canonical input.
+type Poly []gf.Elem
+
+// X is the monomial x.
+var X = Poly{0, 1}
+
+// NewConst returns the constant polynomial c.
+func NewConst(c gf.Elem) Poly {
+	if c == 0 {
+		return nil
+	}
+	return Poly{c}
+}
+
+// trim removes trailing zeros, returning canonical form.
+func trim(p Poly) Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree, with −1 for the zero polynomial.
+func (p Poly) Degree() int { return len(trim(p)) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(trim(p)) == 0 }
+
+// Lead returns the leading coefficient (0 for the zero polynomial).
+func (p Poly) Lead() gf.Elem {
+	t := trim(p)
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1]
+}
+
+// Clone returns an independent canonical copy.
+func (p Poly) Clone() Poly {
+	t := trim(p)
+	return append(Poly(nil), t...)
+}
+
+// Equal reports whether two polynomials are identical.
+func Equal(a, b Poly) bool {
+	a, b = trim(a), trim(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a + b.
+func Add(a, b Poly) Poly {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make(Poly, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] = gf.Add(out[i], b[i])
+	}
+	return trim(out)
+}
+
+// Sub returns a − b.
+func Sub(a, b Poly) Poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Poly, n)
+	copy(out, a)
+	for i := range b {
+		out[i] = gf.Sub(out[i], b[i])
+	}
+	return trim(out)
+}
+
+// Scale returns c·p.
+func Scale(p Poly, c gf.Elem) Poly {
+	if c == 0 {
+		return nil
+	}
+	out := make(Poly, len(p))
+	for i, v := range p {
+		out[i] = gf.Mul(v, c)
+	}
+	return trim(out)
+}
+
+// Mul returns a · b (schoolbook; degrees in this module stay small).
+func Mul(a, b Poly) Poly {
+	a, b = trim(a), trim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] = gf.Add(out[i+j], gf.Mul(ai, bj))
+		}
+	}
+	return trim(out)
+}
+
+// Eval returns p(x) by Horner's rule.
+func (p Poly) Eval(x gf.Elem) gf.Elem {
+	var acc gf.Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = gf.Add(gf.Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// ErrDivisionByZero is returned by DivMod for a zero divisor.
+var ErrDivisionByZero = errors.New("poly: division by zero polynomial")
+
+// DivMod returns quotient and remainder with a = q·b + r, deg r < deg b.
+func DivMod(a, b Poly) (q, r Poly, err error) {
+	b = trim(b)
+	if len(b) == 0 {
+		return nil, nil, ErrDivisionByZero
+	}
+	r = a.Clone()
+	db := len(b) - 1
+	invLead := gf.Inv(b[db])
+	if len(r) <= db {
+		return nil, r, nil
+	}
+	q = make(Poly, len(r)-db)
+	for len(r) > db {
+		dr := len(r) - 1
+		c := gf.Mul(r[dr], invLead)
+		q[dr-db] = c
+		for i := 0; i <= db; i++ {
+			r[dr-db+i] = gf.Sub(r[dr-db+i], gf.Mul(c, b[i]))
+		}
+		r = trim(r[:dr])
+	}
+	return trim(q), trim(r), nil
+}
+
+// Monic returns p scaled so its leading coefficient is 1.
+func Monic(p Poly) Poly {
+	p = trim(p)
+	if len(p) == 0 {
+		return nil
+	}
+	return Scale(p, gf.Inv(p[len(p)-1]))
+}
+
+// GCD returns the monic greatest common divisor of a and b.
+func GCD(a, b Poly) Poly {
+	a, b = a.Clone(), b.Clone()
+	for !b.IsZero() {
+		_, r, err := DivMod(a, b)
+		if err != nil {
+			panic("poly: unreachable division by zero in gcd")
+		}
+		a, b = b, r
+	}
+	if a.IsZero() {
+		return nil
+	}
+	return Monic(a)
+}
+
+// FromRoots returns the monic polynomial ∏ (x − r) over the given roots
+// (with multiplicity).
+func FromRoots(roots []gf.Elem) Poly {
+	out := Poly{1}
+	for _, r := range roots {
+		out = Mul(out, Poly{gf.Neg(r), 1})
+	}
+	return out
+}
+
+// Interpolate returns the unique polynomial of degree < len(xs) through
+// the points (xs[i], ys[i]). The xs must be distinct.
+func Interpolate(xs, ys []gf.Elem) (Poly, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return nil, fmt.Errorf("poly: interpolate: %d xs vs %d ys", n, len(ys))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if xs[i] == xs[j] {
+				return nil, fmt.Errorf("poly: interpolate: duplicate x %v", xs[i])
+			}
+		}
+	}
+	// Lagrange: Σ_i y_i · ∏_{j≠i} (x − x_j)/(x_i − x_j).
+	out := Poly(nil)
+	for i := 0; i < n; i++ {
+		if ys[i] == 0 {
+			continue
+		}
+		basis := Poly{1}
+		denom := gf.Elem(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			basis = Mul(basis, Poly{gf.Neg(xs[j]), 1})
+			denom = gf.Mul(denom, gf.Sub(xs[i], xs[j]))
+		}
+		out = Add(out, Scale(basis, gf.Mul(ys[i], gf.Inv(denom))))
+	}
+	return out, nil
+}
+
+// MulMod returns a·b mod m.
+func MulMod(a, b, m Poly) Poly {
+	_, r, err := DivMod(Mul(a, b), m)
+	if err != nil {
+		panic("poly: zero modulus")
+	}
+	return r
+}
+
+// PowMod returns base^e mod m by square-and-multiply.
+func PowMod(base Poly, e uint64, m Poly) Poly {
+	if m.Degree() < 1 {
+		panic("poly: PowMod modulus must have degree ≥ 1")
+	}
+	result := Poly{1}
+	_, b, _ := DivMod(base, m)
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, b, m)
+		}
+		b = MulMod(b, b, m)
+		e >>= 1
+	}
+	return result
+}
+
+// Derivative returns p′.
+func Derivative(p Poly) Poly {
+	p = trim(p)
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = gf.Mul(p[i], gf.New(uint64(i)))
+	}
+	return trim(out)
+}

@@ -1,0 +1,444 @@
+package poly
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/gf"
+)
+
+func randPoly(rng *rand.Rand, deg int) Poly {
+	p := make(Poly, deg+1)
+	for i := range p {
+		p[i] = gf.New(rng.Uint64())
+	}
+	if p[deg] == 0 {
+		p[deg] = 1
+	}
+	return p
+}
+
+func TestCanonicalForm(t *testing.T) {
+	p := Poly{1, 2, 0, 0}
+	if p.Degree() != 1 {
+		t.Errorf("degree = %d, want 1", p.Degree())
+	}
+	if !Equal(p, Poly{1, 2}) {
+		t.Error("trailing zeros break equality")
+	}
+	var zero Poly
+	if !zero.IsZero() || zero.Degree() != -1 || zero.Lead() != 0 {
+		t.Error("zero polynomial invariants broken")
+	}
+	if NewConst(0) != nil {
+		t.Error("NewConst(0) should be the zero polynomial")
+	}
+	if NewConst(7).Degree() != 0 {
+		t.Error("NewConst(7) degree")
+	}
+}
+
+func TestRingAxioms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		a := randPoly(rng, rng.IntN(8))
+		b := randPoly(rng, rng.IntN(8))
+		c := randPoly(rng, rng.IntN(8))
+		if !Equal(Add(a, b), Add(b, a)) {
+			t.Fatal("addition not commutative")
+		}
+		if !Equal(Mul(a, b), Mul(b, a)) {
+			t.Fatal("multiplication not commutative")
+		}
+		if !Equal(Mul(a, Add(b, c)), Add(Mul(a, b), Mul(a, c))) {
+			t.Fatal("distributivity fails")
+		}
+		if !Equal(Sub(Add(a, b), b), a) {
+			t.Fatal("(a+b)-b != a")
+		}
+		if !Equal(Mul(a, Poly{1}), a) {
+			t.Fatal("1 not multiplicative identity")
+		}
+		if !Mul(a, nil).IsZero() {
+			t.Fatal("a·0 != 0")
+		}
+	}
+}
+
+func TestMulDegree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 50; i++ {
+		da, db := rng.IntN(10), rng.IntN(10)
+		a, b := randPoly(rng, da), randPoly(rng, db)
+		if got := Mul(a, b).Degree(); got != da+db {
+			t.Fatalf("deg(a·b) = %d, want %d", got, da+db)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	// p(x) = 3 + 2x + x², p(5) = 3 + 10 + 25 = 38.
+	p := Poly{3, 2, 1}
+	if got := p.Eval(5); got != 38 {
+		t.Errorf("p(5) = %v, want 38", got)
+	}
+	if got := Poly(nil).Eval(123); got != 0 {
+		t.Errorf("zero(123) = %v, want 0", got)
+	}
+}
+
+func TestEvalHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 100; i++ {
+		a := randPoly(rng, rng.IntN(6))
+		b := randPoly(rng, rng.IntN(6))
+		x := gf.New(rng.Uint64())
+		if Mul(a, b).Eval(x) != gf.Mul(a.Eval(x), b.Eval(x)) {
+			t.Fatal("eval not multiplicative")
+		}
+		if Add(a, b).Eval(x) != gf.Add(a.Eval(x), b.Eval(x)) {
+			t.Fatal("eval not additive")
+		}
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 200; i++ {
+		a := randPoly(rng, rng.IntN(12))
+		b := randPoly(rng, rng.IntN(6))
+		q, r, err := DivMod(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Degree() >= b.Degree() {
+			t.Fatalf("deg r = %d ≥ deg b = %d", r.Degree(), b.Degree())
+		}
+		if !Equal(Add(Mul(q, b), r), trim(a)) {
+			t.Fatal("a != q·b + r")
+		}
+	}
+	if _, _, err := DivMod(Poly{1}, nil); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestDivModExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 50; i++ {
+		a := randPoly(rng, 1+rng.IntN(5))
+		b := randPoly(rng, 1+rng.IntN(5))
+		prod := Mul(a, b)
+		q, r, _ := DivMod(prod, b)
+		if !r.IsZero() || !Equal(q, a) {
+			t.Fatal("exact division failed")
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 50; i++ {
+		g := Monic(randPoly(rng, 1+rng.IntN(3)))
+		a := Mul(g, randPoly(rng, rng.IntN(4)))
+		b := Mul(g, randPoly(rng, rng.IntN(4)))
+		got := GCD(a, b)
+		// g divides gcd(a,b).
+		_, r, _ := DivMod(got, g)
+		if !r.IsZero() {
+			t.Fatalf("gcd %v does not contain common factor %v", got, g)
+		}
+		// gcd divides both.
+		_, r1, _ := DivMod(a, got)
+		_, r2, _ := DivMod(b, got)
+		if !r1.IsZero() || !r2.IsZero() {
+			t.Fatal("gcd does not divide inputs")
+		}
+		if got.Lead() != 1 {
+			t.Fatal("gcd not monic")
+		}
+	}
+	if GCD(nil, nil) != nil {
+		t.Error("gcd(0,0) should be zero polynomial")
+	}
+}
+
+func TestFromRootsAndEval(t *testing.T) {
+	roots := []gf.Elem{3, 17, 12345}
+	p := FromRoots(roots)
+	if p.Degree() != 3 || p.Lead() != 1 {
+		t.Fatalf("FromRoots degree %d lead %v", p.Degree(), p.Lead())
+	}
+	for _, r := range roots {
+		if p.Eval(r) != 0 {
+			t.Errorf("p(%v) != 0", r)
+		}
+	}
+	if p.Eval(4) == 0 {
+		t.Error("non-root evaluates to zero")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 30; trial++ {
+		deg := rng.IntN(8)
+		p := randPoly(rng, deg)
+		xs := make([]gf.Elem, deg+1)
+		ys := make([]gf.Elem, deg+1)
+		for i := range xs {
+			xs[i] = gf.New(uint64(1000 + i*17))
+			ys[i] = p.Eval(xs[i])
+		}
+		got, err := Interpolate(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, p) {
+			t.Fatalf("interpolation did not invert evaluation: %v vs %v", got, p)
+		}
+	}
+	if _, err := Interpolate([]gf.Elem{1, 1}, []gf.Elem{2, 3}); err == nil {
+		t.Error("duplicate xs accepted")
+	}
+	if _, err := Interpolate([]gf.Elem{1}, []gf.Elem{2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	m := Poly{1, 0, 1, 1} // x³ + x² + 1
+	got := PowMod(X, 8, m)
+	// Cross-check by repeated MulMod.
+	want := Poly{1}
+	for i := 0; i < 8; i++ {
+		want = MulMod(want, X, m)
+	}
+	if !Equal(got, want) {
+		t.Fatalf("PowMod: %v vs %v", got, want)
+	}
+	if PowMod(X, 0, m).Degree() != 0 {
+		t.Error("x^0 mod m != 1")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dx (3 + 2x + 5x³) = 2 + 15x².
+	p := Poly{3, 2, 0, 5}
+	want := Poly{2, 0, 15}
+	if !Equal(Derivative(p), want) {
+		t.Errorf("derivative = %v, want %v", Derivative(p), want)
+	}
+	if Derivative(Poly{7}) != nil {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestRootsOfProductOfLinears(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.IntN(12)
+		want := make([]gf.Elem, 0, n)
+		seen := map[gf.Elem]bool{}
+		for len(want) < n {
+			r := gf.New(rng.Uint64())
+			if !seen[r] {
+				seen[r] = true
+				want = append(want, r)
+			}
+		}
+		p := FromRoots(want)
+		got, err := Roots(p, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("recovered %d roots, want %d", len(got), n)
+		}
+		for _, r := range got {
+			if !seen[r] {
+				t.Fatalf("spurious root %v", r)
+			}
+		}
+	}
+}
+
+func TestRootsIgnoresIrreducibleFactors(t *testing.T) {
+	// x² + 1: −1 is a QR iff p ≡ 1 mod 4; p = 2^61−1 ≡ 3 mod 4, so x²+1
+	// is irreducible and contributes no roots.
+	p := Mul(Poly{1, 0, 1}, FromRoots([]gf.Elem{42}))
+	got, err := Roots(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("roots = %v, want [42]", got)
+	}
+}
+
+func TestRootsZeroPoly(t *testing.T) {
+	if _, err := Roots(nil, 1); err == nil {
+		t.Error("roots of zero polynomial accepted")
+	}
+	if r, err := Roots(Poly{5}, 1); err != nil || len(r) != 0 {
+		t.Errorf("constant poly roots: %v %v", r, err)
+	}
+}
+
+func TestRootsWithRepeatedRoots(t *testing.T) {
+	// (x−9)²(x−4): distinct roots {4, 9}.
+	p := Mul(FromRoots([]gf.Elem{9, 9}), FromRoots([]gf.Elem{4}))
+	got, err := Roots(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("roots = %v, want [4 9]", got)
+	}
+}
+
+func TestSolveLinearBasic(t *testing.T) {
+	// 2x + y = 5; x + y = 3 → x = 2, y = 1.
+	a := []gf.Elem{2, 1, 1, 1}
+	b := []gf.Elem{5, 3}
+	x, err := SolveLinear(a, b, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 1 {
+		t.Fatalf("solution %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(10)
+		a := make([]gf.Elem, n*n)
+		for i := range a {
+			a[i] = gf.New(rng.Uint64())
+		}
+		want := make([]gf.Elem, n)
+		for i := range want {
+			want[i] = gf.New(rng.Uint64())
+		}
+		b := make([]gf.Elem, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] = gf.Add(b[i], gf.Mul(a[i*n+j], want[j]))
+			}
+		}
+		got, err := SolveLinear(a, b, n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify A·got = b (random square systems are a.s. nonsingular, so
+		// got should equal want, but verifying the residual is the robust
+		// check).
+		for i := 0; i < n; i++ {
+			var s gf.Elem
+			for j := 0; j < n; j++ {
+				s = gf.Add(s, gf.Mul(a[i*n+j], got[j]))
+			}
+			if s != b[i] {
+				t.Fatalf("residual row %d: %v != %v", i, s, b[i])
+			}
+		}
+	}
+}
+
+func TestSolveLinearInconsistent(t *testing.T) {
+	// x + y = 1; x + y = 2.
+	a := []gf.Elem{1, 1, 1, 1}
+	b := []gf.Elem{1, 2}
+	if _, err := SolveLinear(a, b, 2, 2); err != ErrInconsistentSystem {
+		t.Fatalf("want ErrInconsistentSystem, got %v", err)
+	}
+	if _, err := SolveLinear(a, b, 3, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSolveLinearUnderdetermined(t *testing.T) {
+	// x + y = 7 with 1 equation, 2 unknowns: free var set to 0.
+	a := []gf.Elem{1, 1}
+	b := []gf.Elem{7}
+	x, err := SolveLinear(a, b, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Add(x[0], x[1]) != 7 {
+		t.Fatalf("solution %v does not satisfy equation", x)
+	}
+}
+
+func TestRationalInterpolate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	for trial := 0; trial < 20; trial++ {
+		dp, dq := rng.IntN(4), rng.IntN(4)
+		p0 := randPoly(rng, dp)
+		q0 := Monic(randPoly(rng, dq))
+		m := dp + dq + 1
+		xs := make([]gf.Elem, m)
+		rs := make([]gf.Elem, m)
+		for i := 0; i < m; i++ {
+			xs[i] = gf.New(uint64(5000 + 31*i))
+			qv := q0.Eval(xs[i])
+			if qv == 0 {
+				t.Skip("sample hit a pole; astronomically unlikely with fixed points")
+			}
+			rs[i] = gf.Div(p0.Eval(xs[i]), qv)
+		}
+		p, q, err := RationalInterpolate(xs, rs, dp, dq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// p/q must equal p0/q0 as rational functions: p·q0 == p0·q.
+		if !Equal(Mul(p, q0), Mul(p0, q)) {
+			t.Fatalf("rational interpolation wrong: (%v)/(%v) vs (%v)/(%v)", p, q, p0, q0)
+		}
+	}
+}
+
+func TestRationalInterpolateOverprovisioned(t *testing.T) {
+	// True degrees (1,1) but interpolated with bounds (3,3): the result
+	// must still reduce to the true rational function.
+	p0 := Poly{5, 1}         // x + 5
+	q0 := Poly{gf.Neg(2), 1} // x − 2
+	dp, dq := 3, 3
+	m := dp + dq + 1
+	xs := make([]gf.Elem, m)
+	rs := make([]gf.Elem, m)
+	for i := 0; i < m; i++ {
+		xs[i] = gf.New(uint64(99 + 7*i))
+		rs[i] = gf.Div(p0.Eval(xs[i]), q0.Eval(xs[i]))
+	}
+	p, q, err := RationalInterpolate(xs, rs, dp, dq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(Mul(p, q0), Mul(p0, q)) {
+		t.Fatalf("overprovisioned interpolation wrong: %v / %v", p, q)
+	}
+	// Reduce via gcd and compare exactly.
+	g := GCD(p, q)
+	pr, _, _ := DivMod(p, g)
+	qr, _, _ := DivMod(q, g)
+	pr = Scale(pr, gf.Inv(qr.Lead()))
+	qr = Monic(qr)
+	if !Equal(qr, q0) || !Equal(pr, p0) {
+		t.Fatalf("reduced form (%v)/(%v), want (%v)/(%v)", pr, qr, p0, q0)
+	}
+}
+
+func TestRationalInterpolateValidation(t *testing.T) {
+	if _, _, err := RationalInterpolate([]gf.Elem{1}, []gf.Elem{1, 2}, 0, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := RationalInterpolate([]gf.Elem{1}, []gf.Elem{1}, -1, 0); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, _, err := RationalInterpolate([]gf.Elem{1, 2}, []gf.Elem{1, 2}, 1, 1); err == nil {
+		t.Error("insufficient samples accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package poly
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"robustset/internal/gf"
+)
+
+// Roots returns the distinct roots of p in GF(2^61−1), in ascending order.
+// The algorithm is the standard one: reduce to the product of distinct
+// linear factors via gcd(p, x^q − x) (computed as gcd(p, (x^q mod p) − x)),
+// then split it by probabilistic equal-degree factorization with
+// gcd(g, (x+a)^((q−1)/2) − 1) for random shifts a. seed makes the
+// splitting deterministic.
+//
+// Multiplicities are discarded; callers that need squarefree certification
+// should compare len(roots) against Degree.
+func Roots(p Poly, seed uint64) ([]gf.Elem, error) {
+	p = Monic(p)
+	switch p.Degree() {
+	case -1:
+		return nil, fmt.Errorf("poly: roots of the zero polynomial are the whole field")
+	case 0:
+		return nil, nil
+	}
+	// g := monic product of (x − r) over distinct roots r of p.
+	xq := PowMod(X, gf.P, p) // x^q mod p
+	g := GCD(p, Sub(xq, X))  // distinct linear factors
+	if g.Degree() == 0 || g.IsZero() {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	var roots []gf.Elem
+	if err := splitLinear(g, rng, &roots, 0); err != nil {
+		return nil, err
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	return roots, nil
+}
+
+// maxSplitDepth bounds the recursion; each successful split reduces degree
+// and failures retry with fresh randomness, so depth beyond degree + retry
+// slack indicates something is wrong.
+const maxSplitDepth = 200
+
+// splitLinear collects the roots of a monic product of distinct linear
+// factors.
+func splitLinear(g Poly, rng *rand.Rand, out *[]gf.Elem, depth int) error {
+	switch g.Degree() {
+	case 0:
+		return nil
+	case 1:
+		// x + c ⇒ root −c.
+		*out = append(*out, gf.Neg(g[0]))
+		return nil
+	}
+	if depth > maxSplitDepth {
+		return fmt.Errorf("poly: root splitting did not converge (degree %d residue)", g.Degree())
+	}
+	// Try random shifts until the gcd splits g properly. For a product of
+	// distinct linear factors each attempt succeeds with probability
+	// ≥ 1 − 2^(1−deg), so a handful of tries suffices.
+	for attempt := 0; attempt < 64; attempt++ {
+		a := gf.New(rng.Uint64())
+		w := PowMod(Poly{a, 1}, (gf.P-1)/2, g) // (x+a)^((q−1)/2) mod g
+		h := GCD(g, Sub(w, Poly{1}))
+		if h.Degree() <= 0 || h.Degree() >= g.Degree() {
+			continue
+		}
+		quot, rem, err := DivMod(g, h)
+		if err != nil || !rem.IsZero() {
+			return fmt.Errorf("poly: internal split error: %v", err)
+		}
+		if err := splitLinear(h, rng, out, depth+1); err != nil {
+			return err
+		}
+		return splitLinear(Monic(quot), rng, out, depth+1)
+	}
+	return fmt.Errorf("poly: could not split degree-%d factor after 64 attempts", g.Degree())
+}

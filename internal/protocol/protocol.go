@@ -1,0 +1,151 @@
+// Package protocol implements the two-party wire protocols of this
+// module: the robust reconciliation protocol in its one-shot and
+// estimate-first variants, and the three comparators (naive transfer,
+// exact IBLT sync, characteristic-polynomial sync). Each protocol is a
+// pair of blocking session functions — RunXxxAlice / RunXxxBob — that
+// drive a transport.Transport until the exchange completes, so the same
+// code runs over an in-memory pipe in tests and over TCP in deployments.
+//
+// Every message is a one-byte type tag followed by a protocol-specific
+// body. A party that hits an unrecoverable error sends MsgError with a
+// human-readable reason before returning, so the peer fails fast instead
+// of blocking.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"robustset/internal/transport"
+)
+
+// Message type tags.
+const (
+	// MsgSketch carries a core.Sketch (robust one-shot push).
+	MsgSketch byte = 0x01
+	// MsgEstRequest asks Alice for level estimators: body is
+	// u32 estimatorK.
+	MsgEstRequest byte = 0x02
+	// MsgEstimators carries Alice's per-level bottom-k estimators as a
+	// u32-count list of u32-length-prefixed blobs.
+	MsgEstimators byte = 0x03
+	// MsgLevelRequest asks Alice for one level table: u16 level,
+	// u32 capacity.
+	MsgLevelRequest byte = 0x04
+	// MsgLevelTable carries one IBLT blob.
+	MsgLevelTable byte = 0x05
+	// MsgDone signals the initiator is finished (success or give-up).
+	MsgDone byte = 0x06
+	// MsgSet carries a raw point set (points.EncodeSet format).
+	MsgSet byte = 0x07
+	// MsgStrata carries a strata difference estimator.
+	MsgStrata byte = 0x08
+	// MsgIBLTRequest asks for an exact-sync IBLT: u32 capacity.
+	MsgIBLTRequest byte = 0x09
+	// MsgIBLT carries the exact-sync IBLT blob.
+	MsgIBLT byte = 0x0a
+	// MsgCPISketch carries a cpi.Sketch blob.
+	MsgCPISketch byte = 0x0b
+	// MsgPayloadRequest asks for point payloads by element hash: a
+	// u32-count list of u64 hashes.
+	MsgPayloadRequest byte = 0x0c
+	// MsgPayloads answers MsgPayloadRequest with points.EncodeSet data in
+	// request order.
+	MsgPayloads byte = 0x0d
+	// MsgError carries a UTF-8 reason; the sender is aborting.
+	MsgError byte = 0x7f
+)
+
+// RemoteError is an error relayed from the peer via MsgError.
+type RemoteError struct{ Reason string }
+
+func (e *RemoteError) Error() string { return "protocol: peer error: " + e.Reason }
+
+// ErrUnexpectedMessage reports a protocol-state violation.
+var ErrUnexpectedMessage = errors.New("protocol: unexpected message type")
+
+// send transmits a typed message.
+func send(t transport.Transport, typ byte, body []byte) error {
+	msg := make([]byte, 1+len(body))
+	msg[0] = typ
+	copy(msg[1:], body)
+	return t.Send(msg)
+}
+
+// sendErr best-effort-notifies the peer and returns the original error.
+func sendErr(t transport.Transport, err error) error {
+	_ = send(t, MsgError, []byte(err.Error()))
+	return err
+}
+
+// recv reads the next message and returns its type and body. A MsgError
+// from the peer is converted into a *RemoteError.
+func recv(t transport.Transport) (byte, []byte, error) {
+	msg, err := t.Recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(msg) == 0 {
+		return 0, nil, errors.New("protocol: empty frame")
+	}
+	if msg[0] == MsgError {
+		return 0, nil, &RemoteError{Reason: string(msg[1:])}
+	}
+	return msg[0], msg[1:], nil
+}
+
+// recvExpect reads the next message and requires the given type.
+func recvExpect(t transport.Transport, want byte) ([]byte, error) {
+	typ, body, err := recv(t)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrUnexpectedMessage, typ, want)
+	}
+	return body, nil
+}
+
+// appendBlobList encodes a u32-count list of u32-length-prefixed blobs.
+func appendBlobList(dst []byte, blobs [][]byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(blobs)))
+	for _, b := range blobs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// parseBlobList decodes appendBlobList output.
+func parseBlobList(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	// Each entry needs at least its 4-byte length prefix, so a count
+	// beyond len(b)/4 is corrupt; never allocate from an unvalidated
+	// peer-supplied count.
+	if n > len(b)/4 {
+		return nil, errors.New("protocol: blob list count exceeds payload")
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		l := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < l {
+			return nil, io.ErrUnexpectedEOF
+		}
+		out = append(out, b[:l])
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, errors.New("protocol: trailing bytes in blob list")
+	}
+	return out, nil
+}

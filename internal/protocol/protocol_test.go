@@ -1,0 +1,287 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"robustset/internal/core"
+	"robustset/internal/iblt"
+	"robustset/internal/points"
+	"robustset/internal/transport"
+	"robustset/internal/workload"
+)
+
+var testU = points.Universe{Dim: 2, Delta: 1 << 12}
+
+func testInstance(t *testing.T, n, k int) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		N: n, Universe: testU, Outliers: k, Noise: workload.NoiseUniform, Scale: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestBlobListRoundtrip(t *testing.T) {
+	blobs := [][]byte{[]byte("a"), {}, []byte("hello world"), {0, 1, 2}}
+	enc := appendBlobList(nil, blobs)
+	got, err := parseBlobList(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blobs) {
+		t.Fatalf("got %d blobs, want %d", len(got), len(blobs))
+	}
+	for i := range blobs {
+		if string(got[i]) != string(blobs[i]) {
+			t.Fatalf("blob %d: %q != %q", i, got[i], blobs[i])
+		}
+	}
+}
+
+func TestBlobListCorruption(t *testing.T) {
+	blobs := [][]byte{[]byte("abc"), []byte("defg")}
+	enc := appendBlobList(nil, blobs)
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": enc[:2],
+		"truncated":    enc[:len(enc)-1],
+		"trailing":     append(append([]byte{}, enc...), 1),
+		"huge count":   binary.LittleEndian.AppendUint32(nil, 1<<30),
+	}
+	for name, b := range cases {
+		if _, err := parseBlobList(b); err == nil {
+			t.Errorf("%s: corrupt blob list accepted", name)
+		}
+	}
+}
+
+func TestRemoteErrorSurfaces(t *testing.T) {
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	go send(at, MsgError, []byte("boom"))
+	_, _, err := recv(bt)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Reason != "boom" {
+		t.Fatalf("want RemoteError(boom), got %v", err)
+	}
+	if re.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestRecvExpectWrongType(t *testing.T) {
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	go send(at, MsgSet, []byte("x"))
+	_, err := recvExpect(bt, MsgSketch)
+	if !errors.Is(err, ErrUnexpectedMessage) {
+		t.Fatalf("want ErrUnexpectedMessage, got %v", err)
+	}
+}
+
+func TestEmptyFrameRejected(t *testing.T) {
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	go at.Send(nil)
+	if _, _, err := recv(bt); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+// driveAlice runs an Alice session against a scripted Bob side.
+func driveAlice(t *testing.T, alice func(transport.Transport) error, script func(transport.Transport)) error {
+	t.Helper()
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	done := make(chan error, 1)
+	go func() { done <- alice(at) }()
+	script(bt)
+	return <-done
+}
+
+func TestEstimateAliceRejectsMalformedRequests(t *testing.T) {
+	inst := testInstance(t, 50, 2)
+	params := core.Params{Universe: testU, Seed: 1, DiffBudget: 2}
+	alice := func(tr transport.Transport) error { return RunEstimateAlice(tr, params, inst.Alice) }
+
+	// Truncated estimator request body.
+	err := driveAlice(t, alice, func(tr transport.Transport) {
+		send(tr, MsgEstRequest, []byte{1, 2})
+	})
+	if err == nil {
+		t.Error("truncated estimator request accepted")
+	}
+	// Estimator k out of range.
+	err = driveAlice(t, alice, func(tr transport.Transport) {
+		send(tr, MsgEstRequest, []byte{0, 0, 0, 0})
+	})
+	if err == nil {
+		t.Error("estK=0 accepted")
+	}
+	// Valid request, then a bogus capacity.
+	err = driveAlice(t, alice, func(tr transport.Transport) {
+		send(tr, MsgEstRequest, []byte{64, 0, 0, 0})
+		if _, err := recvExpect(tr, MsgEstimators); err != nil {
+			t.Error(err)
+			return
+		}
+		send(tr, MsgLevelRequest, []byte{0, 0, 0, 0, 0, 0}) // capacity 0
+	})
+	if err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	// Valid request, then an unexpected message type.
+	err = driveAlice(t, alice, func(tr transport.Transport) {
+		send(tr, MsgEstRequest, []byte{64, 0, 0, 0})
+		if _, err := recvExpect(tr, MsgEstimators); err != nil {
+			t.Error(err)
+			return
+		}
+		send(tr, MsgSet, nil)
+	})
+	if !errors.Is(err, ErrUnexpectedMessage) {
+		t.Errorf("unexpected message not rejected: %v", err)
+	}
+	// Clean shutdown path.
+	err = driveAlice(t, alice, func(tr transport.Transport) {
+		send(tr, MsgEstRequest, []byte{64, 0, 0, 0})
+		if _, err := recvExpect(tr, MsgEstimators); err != nil {
+			t.Error(err)
+			return
+		}
+		send(tr, MsgDone, nil)
+	})
+	if err != nil {
+		t.Errorf("clean shutdown errored: %v", err)
+	}
+}
+
+func TestExactIBLTAliceRejectsMalformedRequests(t *testing.T) {
+	inst := testInstance(t, 50, 2)
+	cfg := ExactConfig{Universe: testU, Seed: 1}
+	alice := func(tr transport.Transport) error { return RunExactIBLTAlice(tr, cfg, inst.Alice) }
+
+	err := driveAlice(t, alice, func(tr transport.Transport) {
+		if _, err := recvExpect(tr, MsgStrata); err != nil {
+			t.Error(err)
+			return
+		}
+		send(tr, MsgIBLTRequest, []byte{1, 2}) // truncated
+	})
+	if err == nil {
+		t.Error("truncated IBLT request accepted")
+	}
+	err = driveAlice(t, alice, func(tr transport.Transport) {
+		if _, err := recvExpect(tr, MsgStrata); err != nil {
+			t.Error(err)
+			return
+		}
+		var req [4]byte
+		binary.LittleEndian.PutUint32(req[:], 1<<25) // over the cap limit
+		send(tr, MsgIBLTRequest, req[:])
+	})
+	if err == nil {
+		t.Error("oversized capacity accepted")
+	}
+}
+
+func TestCPIAliceRejectsUnknownPayloadRequest(t *testing.T) {
+	inst := testInstance(t, 50, 2)
+	cfg := CPIConfig{Universe: testU, Seed: 1, Capacity: 8}
+	alice := func(tr transport.Transport) error { return RunCPIAlice(tr, cfg, inst.Alice) }
+
+	err := driveAlice(t, alice, func(tr transport.Transport) {
+		if _, err := recvExpect(tr, MsgCPISketch); err != nil {
+			t.Error(err)
+			return
+		}
+		req := binary.LittleEndian.AppendUint32(nil, 1)
+		req = binary.LittleEndian.AppendUint64(req, 0xdeadbeef) // not an element
+		send(tr, MsgPayloadRequest, req)
+	})
+	if err == nil {
+		t.Error("unknown element request accepted")
+	}
+	// Malformed body length.
+	err = driveAlice(t, alice, func(tr transport.Transport) {
+		if _, err := recvExpect(tr, MsgCPISketch); err != nil {
+			t.Error(err)
+			return
+		}
+		send(tr, MsgPayloadRequest, []byte{5, 0, 0, 0, 1}) // claims 5, carries 1 byte
+	})
+	if err == nil {
+		t.Error("malformed payload request accepted")
+	}
+}
+
+func TestPushBobRejectsGarbageSketch(t *testing.T) {
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	go send(at, MsgSketch, []byte("definitely not a sketch"))
+	if _, err := RunPushBob(bt, nil); err == nil {
+		t.Fatal("garbage sketch accepted")
+	}
+}
+
+func TestEstimateBobRejectsGarbageEstimators(t *testing.T) {
+	inst := testInstance(t, 50, 2)
+	params := core.Params{Universe: testU, Seed: 1, DiffBudget: 2}
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	go func() {
+		if _, err := recvExpect(at, MsgEstRequest); err != nil {
+			return
+		}
+		send(at, MsgEstimators, appendBlobList(nil, [][]byte{[]byte("junk")}))
+	}()
+	if _, err := RunEstimateBob(bt, params, inst.Bob, EstimateOpts{}); err == nil {
+		t.Fatal("garbage estimators accepted")
+	}
+}
+
+func TestApplyExactDiffErrors(t *testing.T) {
+	bob := []points.Point{{1, 2}, {3, 4}}
+	// Key of the wrong length.
+	shortNeg := diffWith(nil, [][]byte{{1, 2, 3}})
+	if _, err := applyExactDiff(testU, bob, &shortNeg); err == nil {
+		t.Error("short neg key accepted")
+	}
+	shortPos := diffWith([][]byte{{1, 2, 3}}, nil)
+	if _, err := applyExactDiff(testU, bob, &shortPos); err == nil {
+		t.Error("short pos key accepted")
+	}
+	// Bob-only key naming a point Bob does not hold.
+	ghost := append(points.EncodeNew(points.Point{9, 9}), 0, 0, 0, 0)
+	ghostDiff := diffWith(nil, [][]byte{ghost})
+	if _, err := applyExactDiff(testU, bob, &ghostDiff); err == nil {
+		t.Error("ghost removal accepted")
+	}
+	// Happy path: add one, remove one.
+	add := append(points.EncodeNew(points.Point{7, 7}), 0, 0, 0, 0)
+	rem := append(points.EncodeNew(points.Point{1, 2}), 0, 0, 0, 0)
+	d := diffWith([][]byte{add}, [][]byte{rem})
+	got, err := applyExactDiff(testU, bob, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []points.Point{{3, 4}, {7, 7}}
+	if !points.EqualMultisets(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func diffWith(pos, neg [][]byte) (d iblt.Diff) {
+	d.Pos, d.Neg = pos, neg
+	return d
+}

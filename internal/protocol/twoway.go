@@ -1,0 +1,43 @@
+package protocol
+
+import (
+	"robustset/internal/core"
+	"robustset/internal/points"
+	"robustset/internal/transport"
+)
+
+// RunTwoWay executes the symmetric two-way robust protocol: both parties
+// call this same function, each pushing its own multiresolution sketch
+// while reconciling against the peer's. As the paper notes, two-way
+// robust reconciliation does not converge the two sets to equality — each
+// party ends close (in EMD) to the *other's original* data; callers
+// wanting union semantics ingest Result.Added instead of adopting
+// Result.SPrime.
+//
+// The sketch is sent from a goroutine while the peer's is read, so two
+// parties running RunTwoWay against each other cannot deadlock even when
+// both sketches exceed the transport's buffering.
+func RunTwoWay(t transport.Transport, p core.Params, pts []points.Point) (*core.Result, error) {
+	sk, err := core.BuildSketch(p, pts)
+	if err != nil {
+		return nil, sendErr(t, err)
+	}
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		return nil, sendErr(t, err)
+	}
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- send(t, MsgSketch, blob) }()
+	body, recvErr := recvExpect(t, MsgSketch)
+	if err := <-sendDone; err != nil {
+		return nil, err
+	}
+	if recvErr != nil {
+		return nil, recvErr
+	}
+	var peer core.Sketch
+	if err := peer.UnmarshalBinary(body); err != nil {
+		return nil, sendErr(t, err)
+	}
+	return core.Reconcile(&peer, pts)
+}

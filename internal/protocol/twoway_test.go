@@ -1,0 +1,113 @@
+package protocol
+
+import (
+	"testing"
+
+	"robustset/internal/core"
+	"robustset/internal/points"
+	"robustset/internal/transport"
+	"robustset/internal/workload"
+)
+
+func TestTwoWaySymmetricExchange(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{
+		N: 300, Universe: testU, Outliers: 5,
+		Noise: workload.NoiseUniform, Scale: 2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Universe: testU, Seed: 23, DiffBudget: 5}
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	type out struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := RunTwoWay(at, params, inst.Alice)
+		ch <- out{res, err}
+	}()
+	bobRes, err := RunTwoWay(bt, params, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceSide := <-ch
+	if aliceSide.err != nil {
+		t.Fatal(aliceSide.err)
+	}
+	// Each side's result approximates the peer's original data.
+	if len(bobRes.SPrime) != len(inst.Alice) {
+		t.Errorf("bob's |S'| = %d, want %d", len(bobRes.SPrime), len(inst.Alice))
+	}
+	if len(aliceSide.res.SPrime) != len(inst.Bob) {
+		t.Errorf("alice's |S'| = %d, want %d", len(aliceSide.res.SPrime), len(inst.Bob))
+	}
+	// Byte accounting must be symmetric (both send one sketch).
+	as, bs := at.Stats(), bt.Stats()
+	if as.BytesSent != bs.BytesSent || as.BytesRecv != bs.BytesRecv {
+		t.Errorf("asymmetric accounting: %+v vs %+v", as, bs)
+	}
+}
+
+func TestTwoWayExactRegime(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{
+		N: 200, Universe: testU, Outliers: 6, Noise: workload.NoiseNone, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Universe: testU, Seed: 29, DiffBudget: 6}
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	ch := make(chan *core.Result, 1)
+	go func() {
+		res, err := RunTwoWay(at, params, inst.Alice)
+		if err != nil {
+			t.Error(err)
+			ch <- nil
+			return
+		}
+		ch <- res
+	}()
+	bobRes, err := RunTwoWay(bt, params, inst.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceRes := <-ch
+	if aliceRes == nil {
+		t.Fatal("alice side failed")
+	}
+	// With zero noise each side ends with exactly the peer's multiset.
+	if !points.EqualMultisets(bobRes.SPrime, inst.Alice) {
+		t.Error("bob did not recover alice's set exactly")
+	}
+	if !points.EqualMultisets(aliceRes.SPrime, inst.Bob) {
+		t.Error("alice did not recover bob's set exactly")
+	}
+}
+
+func TestTwoWayPeerFailure(t *testing.T) {
+	// A peer with invalid parameters must not hang the healthy side.
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	good := core.Params{Universe: testU, Seed: 1, DiffBudget: 2}
+	bad := core.Params{Universe: points.Universe{Dim: 0, Delta: 4}, DiffBudget: 1}
+	inst, _ := workload.Generate(workload.Config{N: 20, Universe: testU, Seed: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunTwoWay(at, bad, inst.Alice)
+		done <- err
+	}()
+	_, bobErr := RunTwoWay(bt, good, inst.Bob)
+	if bobErr == nil {
+		t.Error("healthy side succeeded against failing peer")
+	}
+	if err := <-done; err == nil {
+		t.Error("bad-params side reported success")
+	}
+}

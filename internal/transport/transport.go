@@ -1,0 +1,231 @@
+// Package transport provides the message-oriented links the two-party
+// reconciliation protocols run over, with byte-level accounting. Two
+// implementations are provided: an in-process pipe (for tests, examples
+// and the experiment harness — the "two-host protocol simulation") and a
+// length-prefixed framing over any net.Conn (net.Pipe, TCP), which is what
+// a real deployment uses.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Transport is a reliable, ordered, message-preserving duplex link.
+// Implementations are safe for one concurrent sender plus one concurrent
+// receiver (the pattern every protocol here uses).
+type Transport interface {
+	// Send transmits one message.
+	Send(msg []byte) error
+	// Recv blocks for the next message. It returns io.EOF after the peer
+	// closes cleanly.
+	Recv() ([]byte, error)
+	// Close releases the link. Safe to call multiple times.
+	Close() error
+	// Stats returns a snapshot of the link's accounting.
+	Stats() Stats
+}
+
+// Stats counts traffic on one endpoint. Protocol experiments read these
+// to report communication costs; bytes include framing overhead so the
+// numbers match what a network would carry.
+type Stats struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+// Total returns bytes sent plus received.
+func (s Stats) Total() int64 { return s.BytesSent + s.BytesRecv }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sent %dB/%d msgs, recv %dB/%d msgs", s.BytesSent, s.MsgsSent, s.BytesRecv, s.MsgsRecv)
+}
+
+// counters is the shared atomic implementation of Stats tracking.
+type counters struct {
+	bytesSent, bytesRecv atomic.Int64
+	msgsSent, msgsRecv   atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+	}
+}
+
+// ErrClosed is returned for operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// frameOverhead is the per-message framing cost (u32 length prefix),
+// charged by both implementations so accounting is comparable.
+const frameOverhead = 4
+
+// MaxFrameSize bounds a single message; a peer announcing more is treated
+// as corrupt rather than trusted with an allocation.
+const MaxFrameSize = 1 << 28 // 256 MiB
+
+// ---------------------------------------------------------------------
+// In-memory pipe
+
+type memEnd struct {
+	send    chan<- []byte
+	recv    <-chan []byte
+	closeMu sync.Mutex
+	closed  chan struct{}
+	peer    *memEnd
+	ctrs    counters
+}
+
+// Pair returns the two endpoints of an in-memory link. Messages are
+// copied, so callers may reuse buffers.
+func Pair() (alice, bob Transport) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	a := &memEnd{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &memEnd{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (m *memEnd) Send(msg []byte) error {
+	// Check closure first and separately: in a combined select Go picks
+	// uniformly among ready cases, which would let a send sneak through
+	// after Close whenever the buffer has room.
+	select {
+	case <-m.closed:
+		return ErrClosed
+	case <-m.peer.closed:
+		return ErrClosed
+	default:
+	}
+	cp := append([]byte(nil), msg...)
+	select {
+	case <-m.closed:
+		return ErrClosed
+	case <-m.peer.closed:
+		return ErrClosed
+	case m.send <- cp:
+		m.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
+		m.ctrs.msgsSent.Add(1)
+		return nil
+	}
+}
+
+func (m *memEnd) Recv() ([]byte, error) {
+	select {
+	case msg, ok := <-m.recv:
+		if !ok {
+			return nil, io.EOF
+		}
+		m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
+		m.ctrs.msgsRecv.Add(1)
+		return msg, nil
+	case <-m.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg, ok := <-m.recv:
+			if !ok {
+				return nil, io.EOF
+			}
+			m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
+			m.ctrs.msgsRecv.Add(1)
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-m.peer.closed:
+		select {
+		case msg, ok := <-m.recv:
+			if !ok {
+				return nil, io.EOF
+			}
+			m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
+			m.ctrs.msgsRecv.Add(1)
+			return msg, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (m *memEnd) Close() error {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	select {
+	case <-m.closed:
+		return nil
+	default:
+		close(m.closed)
+	}
+	return nil
+}
+
+func (m *memEnd) Stats() Stats { return m.ctrs.snapshot() }
+
+// ---------------------------------------------------------------------
+// net.Conn framing
+
+type connTransport struct {
+	conn    net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	ctrs    counters
+	lenBuf  [frameOverhead]byte
+	rLenBuf [frameOverhead]byte
+}
+
+// NewConn wraps a net.Conn (TCP, net.Pipe, Unix socket) with u32
+// little-endian length framing.
+func NewConn(c net.Conn) Transport { return &connTransport{conn: c} }
+
+func (t *connTransport) Send(msg []byte) error {
+	if len(msg) > MaxFrameSize {
+		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(msg))
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	binary.LittleEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
+	if _, err := t.conn.Write(t.lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := t.conn.Write(msg); err != nil {
+		return err
+	}
+	t.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
+	t.ctrs.msgsSent.Add(1)
+	return nil
+}
+
+func (t *connTransport) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if _, err := io.ReadFull(t.conn, t.rLenBuf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("transport: torn frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(t.rLenBuf[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: peer announced %d-byte frame (limit %d)", n, MaxFrameSize)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, msg); err != nil {
+		return nil, fmt.Errorf("transport: torn frame body: %w", err)
+	}
+	t.ctrs.bytesRecv.Add(int64(int(n) + frameOverhead))
+	t.ctrs.msgsRecv.Add(1)
+	return msg, nil
+}
+
+func (t *connTransport) Close() error { return t.conn.Close() }
+
+func (t *connTransport) Stats() Stats { return t.ctrs.snapshot() }

@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestPairRoundtrip(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello over the pipe")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	// Reverse direction.
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Recv(); string(got) != "pong" {
+		t.Fatalf("reverse direction got %q", got)
+	}
+}
+
+func TestPairBufferIsolation(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	buf := []byte("mutate me")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXXXXXX")
+	got, _ := b.Recv()
+	if string(got) != "mutate me" {
+		t.Fatalf("sender buffer reuse leaked: %q", got)
+	}
+}
+
+func TestPairStats(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.MsgsSent != 3 || bs.MsgsRecv != 3 {
+		t.Errorf("message counts: %+v %+v", as, bs)
+	}
+	if as.BytesSent != 3*104 || bs.BytesRecv != 3*104 {
+		t.Errorf("byte counts with framing: sent %d recv %d, want 312", as.BytesSent, bs.BytesRecv)
+	}
+	if as.Total() != as.BytesSent+as.BytesRecv {
+		t.Error("Total() inconsistent")
+	}
+	if as.String() == "" {
+		t.Error("empty Stats string")
+	}
+}
+
+func TestPairClose(t *testing.T) {
+	a, b := Pair()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := a.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on closed: %v", err)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Error("recv from closed peer should fail")
+	}
+}
+
+func TestPairDrainAfterPeerClose(t *testing.T) {
+	a, b := Pair()
+	if err := a.Send([]byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := b.Recv()
+	if err != nil || string(got) != "queued" {
+		t.Fatalf("queued message lost after close: %q %v", got, err)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Error("recv after drain should fail")
+	}
+}
+
+func TestPairConcurrent(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send([]byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			got, err := b.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got[0] != byte(i) {
+				t.Errorf("out of order: msg %d = %d", i, got[0])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func connPair(t *testing.T) (Transport, Transport) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	return NewConn(c1), NewConn(c2)
+}
+
+func TestConnRoundtrip(t *testing.T) {
+	a, b := connPair(t)
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Send(bytes.Repeat([]byte("x"), 100000))
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100000 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	if s := b.Stats(); s.BytesRecv != 100004 {
+		t.Errorf("framed byte count %d, want 100004", s.BytesRecv)
+	}
+}
+
+func TestConnEmptyMessage(t *testing.T) {
+	a, b := connPair(t)
+	defer a.Close()
+	defer b.Close()
+	go a.Send(nil)
+	got, err := b.Recv()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty message roundtrip: %v %v", got, err)
+	}
+}
+
+func TestConnTornFrame(t *testing.T) {
+	c1, c2 := net.Pipe()
+	b := NewConn(c2)
+	go func() {
+		// Announce 100 bytes, deliver 10, then hang up.
+		c1.Write([]byte{100, 0, 0, 0})
+		c1.Write(make([]byte, 10))
+		c1.Close()
+	}()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("torn frame accepted")
+	}
+}
+
+func TestConnOversizeFrameRejected(t *testing.T) {
+	c1, c2 := net.Pipe()
+	b := NewConn(c2)
+	go func() {
+		// Announce a frame beyond MaxFrameSize.
+		c1.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	}()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	c1.Close()
+	a := NewConn(c1)
+	if err := a.Send(make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversize send accepted")
+	}
+}
+
+func TestConnEOF(t *testing.T) {
+	c1, c2 := net.Pipe()
+	b := NewConn(c2)
+	c1.Close()
+	if _, err := b.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		tr := NewConn(conn)
+		defer tr.Close()
+		msg, err := tr.Recv()
+		if err != nil {
+			done <- nil
+			return
+		}
+		tr.Send(append([]byte("echo:"), msg...))
+		done <- msg
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewConn(conn)
+	defer tr.Close()
+	if err := tr.Send([]byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := tr.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:over tcp" {
+		t.Fatalf("reply %q", reply)
+	}
+	if got := <-done; string(got) != "over tcp" {
+		t.Fatalf("server saw %q", got)
+	}
+}

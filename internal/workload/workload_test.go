@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"robustset/internal/points"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:        200,
+		Universe: points.Universe{Dim: 2, Delta: 1 << 16},
+		Outliers: 10,
+		Noise:    NoiseUniform,
+		Scale:    4,
+		Seed:     1,
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.N = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("n=0 accepted")
+	}
+	cfg = baseConfig()
+	cfg.Outliers = cfg.N + 1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("outliers > n accepted")
+	}
+	cfg = baseConfig()
+	cfg.Scale = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative scale accepted")
+	}
+	cfg = baseConfig()
+	cfg.Universe.Delta = 3
+	if _, err := Generate(cfg); err == nil {
+		t.Error("invalid universe accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := baseConfig()
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Alice) != cfg.N || len(inst.Bob) != cfg.N {
+		t.Fatalf("sizes %d/%d, want %d", len(inst.Alice), len(inst.Bob), cfg.N)
+	}
+	if len(inst.OutlierIdx) != cfg.Outliers {
+		t.Fatalf("outliers %d, want %d", len(inst.OutlierIdx), cfg.Outliers)
+	}
+	if err := cfg.Universe.CheckSet(inst.Alice); err != nil {
+		t.Errorf("alice points invalid: %v", err)
+	}
+	if err := cfg.Universe.CheckSet(inst.Bob); err != nil {
+		t.Errorf("bob points invalid: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(baseConfig())
+	b, _ := Generate(baseConfig())
+	if !points.EqualMultisets(a.Alice, b.Alice) || !points.EqualMultisets(a.Bob, b.Bob) {
+		t.Error("same seed produced different instances")
+	}
+	cfg := baseConfig()
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	if points.EqualMultisets(a.Alice, c.Alice) {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestNoiseNonePairsIdentical(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Noise = NoiseNone
+	inst, _ := Generate(cfg)
+	outl := map[int]bool{}
+	for _, i := range inst.OutlierIdx {
+		outl[i] = true
+	}
+	for i := range inst.Alice {
+		if outl[i] {
+			continue
+		}
+		if !inst.Alice[i].Equal(inst.Bob[i]) {
+			t.Fatalf("pair %d differs with NoiseNone", i)
+		}
+	}
+	if inst.PairNoiseL1 != 0 {
+		t.Errorf("PairNoiseL1 = %v, want 0", inst.PairNoiseL1)
+	}
+}
+
+func TestUniformNoiseBounded(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Noise = NoiseUniform
+	cfg.Scale = 5
+	inst, _ := Generate(cfg)
+	outl := map[int]bool{}
+	for _, i := range inst.OutlierIdx {
+		outl[i] = true
+	}
+	for i := range inst.Alice {
+		if outl[i] {
+			continue
+		}
+		if d := points.LInf.Distance(inst.Alice[i], inst.Bob[i]); d > 5 {
+			t.Fatalf("pair %d: uniform noise %v exceeds scale 5", i, d)
+		}
+	}
+	if inst.PairNoiseL1 <= 0 {
+		t.Error("PairNoiseL1 should be positive with noise")
+	}
+}
+
+func TestGaussianNoiseMagnitude(t *testing.T) {
+	cfg := baseConfig()
+	cfg.N = 2000
+	cfg.Outliers = 0
+	cfg.Noise = NoiseGaussian
+	cfg.Scale = 10
+	inst, _ := Generate(cfg)
+	// Mean |N(0,10)| ≈ 7.98 per coordinate; 2 coords → ≈16 per pair.
+	mean := inst.PairNoiseL1 / float64(cfg.N)
+	if math.Abs(mean-16) > 3 {
+		t.Errorf("mean pair L1 noise %.2f, want ≈16", mean)
+	}
+}
+
+func TestPairNoiseMatchesRecount(t *testing.T) {
+	inst, _ := Generate(baseConfig())
+	var sum float64
+	for _, pr := range inst.TruePairing() {
+		sum += points.L1.Distance(inst.Alice[pr[0]], inst.Bob[pr[1]])
+	}
+	if math.Abs(sum-inst.PairNoiseL1) > 1e-9 {
+		t.Errorf("recounted noise %v != recorded %v", sum, inst.PairNoiseL1)
+	}
+}
+
+func TestClusteredGeneration(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Clusters = 4
+	cfg.N = 1000
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Universe.CheckSet(inst.Bob); err != nil {
+		t.Fatal(err)
+	}
+	// With a single cluster the data must be measurably more concentrated
+	// than uniform (multi-cluster spread is dominated by cross-cluster
+	// pairs, so only the one-cluster case gives a stable signal).
+	one := baseConfig()
+	one.Clusters = 1
+	one.N = 1000
+	single, err := Generate(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniformCfg := baseConfig()
+	uniformCfg.N = 1000
+	uniform, _ := Generate(uniformCfg)
+	spread := func(s []points.Point) float64 {
+		var sum float64
+		for i := 0; i < 400; i++ {
+			sum += points.L1.Distance(s[i], s[i+400])
+		}
+		return sum
+	}
+	if spread(single.Bob) >= spread(uniform.Bob)/2 {
+		t.Errorf("single-cluster data not concentrated: %.0f vs uniform %.0f", spread(single.Bob), spread(uniform.Bob))
+	}
+}
+
+func TestNoiseStringer(t *testing.T) {
+	if NoiseNone.String() != "none" || NoiseUniform.String() != "uniform" || NoiseGaussian.String() != "gaussian" {
+		t.Error("unexpected Noise string values")
+	}
+	if Noise(99).String() == "" {
+		t.Error("unknown noise should still render")
+	}
+}

@@ -1,0 +1,122 @@
+package robustset
+
+import (
+	"net"
+
+	"robustset/internal/points"
+	"robustset/internal/protocol"
+	"robustset/internal/transport"
+)
+
+// TransferStats reports the bytes and messages an endpoint exchanged
+// during a connection-oriented reconciliation.
+type TransferStats = transport.Stats
+
+// AdaptiveOptions tunes the estimate-first protocol (see PullAdaptive).
+type AdaptiveOptions = protocol.EstimateOpts
+
+// ExactConfig parameterizes the exact IBLT synchronization comparator.
+type ExactConfig = protocol.ExactConfig
+
+// CPIConfig parameterizes the characteristic-polynomial comparator.
+type CPIConfig = protocol.CPIConfig
+
+// Push runs Alice's side of the one-shot robust protocol over conn: one
+// message carrying the full multiresolution sketch.
+func Push(conn net.Conn, p Params, pts []Point) (TransferStats, error) {
+	t := transport.NewConn(conn)
+	err := protocol.RunPushAlice(t, p, pts)
+	return t.Stats(), err
+}
+
+// PushSketch sends an already-built sketch as the one-shot protocol's
+// single message. Servers that keep a Maintainer per dataset use this to
+// serve sessions without re-encoding:
+//
+//	stats, err := robustset.PushSketch(conn, maintainer.Sketch())
+func PushSketch(conn net.Conn, s *Sketch) (TransferStats, error) {
+	t := transport.NewConn(conn)
+	err := protocol.RunPushSketchAlice(t, s)
+	return t.Stats(), err
+}
+
+// Pull runs Bob's side of the one-shot robust protocol over conn.
+func Pull(conn net.Conn, local []Point) (*Result, TransferStats, error) {
+	t := transport.NewConn(conn)
+	res, err := protocol.RunPushBob(t, local)
+	return res, t.Stats(), err
+}
+
+// PushAdaptive serves Alice's side of the estimate-first protocol: tiny
+// per-level difference estimators first, then exactly one level table
+// sized to the estimated difference (plus retries if Bob asks).
+func PushAdaptive(conn net.Conn, p Params, pts []Point) (TransferStats, error) {
+	t := transport.NewConn(conn)
+	err := protocol.RunEstimateAlice(t, p, pts)
+	return t.Stats(), err
+}
+
+// PullAdaptive drives Bob's side of the estimate-first protocol.
+func PullAdaptive(conn net.Conn, p Params, local []Point, opts AdaptiveOptions) (*Result, TransferStats, error) {
+	t := transport.NewConn(conn)
+	res, err := protocol.RunEstimateBob(t, p, local, opts)
+	return res, t.Stats(), err
+}
+
+// SyncTwoWay runs the symmetric two-way protocol over conn: both peers
+// call this same function, each pushing its sketch and reconciling
+// against the other's. Each peer ends close (in EMD) to the other's
+// original data; the sets do not converge to equality — use
+// Result.Added for union-style ingestion.
+func SyncTwoWay(conn net.Conn, p Params, pts []Point) (*Result, TransferStats, error) {
+	t := transport.NewConn(conn)
+	res, err := protocol.RunTwoWay(t, p, pts)
+	return res, t.Stats(), err
+}
+
+// PushExact serves classic exact IBLT synchronization (difference digest:
+// strata estimator + exactly-sized IBLT). Use it when values match
+// bit-for-bit; under value noise its cost degenerates to Θ(n).
+func PushExact(conn net.Conn, cfg ExactConfig, pts []Point) (TransferStats, error) {
+	t := transport.NewConn(conn)
+	err := protocol.RunExactIBLTAlice(t, cfg, pts)
+	return t.Stats(), err
+}
+
+// PullExact drives Bob's side of exact IBLT synchronization; on success
+// the returned multiset equals Alice's exactly.
+func PullExact(conn net.Conn, cfg ExactConfig, local []Point) ([]Point, TransferStats, error) {
+	t := transport.NewConn(conn)
+	sp, err := protocol.RunExactIBLTBob(t, cfg, local)
+	return sp, t.Stats(), err
+}
+
+// PushCPI serves characteristic-polynomial exact synchronization
+// (minisketch-class: optimal O(capacity) communication for exact
+// differences).
+func PushCPI(conn net.Conn, cfg CPIConfig, pts []Point) (TransferStats, error) {
+	t := transport.NewConn(conn)
+	err := protocol.RunCPIAlice(t, cfg, pts)
+	return t.Stats(), err
+}
+
+// PullCPI drives Bob's side of characteristic-polynomial sync.
+func PullCPI(conn net.Conn, cfg CPIConfig, local []Point) ([]Point, TransferStats, error) {
+	t := transport.NewConn(conn)
+	sp, err := protocol.RunCPIBob(t, cfg, local)
+	return sp, t.Stats(), err
+}
+
+// ValidateSet checks that every point belongs to the universe; protocols
+// run this implicitly, but callers building pipelines may want the check
+// at ingestion time.
+func ValidateSet(u Universe, pts []Point) error {
+	return u.CheckSet(pts)
+}
+
+// ClonePoints deep-copies a point slice.
+func ClonePoints(pts []Point) []Point { return points.Clone(pts) }
+
+// EqualMultisets reports whether two point slices contain the same points
+// with the same multiplicities.
+func EqualMultisets(a, b []Point) bool { return points.EqualMultisets(a, b) }

@@ -1,0 +1,181 @@
+// Package robustset implements robust set reconciliation (Chen, Konrad,
+// Yi, Yu, Zhang — SIGMOD 2014): one-way synchronization of point
+// multisets that treats close points as equal.
+//
+// Two parties, Alice and Bob, each hold n points in a discretized metric
+// space [Δ]^d. Most of Alice's points are noisy copies of Bob's (sensor
+// noise, float rounding, lossy compression); at most k are genuinely new.
+// Classic set reconciliation counts every noisy pair as two differences
+// and therefore costs Θ(n); this package lets Bob compute a multiset S'_B
+// whose Earth Mover's Distance to Alice's data is within an O(d) factor
+// of the unavoidable optimum EMD_k, at a communication cost proportional
+// to k — independent of n.
+//
+// The construction combines a randomly shifted hierarchical grid (a
+// randomly offset quadtree) with Invertible Bloom Lookup Tables: for each
+// grid resolution Alice sends an O(k)-cell IBLT of her points rounded to
+// grid cells; Bob subtracts his own and repairs his multiset at the
+// finest resolution that decodes. See DESIGN.md for the full architecture
+// and internal/core for the protocol implementation.
+//
+// # Quick start
+//
+//	u := robustset.Universe{Dim: 2, Delta: 1 << 20}
+//	params := robustset.Params{Universe: u, Seed: 42, DiffBudget: 16}
+//
+//	sketch, err := robustset.NewSketch(params, alicePoints) // Alice
+//	blob, err := sketch.MarshalBinary()                     // → network
+//
+//	var sk robustset.Sketch                                 // Bob
+//	err = sk.UnmarshalBinary(blob)
+//	res, err := robustset.Reconcile(&sk, bobPoints)
+//	// res.SPrime ≈ alicePoints in Earth Mover's Distance.
+//
+// For connection-oriented use, Push/Pull (one-shot) and PushAdaptive/
+// PullAdaptive (estimate-first, multi-round) run the protocol directly
+// over a net.Conn. The package also ships the classic exact
+// reconciliation schemes it is benchmarked against — IBLT difference
+// digests (PushExact/PullExact) and characteristic-polynomial sync
+// (PushCPI/PullCPI) — which remain the right tool when values match
+// bit-for-bit.
+package robustset
+
+import (
+	"robustset/internal/core"
+	"robustset/internal/emd"
+	"robustset/internal/grid"
+	"robustset/internal/points"
+)
+
+// Point is a point of the universe: one int64 coordinate per dimension.
+type Point = points.Point
+
+// Universe is the discretized domain [Δ]^d. Delta must be a power of two.
+type Universe = points.Universe
+
+// Metric measures distances between points.
+type Metric = points.Metric
+
+// Ground metrics.
+var (
+	// L1 is the Manhattan metric (the paper's primary metric).
+	L1 = points.L1
+	// L2 is the Euclidean metric.
+	L2 = points.L2
+	// LInf is the Chebyshev metric.
+	LInf = points.LInf
+)
+
+// Quantizer maps real-valued records into a Universe and back; see
+// NewQuantizer for the ingestion workflow.
+type Quantizer = points.Quantizer
+
+// NewQuantizer builds the affine float→grid quantizer that turns real
+// data (database rows, sensor readings) into reconcilable points: each
+// coordinate's [min, max] range is mapped onto [0, Δ). A roundtrip moves
+// a value by at most half a quantization step, which simply adds to the
+// noise floor the protocol absorbs.
+func NewQuantizer(u Universe, min, max []float64) (*Quantizer, error) {
+	return points.NewQuantizer(u, min, max)
+}
+
+// Params configures a reconciliation; both parties must agree on it
+// (sketches carry their Params on the wire, so in practice Bob adopts
+// Alice's).
+type Params = core.Params
+
+// Sketch is Alice's transmissible summary: one IBLT per grid level.
+type Sketch = core.Sketch
+
+// Result is Bob's reconciliation outcome.
+type Result = core.Result
+
+// LevelOutcome records one level's decode attempt inside a Result.
+type LevelOutcome = core.LevelOutcome
+
+// Errors surfaced by Reconcile. See the core package for details.
+var (
+	// ErrNoDecodableLevel means the difference exceeded the sketch's
+	// budget at every resolution; retry with a larger DiffBudget.
+	ErrNoDecodableLevel = core.ErrNoDecodableLevel
+	// ErrInconsistentSketch means a decoded difference contradicted the
+	// local set — corruption or mismatched parameters.
+	ErrInconsistentSketch = core.ErrInconsistentSketch
+)
+
+// NewSketch summarizes pts under p (Alice's side of the one-shot
+// protocol). The sketch costs O(DiffBudget · levels) cells on the wire.
+func NewSketch(p Params, pts []Point) (*Sketch, error) {
+	return core.BuildSketch(p, pts)
+}
+
+// Maintainer keeps a sketch synchronized with a changing multiset:
+// Add/Remove cost O(levels) instead of an O(n·levels) rebuild. See
+// NewMaintainer.
+type Maintainer = core.Maintainer
+
+// ErrNotPresent is returned by Maintainer.Remove for points that cannot
+// be in the maintained multiset.
+var ErrNotPresent = core.ErrNotPresent
+
+// NewMaintainer builds the sketch for the initial multiset together with
+// the occupancy state needed for incremental Add/Remove updates. A sync
+// server ingesting an update stream keeps one Maintainer per dataset and
+// serves Maintainer.Sketch() on demand; the maintained sketch is always
+// bitwise identical to a fresh NewSketch of the current multiset.
+func NewMaintainer(p Params, pts []Point) (*Maintainer, error) {
+	return core.NewMaintainer(p, pts)
+}
+
+// Reconcile computes S'_B from Alice's sketch and Bob's points (Bob's
+// side of the one-shot protocol).
+func Reconcile(s *Sketch, local []Point) (*Result, error) {
+	return core.Reconcile(s, local)
+}
+
+// ReconcileTwoWay runs the one-way protocol once in each direction and
+// returns both parties' updated multisets. As the paper notes, two-way
+// robust reconciliation does not make the sets equal — each party ends
+// close to the other's original data.
+func ReconcileTwoWay(p Params, alice, bob []Point) (alicePrime, bobPrime []Point, err error) {
+	skA, err := core.BuildSketch(p, alice)
+	if err != nil {
+		return nil, nil, err
+	}
+	skB, err := core.BuildSketch(p, bob)
+	if err != nil {
+		return nil, nil, err
+	}
+	resB, err := core.Reconcile(skA, bob)
+	if err != nil {
+		return nil, nil, err
+	}
+	resA, err := core.Reconcile(skB, alice)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resA.SPrime, resB.SPrime, nil
+}
+
+// EMD returns the exact Earth Mover's Distance between two equal-sized
+// multisets under m — the objective robust reconciliation optimizes. It
+// solves an assignment problem in O(n³); use EMDApprox for large n.
+func EMD(x, y []Point, m Metric) (float64, error) {
+	return emd.Exact(x, y, m)
+}
+
+// EMDk returns EMD_k: the minimum EMD after excluding k points from each
+// side — the baseline the protocol's accuracy is measured against.
+func EMDk(x, y []Point, m Metric, k int) (float64, error) {
+	return emd.Partial(x, y, m, k)
+}
+
+// EMDApprox estimates the ℓ1 Earth Mover's Distance in O(n·logΔ) time
+// via a randomly shifted grid embedding (O(d·logΔ) expected distortion).
+func EMDApprox(x, y []Point, u Universe, seed uint64) (float64, error) {
+	g, err := grid.New(u, seed)
+	if err != nil {
+		return 0, err
+	}
+	return emd.GridApprox(x, y, g)
+}

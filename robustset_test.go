@@ -1,0 +1,277 @@
+package robustset_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"net"
+	"testing"
+
+	"robustset"
+)
+
+var testU = robustset.Universe{Dim: 2, Delta: 1 << 16}
+
+// makeNoisyPair builds Bob's set plus Alice's noisy copy with k fresh
+// outliers, using only the public API surface.
+func makeNoisyPair(rng *rand.Rand, n, k int, noise int64) (alice, bob []robustset.Point) {
+	bob = make([]robustset.Point, n)
+	alice = make([]robustset.Point, n)
+	for i := range bob {
+		bob[i] = robustset.Point{rng.Int64N(testU.Delta), rng.Int64N(testU.Delta)}
+		if i < k {
+			alice[i] = robustset.Point{rng.Int64N(testU.Delta), rng.Int64N(testU.Delta)}
+			continue
+		}
+		p := robustset.Point{bob[i][0] + rng.Int64N(2*noise+1) - noise, bob[i][1] + rng.Int64N(2*noise+1) - noise}
+		for j, c := range p {
+			if c < 0 {
+				p[j] = 0
+			} else if c >= testU.Delta {
+				p[j] = testU.Delta - 1
+			}
+		}
+		alice[i] = p
+	}
+	return alice, bob
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	alice, bob := makeNoisyPair(rng, 200, 5, 3)
+	params := robustset.Params{Universe: testU, Seed: 42, DiffBudget: 5}
+
+	sketch, err := robustset.NewSketch(params, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sketch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire robustset.Sketch
+	if err := wire.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	res, err := robustset.Reconcile(&wire, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SPrime) != len(bob) {
+		t.Fatalf("|S'_B| = %d, want %d", len(res.SPrime), len(bob))
+	}
+	before, err := robustset.EMD(alice, bob, robustset.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := robustset.EMD(alice, res.SPrime, robustset.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("EMD did not improve: %v → %v", before, after)
+	}
+	// EMD_k lower-bounds what any protocol could achieve.
+	floor, err := robustset.EMDk(alice, bob, robustset.L1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < floor-1e-9 {
+		t.Errorf("EMD after (%v) below the EMD_k floor (%v): impossible", after, floor)
+	}
+}
+
+func TestPublicTwoWay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	alice, bob := makeNoisyPair(rng, 150, 4, 2)
+	params := robustset.Params{Universe: testU, Seed: 7, DiffBudget: 4}
+	ap, bp, err := robustset.ReconcileTwoWay(params, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap) != len(alice) || len(bp) != len(bob) {
+		t.Fatal("two-way size invariants broken")
+	}
+	// Each side must end closer to the other's original data.
+	d0, _ := robustset.EMD(alice, bob, robustset.L1)
+	dA, _ := robustset.EMD(bob, ap, robustset.L1)
+	dB, _ := robustset.EMD(alice, bp, robustset.L1)
+	if dA >= d0 || dB >= d0 {
+		t.Errorf("two-way did not improve either side: d0=%v dA=%v dB=%v", d0, dA, dB)
+	}
+}
+
+func TestPublicPushPullOverTCP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	alice, bob := makeNoisyPair(rng, 300, 6, 2)
+	params := robustset.Params{Universe: testU, Seed: 9, DiffBudget: 6}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type aliceOut struct {
+		stats robustset.TransferStats
+		err   error
+	}
+	done := make(chan aliceOut, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- aliceOut{err: err}
+			return
+		}
+		defer conn.Close()
+		stats, err := robustset.Push(conn, params, alice)
+		done <- aliceOut{stats: stats, err: err}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, stats, err := robustset.Pull(conn, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-done
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	if stats.BytesRecv != a.stats.BytesSent {
+		t.Errorf("bob received %d bytes, alice sent %d", stats.BytesRecv, a.stats.BytesSent)
+	}
+	if len(res.SPrime) != len(bob) {
+		t.Errorf("|S'_B| = %d, want %d", len(res.SPrime), len(bob))
+	}
+}
+
+func TestPublicAdaptiveOverTCP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	alice, bob := makeNoisyPair(rng, 400, 6, 3)
+	params := robustset.Params{Universe: testU, Seed: 11, DiffBudget: 6}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = robustset.PushAdaptive(conn, params, alice)
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, stats, err := robustset.PullAdaptive(conn, params, bob, robustset.AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SPrime) != len(bob) {
+		t.Errorf("|S'_B| = %d, want %d", len(res.SPrime), len(bob))
+	}
+	if stats.MsgsSent < 2 || stats.MsgsRecv < 2 {
+		t.Errorf("adaptive protocol should be multi-round, stats %+v", stats)
+	}
+}
+
+func TestPublicExactAndCPIOverTCP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	// Exact regime: Bob's set plus 10 replaced points.
+	_, bob := makeNoisyPair(rng, 250, 0, 0)
+	alice := robustset.ClonePoints(bob)
+	for i := 0; i < 10; i++ {
+		alice[i] = robustset.Point{rng.Int64N(testU.Delta), rng.Int64N(testU.Delta)}
+	}
+
+	runExact := func(name string, push func(net.Conn) error, pull func(net.Conn) ([]robustset.Point, error)) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		done := make(chan error, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			done <- push(conn)
+		}()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		got, err := pull(conn)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("%s alice: %v", name, err)
+		}
+		if !robustset.EqualMultisets(got, alice) {
+			t.Errorf("%s: result != S_A", name)
+		}
+	}
+
+	ecfg := robustset.ExactConfig{Universe: testU, Seed: 21}
+	runExact("exact-iblt",
+		func(c net.Conn) error { _, err := robustset.PushExact(c, ecfg, alice); return err },
+		func(c net.Conn) ([]robustset.Point, error) {
+			sp, _, err := robustset.PullExact(c, ecfg, bob)
+			return sp, err
+		})
+	ccfg := robustset.CPIConfig{Universe: testU, Seed: 23, Capacity: 32}
+	runExact("cpi",
+		func(c net.Conn) error { _, err := robustset.PushCPI(c, ccfg, alice); return err },
+		func(c net.Conn) ([]robustset.Point, error) {
+			sp, _, err := robustset.PullCPI(c, ccfg, bob)
+			return sp, err
+		})
+}
+
+func TestPublicEMDApprox(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	alice, bob := makeNoisyPair(rng, 100, 0, 4)
+	est, err := robustset.EMDApprox(alice, bob, testU, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := robustset.EMD(alice, bob, robustset.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 || exact <= 0 {
+		t.Fatalf("degenerate distances: est=%v exact=%v", est, exact)
+	}
+	if ratio := est / exact; math.IsNaN(ratio) || ratio < 0.02 || ratio > 100 {
+		t.Errorf("approximation ratio %v outside plausible distortion band", ratio)
+	}
+	if same, _ := robustset.EMDApprox(alice, alice, testU, 31); same != 0 {
+		t.Errorf("self-distance estimate %v, want 0", same)
+	}
+}
+
+func TestPublicValidateSet(t *testing.T) {
+	if err := robustset.ValidateSet(testU, []robustset.Point{{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := robustset.ValidateSet(testU, []robustset.Point{{-1, 0}}); err == nil {
+		t.Fatal("invalid point accepted")
+	}
+}
