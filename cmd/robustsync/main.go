@@ -6,20 +6,30 @@
 //
 //	robustsync gen      -out points.txt -n 1000 -dim 2 -delta 1048576 [-from base.txt -noise 4 -outliers 10]
 //	robustsync quantize -csv data.csv -cols 1,2 -out points.txt [-delta 16777216] [-min a,b -max c,d]
-//	robustsync local    -alice a.txt -bob b.txt [-k 16] [-adaptive] [-out sprime.txt]
-//	robustsync serve    -data a.txt -listen :7777 [-k 16] [-adaptive]
-//	robustsync pull     -data b.txt -connect host:7777 [-k 16] [-adaptive] [-out sprime.txt]
+//	robustsync local    -alice a.txt -bob b.txt [-k 16] [-proto adaptive] [-out sprime.txt]
+//	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16]
+//	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-out sprime.txt]
 //
-// `serve` is Alice (the party whose data is being fetched); `pull` is Bob.
-// Both sides must use the same -k, -seed and -adaptive settings.
+// `serve` publishes each -data file as a named dataset (the file's base
+// name without extension) on a multi-dataset sync server; it serves every
+// protocol variant concurrently and shuts down gracefully on SIGINT.
+// `pull` opens a session naming one dataset and a protocol
+// (-proto oneshot|adaptive|exact|cpi|naive) and adopts the server's
+// reconciliation parameters automatically.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
 	"robustset"
 	"robustset/internal/pointio"
@@ -57,10 +67,28 @@ func usage() {
   gen       generate a point file (optionally a noisy copy of another file)
   quantize  ingest float CSV data into a point file
   local     reconcile two local point files in-process
-  serve     serve a point file to pullers over TCP (Alice)
-  pull      reconcile the local file against a server (Bob)
+  serve     publish point files as named datasets on a sync server (Alice)
+  pull      reconcile the local file against a server dataset (Bob)
 run "robustsync <cmd> -h" for flags`)
 	os.Exit(2)
+}
+
+// strategyFor maps a -proto flag value to a Strategy.
+func strategyFor(proto string) (robustset.Strategy, error) {
+	switch proto {
+	case "", "oneshot", "robust":
+		return robustset.Robust{}, nil
+	case "adaptive":
+		return robustset.Adaptive{}, nil
+	case "exact":
+		return robustset.ExactIBLT{}, nil
+	case "cpi":
+		return robustset.CPI{}, nil
+	case "naive":
+		return robustset.Naive{}, nil
+	default:
+		return nil, fmt.Errorf("unknown -proto %q (oneshot|adaptive|exact|cpi|naive)", proto)
+	}
 }
 
 func cmdGen(args []string) error {
@@ -134,11 +162,19 @@ func cmdLocal(args []string) error {
 	bobFile := fs.String("bob", "", "Bob's point file (required)")
 	k := fs.Int("k", 16, "difference budget")
 	seed := fs.Uint64("seed", 42, "shared protocol seed")
-	adaptive := fs.Bool("adaptive", false, "use the estimate-first protocol")
+	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|cpi|naive (default oneshot)")
+	adaptive := fs.Bool("adaptive", false, "shorthand for -proto adaptive")
 	out := fs.String("out", "", "write Bob's reconciled set here")
 	fs.Parse(args)
 	if *aliceFile == "" || *bobFile == "" {
 		return fmt.Errorf("local: -alice and -bob are required")
+	}
+	if *adaptive && *proto == "" {
+		*proto = "adaptive"
+	}
+	strat, err := strategyFor(*proto)
+	if err != nil {
+		return fmt.Errorf("local: %w", err)
 	}
 	u, alice, err := readFile(*aliceFile)
 	if err != nil {
@@ -152,7 +188,7 @@ func cmdLocal(args []string) error {
 		return fmt.Errorf("local: universes differ: %+v vs %+v", u, ub)
 	}
 	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
-	res, stats, err := runLocal(params, alice, bob, *adaptive)
+	res, stats, err := runLocal(strat, params, alice, bob)
 	if err != nil {
 		return err
 	}
@@ -162,12 +198,17 @@ func cmdLocal(args []string) error {
 
 // runLocal wires the two sides through an in-process TCP connection so
 // the byte accounting matches a real deployment.
-func runLocal(params robustset.Params, alice, bob []points.Point, adaptive bool) (*robustset.Result, robustset.TransferStats, error) {
+func runLocal(strat robustset.Strategy, params robustset.Params, alice, bob []points.Point) (*robustset.SyncResult, robustset.TransferStats, error) {
+	sess, err := robustset.NewSession(strat, robustset.WithParams(params))
+	if err != nil {
+		return nil, robustset.TransferStats{}, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, robustset.TransferStats{}, err
 	}
 	defer ln.Close()
+	ctx := context.Background()
 	aliceErr := make(chan error, 1)
 	go func() {
 		conn, err := ln.Accept()
@@ -176,11 +217,7 @@ func runLocal(params robustset.Params, alice, bob []points.Point, adaptive bool)
 			return
 		}
 		defer conn.Close()
-		if adaptive {
-			_, err = robustset.PushAdaptive(conn, params, alice)
-		} else {
-			_, err = robustset.Push(conn, params, alice)
-		}
+		_, err = sess.Serve(ctx, conn, alice)
 		aliceErr <- err
 	}()
 	conn, err := net.Dial("tcp", ln.Addr().String())
@@ -188,13 +225,7 @@ func runLocal(params robustset.Params, alice, bob []points.Point, adaptive bool)
 		return nil, robustset.TransferStats{}, err
 	}
 	defer conn.Close()
-	var res *robustset.Result
-	var stats robustset.TransferStats
-	if adaptive {
-		res, stats, err = robustset.PullAdaptive(conn, params, bob, robustset.AdaptiveOptions{})
-	} else {
-		res, stats, err = robustset.Pull(conn, bob)
-	}
+	res, stats, err := sess.Fetch(ctx, conn, bob)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -204,49 +235,69 @@ func runLocal(params robustset.Params, alice, bob []points.Point, adaptive bool)
 	return res, stats, nil
 }
 
+// datasetName derives a dataset name from a point-file path: the base
+// name without its extension.
+func datasetName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	data := fs.String("data", "", "point file to serve (required)")
+	var data multiFlag
+	fs.Var(&data, "data", "point file to publish as a dataset (repeatable, required)")
 	listen := fs.String("listen", ":7777", "listen address")
 	k := fs.Int("k", 16, "difference budget")
 	seed := fs.Uint64("seed", 42, "shared protocol seed")
-	adaptive := fs.Bool("adaptive", false, "serve the estimate-first protocol")
-	once := fs.Bool("once", false, "exit after one session")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight sessions")
 	fs.Parse(args)
-	if *data == "" {
-		return fmt.Errorf("serve: -data is required")
+	if len(data) == 0 {
+		return fmt.Errorf("serve: at least one -data is required")
 	}
-	u, pts, err := readFile(*data)
-	if err != nil {
-		return err
+	srv := robustset.NewServer(robustset.WithServerLogger(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}))
+	for _, path := range data {
+		u, pts, err := readFile(path)
+		if err != nil {
+			return err
+		}
+		params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
+		name := datasetName(path)
+		if _, err := srv.Publish(name, params, pts); err != nil {
+			return err
+		}
+		fmt.Printf("published dataset %q: %d points (dim=%d delta=%d)\n", name, len(pts), u.Dim, u.Delta)
 	}
-	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	fmt.Printf("serving %d points on %s (k=%d adaptive=%v)\n", len(pts), ln.Addr(), *k, *adaptive)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
+	fmt.Printf("sync server listening on %s (k=%d, datasets: %s)\n", ln.Addr(), *k, strings.Join(srv.Datasets(), ", "))
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight sessions.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "robustsync: %v: shutting down (grace %v)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "robustsync: forced shutdown: %v\n", err)
 		}
-		var stats robustset.TransferStats
-		if *adaptive {
-			stats, err = robustset.PushAdaptive(conn, params, pts)
-		} else {
-			stats, err = robustset.Push(conn, params, pts)
-		}
-		conn.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "session error: %v\n", err)
-		} else {
-			fmt.Printf("session done: %s\n", stats)
-		}
-		if *once {
-			return nil
-		}
+		<-serveErr
+		return nil
 	}
 }
 
@@ -254,41 +305,63 @@ func cmdPull(args []string) error {
 	fs := flag.NewFlagSet("pull", flag.ExitOnError)
 	data := fs.String("data", "", "local point file (required)")
 	connect := fs.String("connect", "", "server address (required)")
-	k := fs.Int("k", 16, "difference budget (must match server)")
-	seed := fs.Uint64("seed", 42, "shared protocol seed (must match server)")
-	adaptive := fs.Bool("adaptive", false, "use the estimate-first protocol (must match server)")
+	dataset := fs.String("dataset", "", "dataset name on the server (default: derived from -data)")
+	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|cpi|naive (default oneshot)")
+	adaptive := fs.Bool("adaptive", false, "shorthand for -proto adaptive")
+	timeout := fs.Duration("timeout", time.Minute, "overall session deadline (0 = none)")
 	out := fs.String("out", "", "write the reconciled set here")
 	fs.Parse(args)
 	if *data == "" || *connect == "" {
 		return fmt.Errorf("pull: -data and -connect are required")
 	}
+	if *adaptive && *proto == "" {
+		*proto = "adaptive"
+	}
+	strat, err := strategyFor(*proto)
+	if err != nil {
+		return fmt.Errorf("pull: %w", err)
+	}
 	u, bob, err := readFile(*data)
 	if err != nil {
 		return err
+	}
+	name := *dataset
+	if name == "" {
+		name = datasetName(*data)
+	}
+	sess, err := robustset.NewSession(strat, robustset.WithDataset(name))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	conn, err := net.Dial("tcp", *connect)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
-	var res *robustset.Result
-	var stats robustset.TransferStats
-	if *adaptive {
-		res, stats, err = robustset.PullAdaptive(conn, params, bob, robustset.AdaptiveOptions{})
-	} else {
-		res, stats, err = robustset.Pull(conn, bob)
-	}
+	res, stats, err := sess.Fetch(ctx, conn, bob)
 	if err != nil {
 		return err
 	}
+	// The handshake adopted the server's parameters; write the result
+	// under that universe (it may be wider than the local file's).
+	u = res.Params.Universe
 	report(res, stats, u, nil, bob)
 	return writeResult(*out, u, res.SPrime)
 }
 
-func report(res *robustset.Result, stats robustset.TransferStats, u points.Universe, alice, bob []points.Point) {
-	fmt.Printf("reconciled at level %d (cell width %d): %d added, %d removed, |S'_B|=%d\n",
-		res.Level, res.CellWidth, len(res.Added), len(res.Removed), len(res.SPrime))
+func report(res *robustset.SyncResult, stats robustset.TransferStats, u points.Universe, alice, bob []points.Point) {
+	if r := res.Robust; r != nil {
+		fmt.Printf("reconciled at level %d (cell width %d): %d added, %d removed, |S'_B|=%d\n",
+			r.Level, r.CellWidth, len(r.Added), len(r.Removed), len(res.SPrime))
+	} else {
+		fmt.Printf("reconciled exactly: |S'_B|=%d\n", len(res.SPrime))
+	}
 	fmt.Printf("transfer: %s\n", stats)
 	if alice != nil {
 		before, _ := robustset.EMDApprox(alice, bob, u, 987)

@@ -1,9 +1,12 @@
-// Command netsync demonstrates deployment-shaped usage: a sketch server
-// and a client in separate goroutines connected by real TCP, exchanging
-// both protocol variants (one-shot push and the adaptive estimate-first
-// protocol) and printing the wire accounting of each.
+// Command netsync demonstrates deployment-shaped usage: a multi-dataset
+// sync server and several clients connected by real TCP. The server
+// publishes two named datasets; clients open sessions naming a dataset
+// and a protocol (one-shot push and the adaptive estimate-first variant),
+// adopt the server's reconciliation parameters through the handshake, and
+// print the wire accounting of each session. The server drains in-flight
+// sessions through a graceful Shutdown at the end.
 //
-// In a real deployment the server and client halves run in different
+// In a real deployment the server and the clients run in different
 // processes on different hosts; everything below the net.Listen/net.Dial
 // line is identical.
 //
@@ -13,11 +16,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"net"
-	"sync"
+	"time"
 
 	"robustset"
 )
@@ -35,70 +39,53 @@ func main() {
 	serverSet, clientSet := makeData(rng)
 	params := robustset.Params{Universe: universe, Seed: 2718, DiffBudget: nOutlier}
 
+	// A second, smaller dataset shows the multiplexing: same server, own
+	// parameters.
+	auxSet := make([]robustset.Point, 500)
+	for i := range auxSet {
+		auxSet[i] = robustset.Point{rng.Int64N(universe.Delta), rng.Int64N(universe.Delta)}
+	}
+	auxParams := robustset.Params{Universe: universe, Seed: 31415, DiffBudget: 8}
+
+	srv := robustset.NewServer(robustset.WithServerLogger(log.Printf))
+	if _, err := srv.Publish("telemetry/main", params, serverSet); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv.Publish("telemetry/aux", auxParams, auxSet); err != nil {
+		log.Fatal(err)
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
-	fmt.Printf("sketch server listening on %s (%d points)\n\n", ln.Addr(), nPoints)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	fmt.Printf("sync server on %s, datasets: %v\n\n", ln.Addr(), srv.Datasets())
 
-	// The server accepts two connections: one one-shot push, one adaptive
-	// session.
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < 2; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				log.Printf("server: %v", err)
-				return
-			}
-			go func(id int, conn net.Conn) {
-				defer conn.Close()
-				var stats robustset.TransferStats
-				var err error
-				if id == 0 {
-					stats, err = robustset.Push(conn, params, serverSet)
-				} else {
-					stats, err = robustset.PushAdaptive(conn, params, serverSet)
-				}
-				if err != nil {
-					log.Printf("server session %d: %v", id, err)
-					return
-				}
-				fmt.Printf("server session %d done: %s\n", id, stats)
-			}(i, conn)
-		}
-	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
-	// --- Client: one-shot pull. ---
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	res1, stats1, err := robustset.Pull(conn, clientSet)
-	conn.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	// --- Client 1: one-shot robust pull of the main dataset. ---
+	res1, stats1 := fetch(ctx, ln.Addr(), robustset.Robust{}, "telemetry/main", clientSet)
 	fmt.Printf("one-shot pull:  %6d bytes, %d msgs, level %2d, %d diffs recovered\n",
-		stats1.Total(), stats1.MsgsSent+stats1.MsgsRecv, res1.Level, res1.DiffSize())
+		stats1.Total(), stats1.MsgsSent+stats1.MsgsRecv, res1.Robust.Level, res1.Robust.DiffSize())
 
-	// --- Client: adaptive estimate-first pull. ---
-	conn, err = net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	res2, stats2, err := robustset.PullAdaptive(conn, params, clientSet, robustset.AdaptiveOptions{})
-	conn.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	// --- Client 2: adaptive estimate-first pull of the same dataset. ---
+	res2, stats2 := fetch(ctx, ln.Addr(), robustset.Adaptive{}, "telemetry/main", clientSet)
 	fmt.Printf("adaptive pull:  %6d bytes, %d msgs, level %2d, %d diffs recovered\n",
-		stats2.Total(), stats2.MsgsSent+stats2.MsgsRecv, res2.Level, res2.DiffSize())
+		stats2.Total(), stats2.MsgsSent+stats2.MsgsRecv, res2.Robust.Level, res2.Robust.DiffSize())
 
-	wg.Wait()
+	// --- Client 3: cold replica of the aux dataset via naive transfer. ---
+	res3, stats3 := fetch(ctx, ln.Addr(), robustset.Naive{}, "telemetry/aux", nil)
+	fmt.Printf("aux full pull:  %6d bytes, %d msgs, %d points\n",
+		stats3.Total(), stats3.MsgsSent+stats3.MsgsRecv, len(res3.SPrime))
+
+	// Drain the server.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	<-serveDone
 
 	q1, _ := robustset.EMDApprox(serverSet, res1.SPrime, universe, 3)
 	q2, _ := robustset.EMDApprox(serverSet, res2.SPrime, universe, 3)
@@ -108,6 +95,25 @@ func main() {
 	fmt.Printf("  one-shot:      %.0f\n", q1)
 	fmt.Printf("  adaptive:      %.0f\n", q2)
 	fmt.Printf("\nnaive transfer would have cost %d bytes per session\n", 16*nPoints)
+}
+
+// fetch opens one client session against the server: dial, handshake for
+// the named dataset, run the strategy.
+func fetch(ctx context.Context, addr net.Addr, strat robustset.Strategy, dataset string, local []robustset.Point) (*robustset.SyncResult, robustset.TransferStats) {
+	sess, err := robustset.NewSession(strat, robustset.WithDataset(dataset))
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	res, stats, err := sess.Fetch(ctx, conn, local)
+	if err != nil {
+		log.Fatalf("%s on %q: %v", strat.Name(), dataset, err)
+	}
+	return res, stats
 }
 
 // makeData builds the server's set and the client's noisy replica.

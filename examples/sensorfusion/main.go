@@ -1,9 +1,10 @@
 // Command sensorfusion models the paper's motivating scenario: two sensor
 // arrays observe the same field of objects with independent measurement
 // noise, and each also detects a few objects the other missed. The
-// stations synchronize over a real (in-process) TCP connection and the
-// example compares every protocol this module ships on the identical
-// input: robust one-shot, robust estimate-first, exact IBLT sync, and
+// stations synchronize over a real (in-process) TCP connection, and the
+// example compares every reconciliation strategy this module ships on the
+// identical input by iterating the Strategy values behind one Session
+// runner: robust one-shot, robust estimate-first, exact IBLT sync, and
 // naive transfer.
 //
 // Run it with:
@@ -12,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand/v2"
 	"net"
+	"time"
 
 	"robustset"
 )
@@ -43,48 +46,64 @@ func main() {
 
 	params := robustset.Params{Universe: universe, Seed: 1234, DiffBudget: missed}
 
-	runOverTCP("robust-oneshot", stationA, stationB,
-		func(c net.Conn) error { _, err := robustset.Push(c, params, stationA); return err },
-		func(c net.Conn) ([]robustset.Point, robustset.TransferStats, error) {
-			res, st, err := robustset.Pull(c, stationB)
-			if err != nil {
-				return nil, st, err
-			}
-			return res.SPrime, st, nil
-		})
-
-	runOverTCP("robust-estimate", stationA, stationB,
-		func(c net.Conn) error { _, err := robustset.PushAdaptive(c, params, stationA); return err },
-		func(c net.Conn) ([]robustset.Point, robustset.TransferStats, error) {
-			res, st, err := robustset.PullAdaptive(c, params, stationB, robustset.AdaptiveOptions{})
-			if err != nil {
-				return nil, st, err
-			}
-			return res.SPrime, st, nil
-		})
-
-	ecfg := robustset.ExactConfig{Universe: universe, Seed: 77}
-	runOverTCP("exact-iblt", stationA, stationB,
-		func(c net.Conn) error { _, err := robustset.PushExact(c, ecfg, stationA); return err },
-		func(c net.Conn) ([]robustset.Point, robustset.TransferStats, error) {
-			return robustset.PullExact(c, ecfg, stationB)
-		})
-
-	runOverTCP("naive", stationA, stationB,
-		func(c net.Conn) error {
-			// Naive transfer: ship every reading.
-			t := rawSetSender{conn: c}
-			return t.send(stationA)
-		},
-		func(c net.Conn) ([]robustset.Point, robustset.TransferStats, error) {
-			t := rawSetSender{conn: c}
-			sp, n, err := t.recv()
-			return sp, robustset.TransferStats{BytesRecv: int64(n), MsgsRecv: 1}, err
-		})
+	// The same runner serves every protocol: the Strategy value is the
+	// only thing that changes. (CPI is omitted: under per-reading noise
+	// its fixed capacity would have to cover ~2n differences.)
+	strategies := []robustset.Strategy{
+		robustset.Robust{},
+		robustset.Adaptive{},
+		robustset.ExactIBLT{},
+		robustset.Naive{},
+	}
+	for _, strat := range strategies {
+		runStrategy(strat, params, stationA, stationB)
+	}
 
 	fmt.Println("\nNote: exact sync must transfer ~2n differences because every noisy")
 	fmt.Println("pair looks like two distinct readings; the robust protocols only pay")
 	fmt.Println("for the objects genuinely unique to station A.")
+}
+
+// runStrategy wires the two stations through a loopback TCP connection
+// under the given strategy and prints one table row.
+func runStrategy(strat robustset.Strategy, params robustset.Params, stationA, stationB []robustset.Point) {
+	sess, err := robustset.NewSession(strat, robustset.WithParams(params))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = sess.Serve(ctx, conn, stationA)
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	res, stats, err := sess.Fetch(ctx, conn, stationB)
+	if err != nil {
+		log.Fatalf("%s: %v", strat.Name(), err)
+	}
+	if err := <-done; err != nil {
+		log.Fatalf("%s (serving side): %v", strat.Name(), err)
+	}
+	quality, _ := robustset.EMDApprox(stationA, res.SPrime, universe, 99)
+	fmt.Printf("%-18s %12d %8d %14.0f\n", strat.Name(), stats.Total(), stats.MsgsSent+stats.MsgsRecv, quality)
 }
 
 // observeField produces the two stations' readings of a shared object
@@ -118,102 +137,4 @@ func observeField(rng *rand.Rand) (a, b []robustset.Point) {
 		a[i] = observe(obj)
 	}
 	return a, b
-}
-
-// runOverTCP wires alice and bob through a loopback TCP connection and
-// prints one table row.
-func runOverTCP(
-	name string,
-	stationA, stationB []robustset.Point,
-	alice func(net.Conn) error,
-	bob func(net.Conn) ([]robustset.Point, robustset.TransferStats, error),
-) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	done := make(chan error, 1)
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			done <- err
-			return
-		}
-		defer conn.Close()
-		done <- alice(conn)
-	}()
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
-	sp, stats, err := bob(conn)
-	if err != nil {
-		log.Fatalf("%s: %v", name, err)
-	}
-	if err := <-done; err != nil {
-		log.Fatalf("%s (alice): %v", name, err)
-	}
-	quality, _ := robustset.EMDApprox(stationA, sp, universe, 99)
-	fmt.Printf("%-18s %12d %8d %14.0f\n", name, stats.Total(), stats.MsgsSent+stats.MsgsRecv, quality)
-}
-
-// rawSetSender implements naive whole-set transfer over a conn with the
-// same framing cost model as the real protocols (4-byte length prefix).
-type rawSetSender struct{ conn net.Conn }
-
-func (r rawSetSender) send(pts []robustset.Point) error {
-	buf := make([]byte, 0, 4+len(pts)*8*universe.Dim)
-	n := uint32(len(pts))
-	buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
-	for _, p := range pts {
-		for _, c := range p {
-			v := uint64(c)
-			for s := 0; s < 64; s += 8 {
-				buf = append(buf, byte(v>>s))
-			}
-		}
-	}
-	_, err := r.conn.Write(buf)
-	return err
-}
-
-func (r rawSetSender) recv() ([]robustset.Point, int, error) {
-	var hdr [4]byte
-	if _, err := readFull(r.conn, hdr[:]); err != nil {
-		return nil, 0, err
-	}
-	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
-	body := make([]byte, n*8*universe.Dim)
-	if _, err := readFull(r.conn, body); err != nil {
-		return nil, 0, err
-	}
-	pts := make([]robustset.Point, n)
-	off := 0
-	for i := range pts {
-		p := make(robustset.Point, universe.Dim)
-		for j := 0; j < universe.Dim; j++ {
-			var v uint64
-			for s := 0; s < 64; s += 8 {
-				v |= uint64(body[off]) << s
-				off++
-			}
-			p[j] = int64(v)
-		}
-		pts[i] = p
-	}
-	return pts, 4 + len(body), nil
-}
-
-func readFull(c net.Conn, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := c.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
 }

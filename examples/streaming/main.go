@@ -1,12 +1,14 @@
-// Command streaming demonstrates incremental sketch maintenance: a
-// telemetry server whose dataset changes continuously keeps a
-// robustset.Maintainer instead of re-encoding n·levels hashes per
-// snapshot, and clients pull reconciliations at arbitrary moments.
+// Command streaming demonstrates incremental sketch maintenance behind
+// the Server API: a telemetry server whose dataset changes continuously
+// publishes it as a named Dataset (backed by a robustset.Maintainer, so
+// each update costs O(levels) hashes instead of an O(n·levels) re-encode)
+// and clients pull reconciliations at arbitrary moments through ordinary
+// sessions.
 //
-// The example streams 2,000 updates through a 10,000-point dataset,
-// serving a client pull every 500 updates, and shows that (a) each pull
-// reconciles against the dataset as of that instant and (b) maintaining
-// the sketch is ~three orders of magnitude cheaper than rebuilding it.
+// The example streams updates through a 10,000-point dataset, serving a
+// client pull every 50 updates, and shows that (a) each pull reconciles
+// against the dataset as of that instant and (b) maintaining the sketch
+// is orders of magnitude cheaper than rebuilding it.
 //
 // Run it with:
 //
@@ -14,11 +16,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"net"
-	"sync"
 	"time"
 
 	"robustset"
@@ -44,19 +46,29 @@ func main() {
 	rng := rand.New(rand.NewPCG(3, 33))
 	params := robustset.Params{Universe: universe, Seed: 1001, DiffBudget: diffBudget}
 
-	// Server state: live dataset + maintained sketch.
+	// Server state: the live dataset, published on a sync server. Publish
+	// builds the maintained sketch once.
 	dataset := make([]robustset.Point, nPoints)
 	for i := range dataset {
 		dataset[i] = randPoint(rng)
 	}
+	srv := robustset.NewServer(robustset.WithServerLogger(log.Printf))
 	start := time.Now()
-	maintainer, err := robustset.NewMaintainer(params, dataset)
+	live, err := srv.Publish("telemetry", params, dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("initial encode of %d points: %v\n", nPoints, time.Since(start).Round(time.Millisecond))
 
-	// Client state: a noisy replica of the initial dataset.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// Client state: a noisy replica of the initial dataset, and a session
+	// reused for every pull.
 	replica := make([]robustset.Point, nPoints)
 	for i, p := range dataset {
 		replica[i] = universe.Clamp(robustset.Point{
@@ -64,47 +76,45 @@ func main() {
 			p[1] + rng.Int64N(2*noise+1) - noise,
 		})
 	}
-
-	// The maintainer is mutated by the update stream and read by pull
-	// sessions, so all access goes through one mutex; PushSketch holds it
-	// only long enough to serialize the snapshot.
-	var mu sync.Mutex
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	sess, err := robustset.NewSession(robustset.Robust{}, robustset.WithDataset("telemetry"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
-	go serve(ln, maintainer, &mu)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 
 	var maintainTotal time.Duration
 	for u := 1; u <= nUpdates; u++ {
-		// Stream one update: replace a random point.
+		// Stream one update: replace a random point. Dataset.Remove/Add
+		// keep the served sketch in sync incrementally.
 		i := rng.IntN(len(dataset))
 		t0 := time.Now()
-		mu.Lock()
-		if err := maintainer.Remove(dataset[i]); err != nil {
+		if err := live.Remove(dataset[i]); err != nil {
 			log.Fatal(err)
 		}
 		dataset[i] = randPoint(rng)
-		if err := maintainer.Add(dataset[i]); err != nil {
+		if err := live.Add(dataset[i]); err != nil {
 			log.Fatal(err)
 		}
-		mu.Unlock()
 		maintainTotal += time.Since(t0)
 
 		if u%pullEvery == 0 {
-			res, stats, err := pull(ln.Addr().String(), replica)
+			res, stats, err := pull(ctx, sess, ln.Addr().String(), replica)
 			if err != nil {
 				log.Fatal(err)
 			}
 			quality, _ := robustset.EMDApprox(dataset, res.SPrime, universe, 77)
 			fmt.Printf("after %4d updates: pull %s, level %2d, %3d diffs, grid-EMD to live data %.0f\n",
-				u, compact(stats), res.Level, res.DiffSize(), quality)
+				u, compact(stats), res.Robust.Level, res.Robust.DiffSize(), quality)
 			// The client adopts the reconciled view.
 			replica = res.SPrime
 		}
 	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-serveDone
+
 	fmt.Println("\nnote: each recovered point carries cell-radius rounding at the decoded")
 	fmt.Println("level, so the replica's distance to the live data grows by ~(churn ×")
 	fmt.Println("cell radius) per interval until re-churned — the budget/accuracy")
@@ -119,36 +129,19 @@ func main() {
 	fmt.Printf("one full re-encode for comparison: %v\n", time.Since(t0).Round(time.Millisecond))
 }
 
-func serve(ln net.Listener, m *robustset.Maintainer, mu *sync.Mutex) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		// PushSketch serializes the maintained sketch as-is — no
-		// re-encoding of the dataset; the lock gives the session a
-		// point-in-time snapshot.
-		mu.Lock()
-		_, err = robustset.PushSketch(conn, m.Sketch())
-		mu.Unlock()
-		if err != nil {
-			log.Printf("serve: %v", err)
-		}
-		conn.Close()
-	}
-}
-
 func randPoint(rng *rand.Rand) robustset.Point {
 	return robustset.Point{rng.Int64N(universe.Delta), rng.Int64N(universe.Delta)}
 }
 
-func pull(addr string, local []robustset.Point) (*robustset.Result, robustset.TransferStats, error) {
+// pull opens one client session against the server and reconciles the
+// replica against the dataset's state at that instant.
+func pull(ctx context.Context, sess *robustset.Session, addr string, local []robustset.Point) (*robustset.SyncResult, robustset.TransferStats, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, robustset.TransferStats{}, err
 	}
 	defer conn.Close()
-	return robustset.Pull(conn, local)
+	return sess.Fetch(ctx, conn, local)
 }
 
 func compact(s robustset.TransferStats) string {

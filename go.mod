@@ -1,0 +1,3 @@
+module robustset
+
+go 1.24

@@ -8,6 +8,8 @@
 package baseline
 
 import (
+	"context"
+
 	"robustset/internal/core"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
@@ -81,9 +83,11 @@ func (r RobustOneShot) Name() string { return "robust-oneshot" }
 // Run implements Reconciler.
 func (r RobustOneShot) Run(alice, bob []points.Point) (*Outcome, error) {
 	return execute(
-		func(t transport.Transport) error { return protocol.RunPushAlice(t, r.Params, alice) },
+		func(t transport.Transport) error {
+			return protocol.RunPushAlice(context.Background(), t, r.Params, alice)
+		},
 		func(t transport.Transport) ([]points.Point, *core.Result, error) {
-			res, err := protocol.RunPushBob(t, bob)
+			res, err := protocol.RunPushBob(context.Background(), t, bob)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -104,9 +108,11 @@ func (r RobustEstimateFirst) Name() string { return "robust-estimate" }
 // Run implements Reconciler.
 func (r RobustEstimateFirst) Run(alice, bob []points.Point) (*Outcome, error) {
 	return execute(
-		func(t transport.Transport) error { return protocol.RunEstimateAlice(t, r.Params, alice) },
+		func(t transport.Transport) error {
+			return protocol.RunEstimateAlice(context.Background(), t, r.Params, alice)
+		},
 		func(t transport.Transport) ([]points.Point, *core.Result, error) {
-			res, err := protocol.RunEstimateBob(t, r.Params, bob, r.Opts)
+			res, err := protocol.RunEstimateBob(context.Background(), t, r.Params, bob, r.Opts)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -125,9 +131,11 @@ func (n Naive) Name() string { return "naive" }
 // Run implements Reconciler.
 func (n Naive) Run(alice, bob []points.Point) (*Outcome, error) {
 	return execute(
-		func(t transport.Transport) error { return protocol.RunNaiveAlice(t, n.Universe, alice) },
+		func(t transport.Transport) error {
+			return protocol.RunNaiveAlice(context.Background(), t, n.Universe, alice)
+		},
 		func(t transport.Transport) ([]points.Point, *core.Result, error) {
-			sp, err := protocol.RunNaiveBob(t, n.Universe)
+			sp, err := protocol.RunNaiveBob(context.Background(), t, n.Universe)
 			return sp, nil, err
 		})
 }
@@ -144,9 +152,11 @@ func (e ExactIBLT) Name() string { return "exact-iblt" }
 // Run implements Reconciler.
 func (e ExactIBLT) Run(alice, bob []points.Point) (*Outcome, error) {
 	return execute(
-		func(t transport.Transport) error { return protocol.RunExactIBLTAlice(t, e.Config, alice) },
+		func(t transport.Transport) error {
+			return protocol.RunExactIBLTAlice(context.Background(), t, e.Config, alice)
+		},
 		func(t transport.Transport) ([]points.Point, *core.Result, error) {
-			sp, err := protocol.RunExactIBLTBob(t, e.Config, bob)
+			sp, err := protocol.RunExactIBLTBob(context.Background(), t, e.Config, bob)
 			return sp, nil, err
 		})
 }
@@ -163,9 +173,11 @@ func (c CPISync) Name() string { return "cpi" }
 // Run implements Reconciler.
 func (c CPISync) Run(alice, bob []points.Point) (*Outcome, error) {
 	return execute(
-		func(t transport.Transport) error { return protocol.RunCPIAlice(t, c.Config, alice) },
+		func(t transport.Transport) error {
+			return protocol.RunCPIAlice(context.Background(), t, c.Config, alice)
+		},
 		func(t transport.Transport) ([]points.Point, *core.Result, error) {
-			sp, err := protocol.RunCPIBob(t, c.Config, bob)
+			sp, err := protocol.RunCPIBob(context.Background(), t, c.Config, bob)
 			return sp, nil, err
 		})
 }

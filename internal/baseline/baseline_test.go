@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -203,7 +204,7 @@ func TestRobustOverRealTCP(t *testing.T) {
 		}
 		tr := transport.NewConn(conn)
 		defer tr.Close()
-		aliceDone <- protocol.RunPushAlice(tr, params, inst.Alice)
+		aliceDone <- protocol.RunPushAlice(context.Background(), tr, params, inst.Alice)
 	}()
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
@@ -211,7 +212,7 @@ func TestRobustOverRealTCP(t *testing.T) {
 	}
 	tr := transport.NewConn(conn)
 	defer tr.Close()
-	res, err := protocol.RunPushBob(tr, inst.Bob)
+	res, err := protocol.RunPushBob(context.Background(), tr, inst.Bob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,9 +232,9 @@ func TestRemoteErrorPropagates(t *testing.T) {
 	defer bt.Close()
 	go func() {
 		badParams := core.Params{Universe: points.Universe{Dim: 0, Delta: 4}, DiffBudget: 1}
-		_ = protocol.RunPushAlice(at, badParams, nil)
+		_ = protocol.RunPushAlice(context.Background(), at, badParams, nil)
 	}()
-	_, err := protocol.RunPushBob(bt, nil)
+	_, err := protocol.RunPushBob(context.Background(), bt, nil)
 	if err == nil {
 		t.Fatal("bob succeeded against failing alice")
 	}

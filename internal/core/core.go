@@ -238,6 +238,9 @@ type LevelOutcome struct {
 type Result struct {
 	// SPrime is Bob's reconciled multiset S'_B.
 	SPrime []points.Point
+	// Params are the normalized parameters the reconciliation ran under
+	// (for the one-shot protocol, the ones carried by Alice's sketch).
+	Params Params
 	// Level is the finest grid level whose sketch decoded.
 	Level int
 	// CellWidth is the grid cell width at Level.
@@ -289,7 +292,7 @@ func Reconcile(s *Sketch, bobPts []points.Point) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{Params: p}
 	for l := p.MaxLevel; l >= p.MinLevel; l-- {
 		idx := l - p.MinLevel
 		t := s.Tables[idx].Clone()
@@ -411,7 +414,7 @@ func ReconcileLevel(p Params, aliceTable *iblt.Table, bobPts []points.Point, lev
 	if err != nil {
 		return nil, fmt.Errorf("core: level %d table did not decode: %w", level, err)
 	}
-	res := &Result{Outcomes: []LevelOutcome{{Level: level, Decoded: true, DiffSize: diff.Size()}}}
+	res := &Result{Params: p, Outcomes: []LevelOutcome{{Level: level, Decoded: true, DiffSize: diff.Size()}}}
 	if err := repair(res, g, level, diff, bobPts); err != nil {
 		return nil, err
 	}

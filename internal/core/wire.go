@@ -10,13 +10,72 @@ import (
 
 // Sketch wire format:
 //
-//	"RSK1" | dim u16 | delta u64 | seed u64 | diffBudget u32 |
-//	hashCount u8 | minLevel u8 | maxLevel u8 | tableCapacity u32 |
+//	"RSK1" | params (ParamsWireSize bytes, see Params.MarshalBinary) |
 //	count u32 | nTables u16 | nTables × ( u32 len | IBLT blob )
 const (
 	sketchMagic      = "RSK1"
-	sketchHeaderSize = 4 + 2 + 8 + 8 + 4 + 1 + 1 + 1 + 4 + 4 + 2
+	sketchHeaderSize = 4 + ParamsWireSize + 4 + 2
 )
+
+// ParamsWireSize is the fixed length of the Params wire encoding:
+// dim u16 | delta u64 | seed u64 | diffBudget u32 | hashCount u8 |
+// minLevel u8 | maxLevel u8 | tableCapacity u32.
+const ParamsWireSize = 2 + 8 + 8 + 4 + 1 + 1 + 1 + 4
+
+// MarshalBinary encodes p in the fixed ParamsWireSize-byte wire format
+// shared by the sketch header and the session handshake. The parameters
+// are normalized first, so both endpoints decode identical defaults.
+func (p Params) MarshalBinary() ([]byte, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if p.MaxLevel > 255 || p.MinLevel > 255 {
+		return nil, fmt.Errorf("core: levels [%d,%d] exceed wire format", p.MinLevel, p.MaxLevel)
+	}
+	return appendParams(make([]byte, 0, ParamsWireSize), p), nil
+}
+
+// UnmarshalBinary decodes MarshalBinary output, validating via the same
+// normalization path that guards wire-derived sketch headers.
+func (p *Params) UnmarshalBinary(data []byte) error {
+	if len(data) != ParamsWireSize {
+		return fmt.Errorf("core: params encoding is %d bytes, want %d", len(data), ParamsWireSize)
+	}
+	np, err := parseParams(data).normalized()
+	if err != nil {
+		return fmt.Errorf("core: params: %w", err)
+	}
+	*p = np
+	return nil
+}
+
+// appendParams appends the wire encoding of normalized parameters.
+func appendParams(dst []byte, p Params) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.Universe.Dim))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Universe.Delta))
+	dst = binary.LittleEndian.AppendUint64(dst, p.Seed)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.DiffBudget))
+	dst = append(dst, byte(p.HashCount), byte(p.MinLevel), byte(p.MaxLevel))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.TableCapacity))
+	return dst
+}
+
+// parseParams decodes exactly ParamsWireSize bytes; the caller validates
+// the result via normalized().
+func parseParams(data []byte) Params {
+	p := Params{}
+	p.Universe.Dim = int(binary.LittleEndian.Uint16(data))
+	p.Universe.Delta = int64(binary.LittleEndian.Uint64(data[2:]))
+	p.Seed = binary.LittleEndian.Uint64(data[10:])
+	p.DiffBudget = int(binary.LittleEndian.Uint32(data[18:]))
+	p.HashCount = int(data[22])
+	p.MinLevel = int(data[23])
+	p.MaxLevel = int(data[24])
+	p.levelsSet = true
+	p.TableCapacity = int(binary.LittleEndian.Uint32(data[25:]))
+	return p
+}
 
 // MarshalBinary encodes the sketch for transmission. The parameters ride
 // along, so Bob reconstructs everything (grid, hash functions) from the
@@ -31,12 +90,7 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	}
 	out := make([]byte, 0, s.WireSize())
 	out = append(out, sketchMagic...)
-	out = binary.LittleEndian.AppendUint16(out, uint16(p.Universe.Dim))
-	out = binary.LittleEndian.AppendUint64(out, uint64(p.Universe.Delta))
-	out = binary.LittleEndian.AppendUint64(out, p.Seed)
-	out = binary.LittleEndian.AppendUint32(out, uint32(p.DiffBudget))
-	out = append(out, byte(p.HashCount), byte(p.MinLevel), byte(p.MaxLevel))
-	out = binary.LittleEndian.AppendUint32(out, uint32(p.TableCapacity))
+	out = appendParams(out, p)
 	out = binary.LittleEndian.AppendUint32(out, uint32(s.Count))
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Tables)))
 	for _, t := range s.Tables {
@@ -55,18 +109,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if len(data) < sketchHeaderSize || string(data[:4]) != sketchMagic {
 		return errors.New("core: sketch: bad magic or short header")
 	}
-	p := Params{}
-	p.Universe.Dim = int(binary.LittleEndian.Uint16(data[4:]))
-	p.Universe.Delta = int64(binary.LittleEndian.Uint64(data[6:]))
-	p.Seed = binary.LittleEndian.Uint64(data[14:])
-	p.DiffBudget = int(binary.LittleEndian.Uint32(data[22:]))
-	p.HashCount = int(data[26])
-	p.MinLevel = int(data[27])
-	p.MaxLevel = int(data[28])
-	p.levelsSet = true
-	p.TableCapacity = int(binary.LittleEndian.Uint32(data[29:]))
-	count := int(binary.LittleEndian.Uint32(data[33:]))
-	nTables := int(binary.LittleEndian.Uint16(data[37:]))
+	p := parseParams(data[4:])
+	count := int(binary.LittleEndian.Uint32(data[4+ParamsWireSize:]))
+	nTables := int(binary.LittleEndian.Uint16(data[4+ParamsWireSize+4:]))
 	p, err := p.normalized()
 	if err != nil {
 		return fmt.Errorf("core: sketch: %w", err)

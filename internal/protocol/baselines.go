@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -19,16 +20,16 @@ import (
 
 // RunNaiveAlice sends the entire point set — the trivial comparator every
 // sublinear protocol must beat.
-func RunNaiveAlice(t transport.Transport, u points.Universe, pts []points.Point) error {
+func RunNaiveAlice(ctx context.Context, t transport.Transport, u points.Universe, pts []points.Point) error {
 	if err := u.CheckSet(pts); err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
-	return send(t, MsgSet, points.EncodeSet(pts, u.Dim))
+	return send(ctx, t, MsgSet, points.EncodeSet(pts, u.Dim))
 }
 
 // RunNaiveBob receives Alice's entire set, which becomes Bob's result.
-func RunNaiveBob(t transport.Transport, u points.Universe) ([]points.Point, error) {
-	body, err := recvExpect(t, MsgSet)
+func RunNaiveBob(ctx context.Context, t transport.Transport, u points.Universe) ([]points.Point, error) {
+	body, err := recvExpect(ctx, t, MsgSet)
 	if err != nil {
 		return nil, err
 	}
@@ -115,25 +116,25 @@ func exactTable(cfg ExactConfig, keys [][]byte, capacity int) (*iblt.Table, erro
 
 // RunExactIBLTAlice serves Alice's side of exact-IBLT sync: estimator
 // first, then exactly-sized tables on request.
-func RunExactIBLTAlice(t transport.Transport, cfg ExactConfig, pts []points.Point) error {
+func RunExactIBLTAlice(ctx context.Context, t transport.Transport, cfg ExactConfig, pts []points.Point) error {
 	cfg = cfg.filled()
 	if err := cfg.Universe.CheckSet(pts); err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
 	keys := exactKeys(cfg.Universe, pts)
 	st, err := exactStrata(cfg, keys)
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
 	blob, err := st.MarshalBinary()
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
-	if err := send(t, MsgStrata, blob); err != nil {
+	if err := send(ctx, t, MsgStrata, blob); err != nil {
 		return err
 	}
 	for {
-		typ, body, err := recv(t)
+		typ, body, err := recv(ctx, t)
 		if err != nil {
 			return err
 		}
@@ -142,79 +143,79 @@ func RunExactIBLTAlice(t transport.Transport, cfg ExactConfig, pts []points.Poin
 			return nil
 		case MsgIBLTRequest:
 			if len(body) != 4 {
-				return sendErr(t, errors.New("protocol: malformed IBLT request"))
+				return sendErr(ctx, t, errors.New("protocol: malformed IBLT request"))
 			}
 			capacity := int(binary.LittleEndian.Uint32(body))
 			if capacity < 1 || capacity > 1<<24 {
-				return sendErr(t, fmt.Errorf("protocol: capacity %d out of range", capacity))
+				return sendErr(ctx, t, fmt.Errorf("protocol: capacity %d out of range", capacity))
 			}
 			tbl, err := exactTable(cfg, keys, capacity)
 			if err != nil {
-				return sendErr(t, err)
+				return sendErr(ctx, t, err)
 			}
 			tb, err := tbl.MarshalBinary()
 			if err != nil {
-				return sendErr(t, err)
+				return sendErr(ctx, t, err)
 			}
-			if err := send(t, MsgIBLT, tb); err != nil {
+			if err := send(ctx, t, MsgIBLT, tb); err != nil {
 				return err
 			}
 		default:
-			return sendErr(t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
+			return sendErr(ctx, t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
 		}
 	}
 }
 
 // RunExactIBLTBob drives Bob's side of exact-IBLT sync. On success Bob's
 // result equals Alice's multiset exactly.
-func RunExactIBLTBob(t transport.Transport, cfg ExactConfig, bobPts []points.Point) ([]points.Point, error) {
+func RunExactIBLTBob(ctx context.Context, t transport.Transport, cfg ExactConfig, bobPts []points.Point) ([]points.Point, error) {
 	cfg = cfg.filled()
 	if err := cfg.Universe.CheckSet(bobPts); err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	keys := exactKeys(cfg.Universe, bobPts)
-	blob, err := recvExpect(t, MsgStrata)
+	blob, err := recvExpect(ctx, t, MsgStrata)
 	if err != nil {
 		return nil, err
 	}
 	aliceStrata := new(sketch.Strata)
 	if err := aliceStrata.UnmarshalBinary(blob); err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	mine, err := exactStrata(cfg, keys)
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	est, err := sketch.EstimateStrataDiff(aliceStrata, mine)
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	capacity := int(est*cfg.Slack) + 8
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		var req [4]byte
 		binary.LittleEndian.PutUint32(req[:], uint32(capacity))
-		if err := send(t, MsgIBLTRequest, req[:]); err != nil {
+		if err := send(ctx, t, MsgIBLTRequest, req[:]); err != nil {
 			return nil, err
 		}
-		tb, err := recvExpect(t, MsgIBLT)
+		tb, err := recvExpect(ctx, t, MsgIBLT)
 		if err != nil {
 			return nil, err
 		}
 		aliceTbl := new(iblt.Table)
 		if err := aliceTbl.UnmarshalBinary(tb); err != nil {
-			return nil, abort(t, err)
+			return nil, abort(ctx, t, err)
 		}
 		mineTbl, err := exactTable(cfg, keys, capacity)
 		if err != nil {
-			return nil, abort(t, err)
+			return nil, abort(ctx, t, err)
 		}
 		if mineTbl.Config() != aliceTbl.Config() {
-			return nil, abort(t, errors.New("protocol: exact sync table configs diverged"))
+			return nil, abort(ctx, t, errors.New("protocol: exact sync table configs diverged"))
 		}
 		work := aliceTbl
 		if err := work.Sub(mineTbl); err != nil {
-			return nil, abort(t, err)
+			return nil, abort(ctx, t, err)
 		}
 		diff, derr := work.Decode()
 		if derr != nil {
@@ -224,11 +225,11 @@ func RunExactIBLTBob(t transport.Transport, cfg ExactConfig, bobPts []points.Poi
 		}
 		res, err := applyExactDiff(cfg.Universe, bobPts, diff)
 		if err != nil {
-			return nil, abort(t, err)
+			return nil, abort(ctx, t, err)
 		}
-		return res, send(t, MsgDone, nil)
+		return res, send(ctx, t, MsgDone, nil)
 	}
-	_ = send(t, MsgDone, nil)
+	_ = send(ctx, t, MsgDone, nil)
 	return nil, fmt.Errorf("protocol: exact IBLT sync failed after retries: %w", lastErr)
 }
 
@@ -305,27 +306,27 @@ func cpiElems(cfg CPIConfig, pts []points.Point) ([]uint64, map[uint64]points.Po
 
 // RunCPIAlice serves Alice's side of CPI sync: one sketch, then point
 // payloads for whichever element hashes Bob asks for.
-func RunCPIAlice(t transport.Transport, cfg CPIConfig, pts []points.Point) error {
+func RunCPIAlice(ctx context.Context, t transport.Transport, cfg CPIConfig, pts []points.Point) error {
 	if err := cfg.Universe.CheckSet(pts); err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
 	elems, lookup, err := cpiElems(cfg, pts)
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
 	sk, err := cpi.NewSketch(elems, cfg.Capacity, hashutil.DeriveSeed(cfg.Seed, "cpisync/sketch"))
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
 	blob, err := sk.MarshalBinary()
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
-	if err := send(t, MsgCPISketch, blob); err != nil {
+	if err := send(ctx, t, MsgCPISketch, blob); err != nil {
 		return err
 	}
 	for {
-		typ, body, err := recv(t)
+		typ, body, err := recv(ctx, t)
 		if err != nil {
 			return err
 		}
@@ -334,26 +335,26 @@ func RunCPIAlice(t transport.Transport, cfg CPIConfig, pts []points.Point) error
 			return nil
 		case MsgPayloadRequest:
 			if len(body) < 4 {
-				return sendErr(t, errors.New("protocol: malformed payload request"))
+				return sendErr(ctx, t, errors.New("protocol: malformed payload request"))
 			}
 			n := int(binary.LittleEndian.Uint32(body))
 			if len(body) != 4+8*n {
-				return sendErr(t, errors.New("protocol: malformed payload request body"))
+				return sendErr(ctx, t, errors.New("protocol: malformed payload request body"))
 			}
 			reply := make([]points.Point, 0, n)
 			for i := 0; i < n; i++ {
 				e := binary.LittleEndian.Uint64(body[4+8*i:])
 				p, ok := lookup[e]
 				if !ok {
-					return sendErr(t, fmt.Errorf("protocol: peer requested unknown element %d", e))
+					return sendErr(ctx, t, fmt.Errorf("protocol: peer requested unknown element %d", e))
 				}
 				reply = append(reply, p)
 			}
-			if err := send(t, MsgPayloads, points.EncodeSet(reply, cfg.Universe.Dim)); err != nil {
+			if err := send(ctx, t, MsgPayloads, points.EncodeSet(reply, cfg.Universe.Dim)); err != nil {
 				return err
 			}
 		default:
-			return sendErr(t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
+			return sendErr(ctx, t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
 		}
 	}
 }
@@ -361,29 +362,29 @@ func RunCPIAlice(t transport.Transport, cfg CPIConfig, pts []points.Point) error
 // RunCPIBob drives Bob's side of CPI sync. On success Bob's result equals
 // Alice's multiset exactly; if the difference exceeds cfg.Capacity it
 // returns cpi.ErrCapacityExceeded.
-func RunCPIBob(t transport.Transport, cfg CPIConfig, bobPts []points.Point) ([]points.Point, error) {
+func RunCPIBob(ctx context.Context, t transport.Transport, cfg CPIConfig, bobPts []points.Point) ([]points.Point, error) {
 	if err := cfg.Universe.CheckSet(bobPts); err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	elems, lookup, err := cpiElems(cfg, bobPts)
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
-	blob, err := recvExpect(t, MsgCPISketch)
+	blob, err := recvExpect(ctx, t, MsgCPISketch)
 	if err != nil {
 		return nil, err
 	}
 	aliceSk := new(cpi.Sketch)
 	if err := aliceSk.UnmarshalBinary(blob); err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	mine, err := cpi.NewSketch(elems, cfg.Capacity, hashutil.DeriveSeed(cfg.Seed, "cpisync/sketch"))
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	onlyA, onlyB, err := cpi.Diff(aliceSk, mine)
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	var fetched []points.Point
 	if len(onlyA) > 0 {
@@ -391,26 +392,26 @@ func RunCPIBob(t transport.Transport, cfg CPIConfig, bobPts []points.Point) ([]p
 		for _, e := range onlyA {
 			req = binary.LittleEndian.AppendUint64(req, e)
 		}
-		if err := send(t, MsgPayloadRequest, req); err != nil {
+		if err := send(ctx, t, MsgPayloadRequest, req); err != nil {
 			return nil, err
 		}
-		body, err := recvExpect(t, MsgPayloads)
+		body, err := recvExpect(ctx, t, MsgPayloads)
 		if err != nil {
 			return nil, err
 		}
 		fetched, err = points.DecodeSet(body, cfg.Universe.Dim)
 		if err != nil {
-			return nil, abort(t, err)
+			return nil, abort(ctx, t, err)
 		}
 		if len(fetched) != len(onlyA) {
-			return nil, abort(t, fmt.Errorf("protocol: got %d payloads for %d requests", len(fetched), len(onlyA)))
+			return nil, abort(ctx, t, fmt.Errorf("protocol: got %d payloads for %d requests", len(fetched), len(onlyA)))
 		}
 	}
 	dropPts := make(map[string]int)
 	for _, e := range onlyB {
 		p, ok := lookup[e]
 		if !ok {
-			return nil, abort(t, fmt.Errorf("protocol: cpi names element %d Bob does not hold", e))
+			return nil, abort(ctx, t, fmt.Errorf("protocol: cpi names element %d Bob does not hold", e))
 		}
 		dropPts[string(points.EncodeNew(p))]++
 	}
@@ -424,5 +425,5 @@ func RunCPIBob(t transport.Transport, cfg CPIConfig, bobPts []points.Point) ([]p
 		out = append(out, p.Clone())
 	}
 	out = append(out, fetched...)
-	return out, send(t, MsgDone, nil)
+	return out, send(ctx, t, MsgDone, nil)
 }

@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"robustset/internal/core"
+	"robustset/internal/transport"
+)
+
+// Session-server handshake message tags (0x10 block, disjoint from the
+// per-protocol tags so a server can tell a handshake-aware client from a
+// legacy point-to-point peer by the first byte).
+const (
+	// MsgHello opens a session against a multi-dataset server: u8 strategy
+	// code | u32 name length | dataset name | u32 config length | strategy
+	// config blob.
+	MsgHello byte = 0x10
+	// MsgAccept answers MsgHello: the dataset's normalized core.Params in
+	// the core wire encoding. The client adopts these parameters, so both
+	// endpoints derive identical grids and hash functions.
+	MsgAccept byte = 0x11
+)
+
+// Strategy wire codes carried in MsgHello.
+const (
+	StrategyRobust    byte = 1
+	StrategyAdaptive  byte = 2
+	StrategyExactIBLT byte = 3
+	StrategyCPI       byte = 4
+	StrategyNaive     byte = 5
+)
+
+// MaxDatasetName bounds the dataset-name length a server will parse.
+const MaxDatasetName = 255
+
+// Hello is the parsed form of a MsgHello body.
+type Hello struct {
+	// Strategy is one of the Strategy* wire codes.
+	Strategy byte
+	// Dataset names the server-side dataset to reconcile against.
+	Dataset string
+	// Config is an opaque strategy-specific blob (e.g. the exact-IBLT
+	// hash count, the CPI capacity) that the serving side must honor for
+	// the two parties' sketches to be compatible.
+	Config []byte
+}
+
+func (h Hello) encode() ([]byte, error) {
+	if len(h.Dataset) > MaxDatasetName {
+		return nil, fmt.Errorf("protocol: dataset name of %d bytes exceeds %d", len(h.Dataset), MaxDatasetName)
+	}
+	body := make([]byte, 0, 1+4+len(h.Dataset)+4+len(h.Config))
+	body = append(body, h.Strategy)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(h.Dataset)))
+	body = append(body, h.Dataset...)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(h.Config)))
+	body = append(body, h.Config...)
+	return body, nil
+}
+
+func parseHello(body []byte) (Hello, error) {
+	var h Hello
+	if len(body) < 1+4 {
+		return h, errors.New("protocol: short hello")
+	}
+	h.Strategy = body[0]
+	body = body[1:]
+	// Compare lengths as uint32 before any int conversion: on 32-bit
+	// platforms a hostile 0xFFFFFFFF would convert to a negative int and
+	// slip past a signed bound check into a panicking slice expression.
+	nameLen32 := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if nameLen32 > MaxDatasetName || len(body) < int(nameLen32)+4 {
+		return h, errors.New("protocol: malformed hello dataset name")
+	}
+	nameLen := int(nameLen32)
+	h.Dataset = string(body[:nameLen])
+	body = body[nameLen:]
+	cfgLen32 := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if uint64(cfgLen32) != uint64(len(body)) {
+		return h, errors.New("protocol: malformed hello config")
+	}
+	cfgLen := int(cfgLen32)
+	if cfgLen > 0 {
+		h.Config = append([]byte(nil), body...)
+	}
+	return h, nil
+}
+
+// RunHelloClient opens a server session: it sends the hello and blocks
+// for the accept, returning the dataset parameters the server dictated.
+// A MsgError reply (unknown dataset, unsupported strategy) surfaces as a
+// *RemoteError.
+func RunHelloClient(ctx context.Context, t transport.Transport, h Hello) (core.Params, error) {
+	body, err := h.encode()
+	if err != nil {
+		return core.Params{}, err
+	}
+	if err := send(ctx, t, MsgHello, body); err != nil {
+		return core.Params{}, err
+	}
+	ab, err := recvExpect(ctx, t, MsgAccept)
+	if err != nil {
+		return core.Params{}, err
+	}
+	var p core.Params
+	if err := p.UnmarshalBinary(ab); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}
+
+// RecvHello reads and parses the opening hello of a server session.
+func RecvHello(ctx context.Context, t transport.Transport) (Hello, error) {
+	body, err := recvExpect(ctx, t, MsgHello)
+	if err != nil {
+		return Hello{}, err
+	}
+	return parseHello(body)
+}
+
+// SendAccept acknowledges a hello with the dataset's parameters.
+func SendAccept(ctx context.Context, t transport.Transport, p core.Params) error {
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		return sendErr(ctx, t, err)
+	}
+	return send(ctx, t, MsgAccept, blob)
+}
+
+// RejectHello refuses a session, relaying reason to the peer, and
+// returns reason.
+func RejectHello(ctx context.Context, t transport.Transport, reason error) error {
+	return SendError(ctx, t, reason)
+}
+
+// SendError best-effort-relays err to the peer as MsgError — so it fails
+// fast with a *RemoteError instead of blocking until the connection
+// drops — and returns err. Callers that fail before entering a protocol
+// run (e.g. local configuration errors) use this to preserve the
+// protocols' fail-fast contract.
+func SendError(ctx context.Context, t transport.Transport, err error) error {
+	return sendErr(ctx, t, err)
+}
+
+// RunPushBlobAlice pushes a pre-marshaled sketch as the one-shot robust
+// protocol's single message. Servers snapshot a Maintainer's sketch under
+// their dataset lock and serve concurrent sessions from the blob.
+func RunPushBlobAlice(ctx context.Context, t transport.Transport, blob []byte) error {
+	return send(ctx, t, MsgSketch, blob)
+}

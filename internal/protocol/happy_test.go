@@ -29,9 +29,9 @@ func TestPushPullHappyPath(t *testing.T) {
 	inst := testInstance(t, 200, 4)
 	params := core.Params{Universe: testU, Seed: 3, DiffBudget: 4}
 	runPair(t,
-		func(tr transport.Transport) error { return RunPushAlice(tr, params, inst.Alice) },
+		func(tr transport.Transport) error { return RunPushAlice(bg, tr, params, inst.Alice) },
 		func(tr transport.Transport) error {
-			res, err := RunPushBob(tr, inst.Bob)
+			res, err := RunPushBob(bg, tr, inst.Bob)
 			if err != nil {
 				return err
 			}
@@ -46,9 +46,9 @@ func TestEstimateHappyPath(t *testing.T) {
 	inst := testInstance(t, 400, 6)
 	params := core.Params{Universe: testU, Seed: 5, DiffBudget: 6}
 	runPair(t,
-		func(tr transport.Transport) error { return RunEstimateAlice(tr, params, inst.Alice) },
+		func(tr transport.Transport) error { return RunEstimateAlice(bg, tr, params, inst.Alice) },
 		func(tr transport.Transport) error {
-			res, err := RunEstimateBob(tr, params, inst.Bob, EstimateOpts{})
+			res, err := RunEstimateBob(bg, tr, params, inst.Bob, EstimateOpts{})
 			if err != nil {
 				return err
 			}
@@ -62,9 +62,9 @@ func TestEstimateHappyPath(t *testing.T) {
 func TestNaiveHappyPath(t *testing.T) {
 	inst := testInstance(t, 100, 0)
 	runPair(t,
-		func(tr transport.Transport) error { return RunNaiveAlice(tr, testU, inst.Alice) },
+		func(tr transport.Transport) error { return RunNaiveAlice(bg, tr, testU, inst.Alice) },
 		func(tr transport.Transport) error {
-			got, err := RunNaiveBob(tr, testU)
+			got, err := RunNaiveBob(bg, tr, testU)
 			if err != nil {
 				return err
 			}
@@ -82,9 +82,9 @@ func TestExactIBLTHappyPath(t *testing.T) {
 	}
 	cfg := ExactConfig{Universe: testU, Seed: 7}
 	runPair(t,
-		func(tr transport.Transport) error { return RunExactIBLTAlice(tr, cfg, inst.alice) },
+		func(tr transport.Transport) error { return RunExactIBLTAlice(bg, tr, cfg, inst.alice) },
 		func(tr transport.Transport) error {
-			got, err := RunExactIBLTBob(tr, cfg, inst.bob)
+			got, err := RunExactIBLTBob(bg, tr, cfg, inst.bob)
 			if err != nil {
 				return err
 			}
@@ -102,9 +102,9 @@ func TestCPIHappyPath(t *testing.T) {
 	}
 	cfg := CPIConfig{Universe: testU, Seed: 9, Capacity: 24}
 	runPair(t,
-		func(tr transport.Transport) error { return RunCPIAlice(tr, cfg, inst.alice) },
+		func(tr transport.Transport) error { return RunCPIAlice(bg, tr, cfg, inst.alice) },
 		func(tr transport.Transport) error {
-			got, err := RunCPIBob(tr, cfg, inst.bob)
+			got, err := RunCPIBob(bg, tr, cfg, inst.bob)
 			if err != nil {
 				return err
 			}
@@ -122,9 +122,9 @@ func TestCPIHappyPathNoDifference(t *testing.T) {
 	}
 	cfg := CPIConfig{Universe: testU, Seed: 11, Capacity: 8}
 	runPair(t,
-		func(tr transport.Transport) error { return RunCPIAlice(tr, cfg, inst.alice) },
+		func(tr transport.Transport) error { return RunCPIAlice(bg, tr, cfg, inst.alice) },
 		func(tr transport.Transport) error {
-			got, err := RunCPIBob(tr, cfg, inst.bob)
+			got, err := RunCPIBob(bg, tr, cfg, inst.bob)
 			if err != nil {
 				return err
 			}

@@ -13,6 +13,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -67,23 +68,23 @@ func (e *RemoteError) Error() string { return "protocol: peer error: " + e.Reaso
 var ErrUnexpectedMessage = errors.New("protocol: unexpected message type")
 
 // send transmits a typed message.
-func send(t transport.Transport, typ byte, body []byte) error {
+func send(ctx context.Context, t transport.Transport, typ byte, body []byte) error {
 	msg := make([]byte, 1+len(body))
 	msg[0] = typ
 	copy(msg[1:], body)
-	return t.Send(msg)
+	return t.Send(ctx, msg)
 }
 
 // sendErr best-effort-notifies the peer and returns the original error.
-func sendErr(t transport.Transport, err error) error {
-	_ = send(t, MsgError, []byte(err.Error()))
+func sendErr(ctx context.Context, t transport.Transport, err error) error {
+	_ = send(ctx, t, MsgError, []byte(err.Error()))
 	return err
 }
 
 // recv reads the next message and returns its type and body. A MsgError
 // from the peer is converted into a *RemoteError.
-func recv(t transport.Transport) (byte, []byte, error) {
-	msg, err := t.Recv()
+func recv(ctx context.Context, t transport.Transport) (byte, []byte, error) {
+	msg, err := t.Recv(ctx)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -97,8 +98,8 @@ func recv(t transport.Transport) (byte, []byte, error) {
 }
 
 // recvExpect reads the next message and requires the given type.
-func recvExpect(t transport.Transport, want byte) ([]byte, error) {
-	typ, body, err := recv(t)
+func recvExpect(ctx context.Context, t transport.Transport, want byte) ([]byte, error) {
+	typ, body, err := recv(ctx, t)
 	if err != nil {
 		return nil, err
 	}

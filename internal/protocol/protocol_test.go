@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"testing"
@@ -63,8 +64,8 @@ func TestRemoteErrorSurfaces(t *testing.T) {
 	at, bt := transport.Pair()
 	defer at.Close()
 	defer bt.Close()
-	go send(at, MsgError, []byte("boom"))
-	_, _, err := recv(bt)
+	go send(bg, at, MsgError, []byte("boom"))
+	_, _, err := recv(bg, bt)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Reason != "boom" {
 		t.Fatalf("want RemoteError(boom), got %v", err)
@@ -78,8 +79,8 @@ func TestRecvExpectWrongType(t *testing.T) {
 	at, bt := transport.Pair()
 	defer at.Close()
 	defer bt.Close()
-	go send(at, MsgSet, []byte("x"))
-	_, err := recvExpect(bt, MsgSketch)
+	go send(bg, at, MsgSet, []byte("x"))
+	_, err := recvExpect(bg, bt, MsgSketch)
 	if !errors.Is(err, ErrUnexpectedMessage) {
 		t.Fatalf("want ErrUnexpectedMessage, got %v", err)
 	}
@@ -89,8 +90,8 @@ func TestEmptyFrameRejected(t *testing.T) {
 	at, bt := transport.Pair()
 	defer at.Close()
 	defer bt.Close()
-	go at.Send(nil)
-	if _, _, err := recv(bt); err == nil {
+	go at.Send(bg, nil)
+	if _, _, err := recv(bg, bt); err == nil {
 		t.Fatal("empty frame accepted")
 	}
 }
@@ -110,54 +111,54 @@ func driveAlice(t *testing.T, alice func(transport.Transport) error, script func
 func TestEstimateAliceRejectsMalformedRequests(t *testing.T) {
 	inst := testInstance(t, 50, 2)
 	params := core.Params{Universe: testU, Seed: 1, DiffBudget: 2}
-	alice := func(tr transport.Transport) error { return RunEstimateAlice(tr, params, inst.Alice) }
+	alice := func(tr transport.Transport) error { return RunEstimateAlice(bg, tr, params, inst.Alice) }
 
 	// Truncated estimator request body.
 	err := driveAlice(t, alice, func(tr transport.Transport) {
-		send(tr, MsgEstRequest, []byte{1, 2})
+		send(bg, tr, MsgEstRequest, []byte{1, 2})
 	})
 	if err == nil {
 		t.Error("truncated estimator request accepted")
 	}
 	// Estimator k out of range.
 	err = driveAlice(t, alice, func(tr transport.Transport) {
-		send(tr, MsgEstRequest, []byte{0, 0, 0, 0})
+		send(bg, tr, MsgEstRequest, []byte{0, 0, 0, 0})
 	})
 	if err == nil {
 		t.Error("estK=0 accepted")
 	}
 	// Valid request, then a bogus capacity.
 	err = driveAlice(t, alice, func(tr transport.Transport) {
-		send(tr, MsgEstRequest, []byte{64, 0, 0, 0})
-		if _, err := recvExpect(tr, MsgEstimators); err != nil {
+		send(bg, tr, MsgEstRequest, []byte{64, 0, 0, 0})
+		if _, err := recvExpect(bg, tr, MsgEstimators); err != nil {
 			t.Error(err)
 			return
 		}
-		send(tr, MsgLevelRequest, []byte{0, 0, 0, 0, 0, 0}) // capacity 0
+		send(bg, tr, MsgLevelRequest, []byte{0, 0, 0, 0, 0, 0}) // capacity 0
 	})
 	if err == nil {
 		t.Error("capacity 0 accepted")
 	}
 	// Valid request, then an unexpected message type.
 	err = driveAlice(t, alice, func(tr transport.Transport) {
-		send(tr, MsgEstRequest, []byte{64, 0, 0, 0})
-		if _, err := recvExpect(tr, MsgEstimators); err != nil {
+		send(bg, tr, MsgEstRequest, []byte{64, 0, 0, 0})
+		if _, err := recvExpect(bg, tr, MsgEstimators); err != nil {
 			t.Error(err)
 			return
 		}
-		send(tr, MsgSet, nil)
+		send(bg, tr, MsgSet, nil)
 	})
 	if !errors.Is(err, ErrUnexpectedMessage) {
 		t.Errorf("unexpected message not rejected: %v", err)
 	}
 	// Clean shutdown path.
 	err = driveAlice(t, alice, func(tr transport.Transport) {
-		send(tr, MsgEstRequest, []byte{64, 0, 0, 0})
-		if _, err := recvExpect(tr, MsgEstimators); err != nil {
+		send(bg, tr, MsgEstRequest, []byte{64, 0, 0, 0})
+		if _, err := recvExpect(bg, tr, MsgEstimators); err != nil {
 			t.Error(err)
 			return
 		}
-		send(tr, MsgDone, nil)
+		send(bg, tr, MsgDone, nil)
 	})
 	if err != nil {
 		t.Errorf("clean shutdown errored: %v", err)
@@ -167,26 +168,26 @@ func TestEstimateAliceRejectsMalformedRequests(t *testing.T) {
 func TestExactIBLTAliceRejectsMalformedRequests(t *testing.T) {
 	inst := testInstance(t, 50, 2)
 	cfg := ExactConfig{Universe: testU, Seed: 1}
-	alice := func(tr transport.Transport) error { return RunExactIBLTAlice(tr, cfg, inst.Alice) }
+	alice := func(tr transport.Transport) error { return RunExactIBLTAlice(bg, tr, cfg, inst.Alice) }
 
 	err := driveAlice(t, alice, func(tr transport.Transport) {
-		if _, err := recvExpect(tr, MsgStrata); err != nil {
+		if _, err := recvExpect(bg, tr, MsgStrata); err != nil {
 			t.Error(err)
 			return
 		}
-		send(tr, MsgIBLTRequest, []byte{1, 2}) // truncated
+		send(bg, tr, MsgIBLTRequest, []byte{1, 2}) // truncated
 	})
 	if err == nil {
 		t.Error("truncated IBLT request accepted")
 	}
 	err = driveAlice(t, alice, func(tr transport.Transport) {
-		if _, err := recvExpect(tr, MsgStrata); err != nil {
+		if _, err := recvExpect(bg, tr, MsgStrata); err != nil {
 			t.Error(err)
 			return
 		}
 		var req [4]byte
 		binary.LittleEndian.PutUint32(req[:], 1<<25) // over the cap limit
-		send(tr, MsgIBLTRequest, req[:])
+		send(bg, tr, MsgIBLTRequest, req[:])
 	})
 	if err == nil {
 		t.Error("oversized capacity accepted")
@@ -196,27 +197,27 @@ func TestExactIBLTAliceRejectsMalformedRequests(t *testing.T) {
 func TestCPIAliceRejectsUnknownPayloadRequest(t *testing.T) {
 	inst := testInstance(t, 50, 2)
 	cfg := CPIConfig{Universe: testU, Seed: 1, Capacity: 8}
-	alice := func(tr transport.Transport) error { return RunCPIAlice(tr, cfg, inst.Alice) }
+	alice := func(tr transport.Transport) error { return RunCPIAlice(bg, tr, cfg, inst.Alice) }
 
 	err := driveAlice(t, alice, func(tr transport.Transport) {
-		if _, err := recvExpect(tr, MsgCPISketch); err != nil {
+		if _, err := recvExpect(bg, tr, MsgCPISketch); err != nil {
 			t.Error(err)
 			return
 		}
 		req := binary.LittleEndian.AppendUint32(nil, 1)
 		req = binary.LittleEndian.AppendUint64(req, 0xdeadbeef) // not an element
-		send(tr, MsgPayloadRequest, req)
+		send(bg, tr, MsgPayloadRequest, req)
 	})
 	if err == nil {
 		t.Error("unknown element request accepted")
 	}
 	// Malformed body length.
 	err = driveAlice(t, alice, func(tr transport.Transport) {
-		if _, err := recvExpect(tr, MsgCPISketch); err != nil {
+		if _, err := recvExpect(bg, tr, MsgCPISketch); err != nil {
 			t.Error(err)
 			return
 		}
-		send(tr, MsgPayloadRequest, []byte{5, 0, 0, 0, 1}) // claims 5, carries 1 byte
+		send(bg, tr, MsgPayloadRequest, []byte{5, 0, 0, 0, 1}) // claims 5, carries 1 byte
 	})
 	if err == nil {
 		t.Error("malformed payload request accepted")
@@ -227,8 +228,8 @@ func TestPushBobRejectsGarbageSketch(t *testing.T) {
 	at, bt := transport.Pair()
 	defer at.Close()
 	defer bt.Close()
-	go send(at, MsgSketch, []byte("definitely not a sketch"))
-	if _, err := RunPushBob(bt, nil); err == nil {
+	go send(bg, at, MsgSketch, []byte("definitely not a sketch"))
+	if _, err := RunPushBob(bg, bt, nil); err == nil {
 		t.Fatal("garbage sketch accepted")
 	}
 }
@@ -240,12 +241,12 @@ func TestEstimateBobRejectsGarbageEstimators(t *testing.T) {
 	defer at.Close()
 	defer bt.Close()
 	go func() {
-		if _, err := recvExpect(at, MsgEstRequest); err != nil {
+		if _, err := recvExpect(bg, at, MsgEstRequest); err != nil {
 			return
 		}
-		send(at, MsgEstimators, appendBlobList(nil, [][]byte{[]byte("junk")}))
+		send(bg, at, MsgEstimators, appendBlobList(nil, [][]byte{[]byte("junk")}))
 	}()
-	if _, err := RunEstimateBob(bt, params, inst.Bob, EstimateOpts{}); err == nil {
+	if _, err := RunEstimateBob(bg, bt, params, inst.Bob, EstimateOpts{}); err == nil {
 		t.Fatal("garbage estimators accepted")
 	}
 }
@@ -285,3 +286,6 @@ func diffWith(pos, neg [][]byte) (d iblt.Diff) {
 	d.Pos, d.Neg = pos, neg
 	return d
 }
+
+// bg is the do-not-cancel context used throughout the protocol tests.
+var bg = context.Background()

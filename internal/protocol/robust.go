@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,29 +14,29 @@ import (
 
 // RunPushAlice executes Alice's side of the one-shot robust protocol:
 // a single message carrying the full multiresolution sketch.
-func RunPushAlice(t transport.Transport, p core.Params, pts []points.Point) error {
+func RunPushAlice(ctx context.Context, t transport.Transport, p core.Params, pts []points.Point) error {
 	sk, err := core.BuildSketch(p, pts)
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
-	return RunPushSketchAlice(t, sk)
+	return RunPushSketchAlice(ctx, t, sk)
 }
 
 // RunPushSketchAlice pushes an already-built sketch — the path used by
 // servers that maintain a sketch incrementally (core.Maintainer) instead
 // of re-encoding per session.
-func RunPushSketchAlice(t transport.Transport, sk *core.Sketch) error {
+func RunPushSketchAlice(ctx context.Context, t transport.Transport, sk *core.Sketch) error {
 	blob, err := sk.MarshalBinary()
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
-	return send(t, MsgSketch, blob)
+	return send(ctx, t, MsgSketch, blob)
 }
 
 // RunPushBob executes Bob's side of the one-shot robust protocol. The
 // sketch carries its own parameters, so Bob needs only his points.
-func RunPushBob(t transport.Transport, bobPts []points.Point) (*core.Result, error) {
-	body, err := recvExpect(t, MsgSketch)
+func RunPushBob(ctx context.Context, t transport.Transport, bobPts []points.Point) (*core.Result, error) {
+	body, err := recvExpect(ctx, t, MsgSketch)
 	if err != nil {
 		return nil, err
 	}
@@ -75,33 +76,33 @@ func (o EstimateOpts) filled(p core.Params) EstimateOpts {
 // RunEstimateAlice serves Alice's side of the estimate-first protocol:
 // she answers one estimator request and then any number of level-table
 // requests until Bob sends MsgDone.
-func RunEstimateAlice(t transport.Transport, p core.Params, pts []points.Point) error {
-	body, err := recvExpect(t, MsgEstRequest)
+func RunEstimateAlice(ctx context.Context, t transport.Transport, p core.Params, pts []points.Point) error {
+	body, err := recvExpect(ctx, t, MsgEstRequest)
 	if err != nil {
 		return err
 	}
 	if len(body) != 4 {
-		return sendErr(t, errors.New("protocol: malformed estimator request"))
+		return sendErr(ctx, t, errors.New("protocol: malformed estimator request"))
 	}
 	estK := int(uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16 | uint32(body[3])<<24)
 	if estK < 8 || estK > 1<<16 {
-		return sendErr(t, fmt.Errorf("protocol: estimator k %d outside [8, 65536]", estK))
+		return sendErr(ctx, t, fmt.Errorf("protocol: estimator k %d outside [8, 65536]", estK))
 	}
 	ests, err := core.LevelEstimators(p, pts, estK)
 	if err != nil {
-		return sendErr(t, err)
+		return sendErr(ctx, t, err)
 	}
 	blobs := make([][]byte, len(ests))
 	for i, e := range ests {
 		if blobs[i], err = e.MarshalBinary(); err != nil {
-			return sendErr(t, err)
+			return sendErr(ctx, t, err)
 		}
 	}
-	if err := send(t, MsgEstimators, appendBlobList(nil, blobs)); err != nil {
+	if err := send(ctx, t, MsgEstimators, appendBlobList(nil, blobs)); err != nil {
 		return err
 	}
 	for {
-		typ, body, err := recv(t)
+		typ, body, err := recv(ctx, t)
 		if err != nil {
 			return err
 		}
@@ -110,26 +111,26 @@ func RunEstimateAlice(t transport.Transport, p core.Params, pts []points.Point) 
 			return nil
 		case MsgLevelRequest:
 			if len(body) != 6 {
-				return sendErr(t, errors.New("protocol: malformed level request"))
+				return sendErr(ctx, t, errors.New("protocol: malformed level request"))
 			}
 			level := int(uint16(body[0]) | uint16(body[1])<<8)
 			capacity := int(uint32(body[2]) | uint32(body[3])<<8 | uint32(body[4])<<16 | uint32(body[5])<<24)
 			if capacity < 1 || capacity > 1<<24 {
-				return sendErr(t, fmt.Errorf("protocol: capacity %d out of range", capacity))
+				return sendErr(ctx, t, fmt.Errorf("protocol: capacity %d out of range", capacity))
 			}
 			tbl, err := core.BuildLevelTable(p, pts, level, capacity)
 			if err != nil {
-				return sendErr(t, err)
+				return sendErr(ctx, t, err)
 			}
 			blob, err := tbl.MarshalBinary()
 			if err != nil {
-				return sendErr(t, err)
+				return sendErr(ctx, t, err)
 			}
-			if err := send(t, MsgLevelTable, blob); err != nil {
+			if err := send(ctx, t, MsgLevelTable, blob); err != nil {
 				return err
 			}
 		default:
-			return sendErr(t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
+			return sendErr(ctx, t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
 		}
 	}
 }
@@ -138,14 +139,14 @@ func RunEstimateAlice(t transport.Transport, p core.Params, pts []points.Point) 
 // request estimators, pick the finest affordable level, fetch one
 // exactly-sized table, reconcile — retrying with doubled capacity (and
 // eventually a coarser level) if the table stalls.
-func RunEstimateBob(t transport.Transport, p core.Params, bobPts []points.Point, opts EstimateOpts) (*core.Result, error) {
+func RunEstimateBob(ctx context.Context, t transport.Transport, p core.Params, bobPts []points.Point, opts EstimateOpts) (*core.Result, error) {
 	opts = opts.filled(p)
 	var req [4]byte
 	req[0], req[1], req[2], req[3] = byte(opts.EstimatorK), byte(opts.EstimatorK>>8), byte(opts.EstimatorK>>16), byte(opts.EstimatorK>>24)
-	if err := send(t, MsgEstRequest, req[:]); err != nil {
+	if err := send(ctx, t, MsgEstRequest, req[:]); err != nil {
 		return nil, err
 	}
-	body, err := recvExpect(t, MsgEstimators)
+	body, err := recvExpect(ctx, t, MsgEstimators)
 	if err != nil {
 		return nil, err
 	}
@@ -162,22 +163,22 @@ func RunEstimateBob(t transport.Transport, p core.Params, bobPts []points.Point,
 	}
 	bobEsts, err := core.LevelEstimators(p, bobPts, opts.EstimatorK)
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	level, est, err := core.ChooseLevel(p, aliceEsts, bobEsts, opts.Budget)
 	if err != nil {
-		return nil, abort(t, err)
+		return nil, abort(ctx, t, err)
 	}
 	capacity := int(est*1.5) + 16
 	var lastErr error
 	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
-		tbl, err := fetchLevelTable(t, level, capacity)
+		tbl, err := fetchLevelTable(ctx, t, level, capacity)
 		if err != nil {
 			return nil, err
 		}
 		res, rerr := core.ReconcileLevel(p, tbl, bobPts, level)
 		if rerr == nil {
-			if err := send(t, MsgDone, nil); err != nil {
+			if err := send(ctx, t, MsgDone, nil); err != nil {
 				return nil, err
 			}
 			return res, nil
@@ -191,25 +192,25 @@ func RunEstimateBob(t transport.Transport, p core.Params, bobPts []points.Point,
 			level--
 		}
 	}
-	_ = send(t, MsgDone, nil)
+	_ = send(ctx, t, MsgDone, nil)
 	return nil, fmt.Errorf("protocol: estimate-first reconciliation failed after retries: %w", lastErr)
 }
 
 // abort tells Alice we are giving up and returns err.
-func abort(t transport.Transport, err error) error {
-	_ = send(t, MsgDone, nil)
+func abort(ctx context.Context, t transport.Transport, err error) error {
+	_ = send(ctx, t, MsgDone, nil)
 	return err
 }
 
-func fetchLevelTable(t transport.Transport, level, capacity int) (*iblt.Table, error) {
+func fetchLevelTable(ctx context.Context, t transport.Transport, level, capacity int) (*iblt.Table, error) {
 	body := []byte{
 		byte(level), byte(level >> 8),
 		byte(capacity), byte(capacity >> 8), byte(capacity >> 16), byte(capacity >> 24),
 	}
-	if err := send(t, MsgLevelRequest, body); err != nil {
+	if err := send(ctx, t, MsgLevelRequest, body); err != nil {
 		return nil, err
 	}
-	blob, err := recvExpect(t, MsgLevelTable)
+	blob, err := recvExpect(ctx, t, MsgLevelTable)
 	if err != nil {
 		return nil, err
 	}

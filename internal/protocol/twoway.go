@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"robustset/internal/core"
 	"robustset/internal/points"
 	"robustset/internal/transport"
@@ -17,18 +18,18 @@ import (
 // The sketch is sent from a goroutine while the peer's is read, so two
 // parties running RunTwoWay against each other cannot deadlock even when
 // both sketches exceed the transport's buffering.
-func RunTwoWay(t transport.Transport, p core.Params, pts []points.Point) (*core.Result, error) {
+func RunTwoWay(ctx context.Context, t transport.Transport, p core.Params, pts []points.Point) (*core.Result, error) {
 	sk, err := core.BuildSketch(p, pts)
 	if err != nil {
-		return nil, sendErr(t, err)
+		return nil, sendErr(ctx, t, err)
 	}
 	blob, err := sk.MarshalBinary()
 	if err != nil {
-		return nil, sendErr(t, err)
+		return nil, sendErr(ctx, t, err)
 	}
 	sendDone := make(chan error, 1)
-	go func() { sendDone <- send(t, MsgSketch, blob) }()
-	body, recvErr := recvExpect(t, MsgSketch)
+	go func() { sendDone <- send(ctx, t, MsgSketch, blob) }()
+	body, recvErr := recvExpect(ctx, t, MsgSketch)
 	if err := <-sendDone; err != nil {
 		return nil, err
 	}
@@ -37,7 +38,7 @@ func RunTwoWay(t transport.Transport, p core.Params, pts []points.Point) (*core.
 	}
 	var peer core.Sketch
 	if err := peer.UnmarshalBinary(body); err != nil {
-		return nil, sendErr(t, err)
+		return nil, sendErr(ctx, t, err)
 	}
 	return core.Reconcile(&peer, pts)
 }

@@ -27,10 +27,10 @@ func TestTwoWaySymmetricExchange(t *testing.T) {
 	}
 	ch := make(chan out, 1)
 	go func() {
-		res, err := RunTwoWay(at, params, inst.Alice)
+		res, err := RunTwoWay(bg, at, params, inst.Alice)
 		ch <- out{res, err}
 	}()
-	bobRes, err := RunTwoWay(bt, params, inst.Bob)
+	bobRes, err := RunTwoWay(bg, bt, params, inst.Bob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestTwoWayExactRegime(t *testing.T) {
 	defer bt.Close()
 	ch := make(chan *core.Result, 1)
 	go func() {
-		res, err := RunTwoWay(at, params, inst.Alice)
+		res, err := RunTwoWay(bg, at, params, inst.Alice)
 		if err != nil {
 			t.Error(err)
 			ch <- nil
@@ -73,7 +73,7 @@ func TestTwoWayExactRegime(t *testing.T) {
 		}
 		ch <- res
 	}()
-	bobRes, err := RunTwoWay(bt, params, inst.Bob)
+	bobRes, err := RunTwoWay(bg, bt, params, inst.Bob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +100,10 @@ func TestTwoWayPeerFailure(t *testing.T) {
 	inst, _ := workload.Generate(workload.Config{N: 20, Universe: testU, Seed: 1})
 	done := make(chan error, 1)
 	go func() {
-		_, err := RunTwoWay(at, bad, inst.Alice)
+		_, err := RunTwoWay(bg, at, bad, inst.Alice)
 		done <- err
 	}()
-	_, bobErr := RunTwoWay(bt, good, inst.Bob)
+	_, bobErr := RunTwoWay(bg, bt, good, inst.Bob)
 	if bobErr == nil {
 		t.Error("healthy side succeeded against failing peer")
 	}

@@ -4,9 +4,16 @@
 // and the experiment harness — the "two-host protocol simulation") and a
 // length-prefixed framing over any net.Conn (net.Pipe, TCP), which is what
 // a real deployment uses.
+//
+// Every blocking operation takes a context.Context: cancelling it aborts
+// an in-flight Send or Recv promptly (for the net.Conn framing, by
+// poking the connection's read/write deadline), and a context deadline is
+// propagated onto the connection so a stalled peer cannot hold a session
+// forever.
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,17 +21,19 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Transport is a reliable, ordered, message-preserving duplex link.
 // Implementations are safe for one concurrent sender plus one concurrent
 // receiver (the pattern every protocol here uses).
 type Transport interface {
-	// Send transmits one message.
-	Send(msg []byte) error
+	// Send transmits one message. Cancelling ctx aborts a blocked send.
+	Send(ctx context.Context, msg []byte) error
 	// Recv blocks for the next message. It returns io.EOF after the peer
-	// closes cleanly.
-	Recv() ([]byte, error)
+	// closes cleanly; cancelling ctx aborts a blocked receive with
+	// ctx.Err().
+	Recv(ctx context.Context) ([]byte, error)
 	// Close releases the link. Safe to call multiple times.
 	Close() error
 	// Stats returns a snapshot of the link's accounting.
@@ -95,15 +104,17 @@ func Pair() (alice, bob Transport) {
 	return a, b
 }
 
-func (m *memEnd) Send(msg []byte) error {
-	// Check closure first and separately: in a combined select Go picks
-	// uniformly among ready cases, which would let a send sneak through
-	// after Close whenever the buffer has room.
+func (m *memEnd) Send(ctx context.Context, msg []byte) error {
+	// Check closure and cancellation first and separately: in a combined
+	// select Go picks uniformly among ready cases, which would let a send
+	// sneak through after Close whenever the buffer has room.
 	select {
 	case <-m.closed:
 		return ErrClosed
 	case <-m.peer.closed:
 		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	default:
 	}
 	cp := append([]byte(nil), msg...)
@@ -112,6 +123,8 @@ func (m *memEnd) Send(msg []byte) error {
 		return ErrClosed
 	case <-m.peer.closed:
 		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	case m.send <- cp:
 		m.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
 		m.ctrs.msgsSent.Add(1)
@@ -119,7 +132,7 @@ func (m *memEnd) Send(msg []byte) error {
 	}
 }
 
-func (m *memEnd) Recv() ([]byte, error) {
+func (m *memEnd) Recv(ctx context.Context) ([]byte, error) {
 	select {
 	case msg, ok := <-m.recv:
 		if !ok {
@@ -128,6 +141,8 @@ func (m *memEnd) Recv() ([]byte, error) {
 		m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
 		m.ctrs.msgsRecv.Add(1)
 		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-m.closed:
 		// Drain anything already queued before reporting closure.
 		select {
@@ -174,51 +189,128 @@ func (m *memEnd) Stats() Stats { return m.ctrs.snapshot() }
 // net.Conn framing
 
 type connTransport struct {
-	conn    net.Conn
-	sendMu  sync.Mutex
-	recvMu  sync.Mutex
-	ctrs    counters
-	lenBuf  [frameOverhead]byte
-	rLenBuf [frameOverhead]byte
+	conn     net.Conn
+	maxFrame int
+	sendMu   sync.Mutex
+	recvMu   sync.Mutex
+	ctrs     counters
+	lenBuf   [frameOverhead]byte
+	rLenBuf  [frameOverhead]byte
 }
 
 // NewConn wraps a net.Conn (TCP, net.Pipe, Unix socket) with u32
 // little-endian length framing.
-func NewConn(c net.Conn) Transport { return &connTransport{conn: c} }
+func NewConn(c net.Conn) Transport { return NewConnLimit(c, 0) }
 
-func (t *connTransport) Send(msg []byte) error {
-	if len(msg) > MaxFrameSize {
-		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(msg))
+// NewConnLimit is NewConn with a per-message size cap: messages larger
+// than maxFrame are refused locally before transmission and a peer
+// announcing a larger frame is treated as corrupt. maxFrame <= 0 or
+// > MaxFrameSize means the package-wide MaxFrameSize.
+func NewConnLimit(c net.Conn, maxFrame int) Transport {
+	if maxFrame <= 0 || maxFrame > MaxFrameSize {
+		maxFrame = MaxFrameSize
+	}
+	return &connTransport{conn: c, maxFrame: maxFrame}
+}
+
+// aLongTimeAgo is a non-zero time in the distant past, used to force a
+// blocked read or write to return immediately (the net package treats any
+// past deadline as "fail pending I/O now").
+var aLongTimeAgo = time.Unix(1, 0)
+
+// watch arms cancellation for one blocking conn operation: the context's
+// deadline (or none) is installed via setDeadline, and if the context is
+// cancellable a watcher goroutine pokes a past deadline into the
+// connection the moment it fires. The returned stop function must be
+// called when the operation completes; it waits for the watcher so no
+// deadline poke can leak into a later operation.
+func watch(ctx context.Context, setDeadline func(time.Time) error) (stop func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deadline, _ := ctx.Deadline()
+	// Install the context's deadline — or clear any deadline a previous
+	// operation left behind.
+	_ = setDeadline(deadline)
+	done := ctx.Done()
+	if done == nil {
+		return func() {}, nil
+	}
+	stopCh := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-done:
+			_ = setDeadline(aLongTimeAgo)
+		case <-stopCh:
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-exited
+	}, nil
+}
+
+// ctxErr substitutes ctx.Err() for I/O errors caused by a cancellation
+// poke, so callers observe context.Canceled / DeadlineExceeded instead of
+// an opaque "i/o timeout".
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+func (t *connTransport) Send(ctx context.Context, msg []byte) error {
+	if len(msg) > t.maxFrame {
+		return fmt.Errorf("transport: message of %d bytes exceeds frame limit %d", len(msg), t.maxFrame)
 	}
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	binary.LittleEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
-	if _, err := t.conn.Write(t.lenBuf[:]); err != nil {
+	stop, err := watch(ctx, t.conn.SetWriteDeadline)
+	if err != nil {
 		return err
 	}
+	defer stop()
+	binary.LittleEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
+	if _, err := t.conn.Write(t.lenBuf[:]); err != nil {
+		return ctxErr(ctx, err)
+	}
 	if _, err := t.conn.Write(msg); err != nil {
-		return err
+		return ctxErr(ctx, err)
 	}
 	t.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
 	t.ctrs.msgsSent.Add(1)
 	return nil
 }
 
-func (t *connTransport) Recv() ([]byte, error) {
+func (t *connTransport) Recv(ctx context.Context) ([]byte, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
+	stop, err := watch(ctx, t.conn.SetReadDeadline)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	if _, err := io.ReadFull(t.conn, t.rLenBuf[:]); err != nil {
+		if cerr := ctxErr(ctx, err); cerr != err {
+			return nil, cerr
+		}
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, fmt.Errorf("transport: torn frame header: %w", err)
 		}
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(t.rLenBuf[:])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("transport: peer announced %d-byte frame (limit %d)", n, MaxFrameSize)
+	if int64(n) > int64(t.maxFrame) {
+		return nil, fmt.Errorf("transport: peer announced %d-byte frame (limit %d)", n, t.maxFrame)
 	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(t.conn, msg); err != nil {
+		if cerr := ctxErr(ctx, err); cerr != err {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("transport: torn frame body: %w", err)
 	}
 	t.ctrs.bytesRecv.Add(int64(int(n) + frameOverhead))

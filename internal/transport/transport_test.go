@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestPairRoundtrip(t *testing.T) {
@@ -14,10 +16,10 @@ func TestPairRoundtrip(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	msg := []byte("hello over the pipe")
-	if err := a.Send(msg); err != nil {
+	if err := a.Send(bg, msg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.Recv()
+	got, err := b.Recv(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,10 +27,10 @@ func TestPairRoundtrip(t *testing.T) {
 		t.Fatalf("got %q, want %q", got, msg)
 	}
 	// Reverse direction.
-	if err := b.Send([]byte("pong")); err != nil {
+	if err := b.Send(bg, []byte("pong")); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := a.Recv(); string(got) != "pong" {
+	if got, _ := a.Recv(bg); string(got) != "pong" {
 		t.Fatalf("reverse direction got %q", got)
 	}
 }
@@ -38,11 +40,11 @@ func TestPairBufferIsolation(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	buf := []byte("mutate me")
-	if err := a.Send(buf); err != nil {
+	if err := a.Send(bg, buf); err != nil {
 		t.Fatal(err)
 	}
 	copy(buf, "XXXXXXXXX")
-	got, _ := b.Recv()
+	got, _ := b.Recv(bg)
 	if string(got) != "mutate me" {
 		t.Fatalf("sender buffer reuse leaked: %q", got)
 	}
@@ -54,10 +56,10 @@ func TestPairStats(t *testing.T) {
 	defer b.Close()
 	payload := make([]byte, 100)
 	for i := 0; i < 3; i++ {
-		if err := a.Send(payload); err != nil {
+		if err := a.Send(bg, payload); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := b.Recv(); err != nil {
+		if _, err := b.Recv(bg); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,25 +86,25 @@ func TestPairClose(t *testing.T) {
 	if err := a.Close(); err != nil {
 		t.Fatal("double close should be nil")
 	}
-	if err := a.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+	if err := a.Send(bg, []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Errorf("send on closed: %v", err)
 	}
-	if _, err := b.Recv(); err == nil {
+	if _, err := b.Recv(bg); err == nil {
 		t.Error("recv from closed peer should fail")
 	}
 }
 
 func TestPairDrainAfterPeerClose(t *testing.T) {
 	a, b := Pair()
-	if err := a.Send([]byte("queued")); err != nil {
+	if err := a.Send(bg, []byte("queued")); err != nil {
 		t.Fatal(err)
 	}
 	a.Close()
-	got, err := b.Recv()
+	got, err := b.Recv(bg)
 	if err != nil || string(got) != "queued" {
 		t.Fatalf("queued message lost after close: %q %v", got, err)
 	}
-	if _, err := b.Recv(); err == nil {
+	if _, err := b.Recv(bg); err == nil {
 		t.Error("recv after drain should fail")
 	}
 }
@@ -117,7 +119,7 @@ func TestPairConcurrent(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			if err := a.Send([]byte{byte(i)}); err != nil {
+			if err := a.Send(bg, []byte{byte(i)}); err != nil {
 				t.Error(err)
 				return
 			}
@@ -126,7 +128,7 @@ func TestPairConcurrent(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			got, err := b.Recv()
+			got, err := b.Recv(bg)
 			if err != nil {
 				t.Error(err)
 				return
@@ -152,9 +154,9 @@ func TestConnRoundtrip(t *testing.T) {
 	defer b.Close()
 	done := make(chan error, 1)
 	go func() {
-		done <- a.Send(bytes.Repeat([]byte("x"), 100000))
+		done <- a.Send(bg, bytes.Repeat([]byte("x"), 100000))
 	}()
-	got, err := b.Recv()
+	got, err := b.Recv(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +175,8 @@ func TestConnEmptyMessage(t *testing.T) {
 	a, b := connPair(t)
 	defer a.Close()
 	defer b.Close()
-	go a.Send(nil)
-	got, err := b.Recv()
+	go a.Send(bg, nil)
+	got, err := b.Recv(bg)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty message roundtrip: %v %v", got, err)
 	}
@@ -189,7 +191,7 @@ func TestConnTornFrame(t *testing.T) {
 		c1.Write(make([]byte, 10))
 		c1.Close()
 	}()
-	if _, err := b.Recv(); err == nil {
+	if _, err := b.Recv(bg); err == nil {
 		t.Fatal("torn frame accepted")
 	}
 }
@@ -201,12 +203,12 @@ func TestConnOversizeFrameRejected(t *testing.T) {
 		// Announce a frame beyond MaxFrameSize.
 		c1.Write([]byte{0xff, 0xff, 0xff, 0xff})
 	}()
-	if _, err := b.Recv(); err == nil {
+	if _, err := b.Recv(bg); err == nil {
 		t.Fatal("oversize frame accepted")
 	}
 	c1.Close()
 	a := NewConn(c1)
-	if err := a.Send(make([]byte, MaxFrameSize+1)); err == nil {
+	if err := a.Send(bg, make([]byte, MaxFrameSize+1)); err == nil {
 		t.Fatal("oversize send accepted")
 	}
 }
@@ -215,7 +217,7 @@ func TestConnEOF(t *testing.T) {
 	c1, c2 := net.Pipe()
 	b := NewConn(c2)
 	c1.Close()
-	if _, err := b.Recv(); !errors.Is(err, io.EOF) {
+	if _, err := b.Recv(bg); !errors.Is(err, io.EOF) {
 		t.Fatalf("want EOF, got %v", err)
 	}
 }
@@ -235,12 +237,12 @@ func TestConnOverTCP(t *testing.T) {
 		}
 		tr := NewConn(conn)
 		defer tr.Close()
-		msg, err := tr.Recv()
+		msg, err := tr.Recv(bg)
 		if err != nil {
 			done <- nil
 			return
 		}
-		tr.Send(append([]byte("echo:"), msg...))
+		tr.Send(bg, append([]byte("echo:"), msg...))
 		done <- msg
 	}()
 	conn, err := net.Dial("tcp", ln.Addr().String())
@@ -249,10 +251,10 @@ func TestConnOverTCP(t *testing.T) {
 	}
 	tr := NewConn(conn)
 	defer tr.Close()
-	if err := tr.Send([]byte("over tcp")); err != nil {
+	if err := tr.Send(bg, []byte("over tcp")); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := tr.Recv()
+	reply, err := tr.Recv(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,5 +263,142 @@ func TestConnOverTCP(t *testing.T) {
 	}
 	if got := <-done; string(got) != "over tcp" {
 		t.Fatalf("server saw %q", got)
+	}
+}
+
+// bg is the do-not-cancel context used by the pre-existing tests.
+var bg = context.Background()
+
+func TestPairRecvCancel(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not observe cancellation")
+	}
+}
+
+func TestPairSendCancelWhenFull(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Fill the pipe's buffer so the next send blocks.
+	filled := make(chan error, 1)
+	go func() {
+		var err error
+		for err == nil {
+			err = a.Send(ctx, make([]byte, 1))
+		}
+		filled <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-filled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Send did not observe cancellation")
+	}
+}
+
+func TestConnRecvCancel(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	b := NewConn(c2)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked conn Recv did not observe cancellation")
+	}
+}
+
+func TestConnRecvDeadline(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	b := NewConn(c2)
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	// The expired deadline must not leak into a context-free operation.
+	go func() {
+		a := NewConn(c1)
+		a.Send(context.Background(), []byte("after"))
+	}()
+	got, err := b.Recv(context.Background())
+	if err != nil || string(got) != "after" {
+		t.Fatalf("deadline leaked into later Recv: %q %v", got, err)
+	}
+}
+
+func TestConnSendCancel(t *testing.T) {
+	// net.Pipe has no buffering: a Send with no reader blocks until the
+	// watcher pokes the write deadline.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	a := NewConn(c1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Send(ctx, make([]byte, 1<<16))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked conn Send did not observe cancellation")
+	}
+}
+
+func TestConnLimit(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	a, b := NewConnLimit(c1, 8), NewConnLimit(c2, 8)
+	if err := a.Send(bg, make([]byte, 9)); err == nil {
+		t.Fatal("send above limit accepted")
+	}
+	go a.Send(bg, make([]byte, 8))
+	if got, err := b.Recv(bg); err != nil || len(got) != 8 {
+		t.Fatalf("at-limit message rejected: %v %v", got, err)
+	}
+	// A frame announced above the receiver's limit is corrupt.
+	go c1.Write([]byte{9, 0, 0, 0})
+	if _, err := b.Recv(bg); err == nil {
+		t.Fatal("oversize announced frame accepted")
 	}
 }

@@ -31,16 +31,33 @@
 //	res, err := robustset.Reconcile(&sk, bobPoints)
 //	// res.SPrime ≈ alicePoints in Earth Mover's Distance.
 //
-// For connection-oriented use, Push/Pull (one-shot) and PushAdaptive/
-// PullAdaptive (estimate-first, multi-round) run the protocol directly
-// over a net.Conn. The package also ships the classic exact
-// reconciliation schemes it is benchmarked against — IBLT difference
-// digests (PushExact/PullExact) and characteristic-polynomial sync
-// (PushCPI/PullCPI) — which remain the right tool when values match
-// bit-for-bit.
+// For connection-oriented use, build a Session: a Strategy value picks
+// the wire protocol — Robust (one-shot), Adaptive (estimate-first,
+// multi-round), or the classic exact schemes the paper benchmarks
+// against, ExactIBLT (difference digest), CPI (characteristic-polynomial
+// sync) and Naive (full transfer) — and Session.Serve / Session.Fetch run
+// it over any net.Conn with context cancellation and deadlines:
+//
+//	sess, _ := robustset.NewSession(robustset.Robust{}, robustset.WithParams(params))
+//	res, stats, err := sess.Fetch(ctx, conn, bobPoints)
+//
+// A Server multiplexes many named datasets over concurrent connections,
+// each backed by an incrementally maintained sketch (Maintainer):
+//
+//	srv := robustset.NewServer()
+//	srv.Publish("telemetry", params, pts)
+//	go srv.Serve(ln)
+//
+// and clients select a dataset with WithDataset("telemetry"), adopting
+// the server's parameters automatically. The legacy free functions
+// (Push/Pull, PushAdaptive/PullAdaptive, PushExact/PullExact,
+// PushCPI/PullCPI, SyncTwoWay) remain as deprecated wrappers that
+// delegate to the equivalent Session.
 package robustset
 
 import (
+	"fmt"
+
 	"robustset/internal/core"
 	"robustset/internal/emd"
 	"robustset/internal/grid"
@@ -138,6 +155,15 @@ func Reconcile(s *Sketch, local []Point) (*Result, error) {
 // robust reconciliation does not make the sets equal — each party ends
 // close to the other's original data.
 func ReconcileTwoWay(p Params, alice, bob []Point) (alicePrime, bobPrime []Point, err error) {
+	// Validate both inputs up front so a bad point is attributed to the
+	// party holding it, instead of surfacing as a bare core error midway
+	// through the exchange.
+	if err := p.Universe.CheckSet(alice); err != nil {
+		return nil, nil, fmt.Errorf("robustset: two-way: alice's set: %w", err)
+	}
+	if err := p.Universe.CheckSet(bob); err != nil {
+		return nil, nil, fmt.Errorf("robustset: two-way: bob's set: %w", err)
+	}
 	skA, err := core.BuildSketch(p, alice)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,412 @@
+package robustset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustset/internal/points"
+	"robustset/internal/protocol"
+	"robustset/internal/transport"
+)
+
+// ErrServerClosed is returned by Server.Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("robustset: server closed")
+
+// ErrUnknownDataset is relayed to clients that request a dataset the
+// server does not publish.
+var ErrUnknownDataset = errors.New("robustset: unknown dataset")
+
+// Dataset is one named point multiset a Server publishes. It pairs the
+// live points with an incrementally maintained sketch, so robust one-shot
+// sessions are served from the Maintainer in O(sketch) time regardless of
+// dataset size, while the other strategies snapshot the points. The
+// multiset is stored as encoded-point occurrence counts, so Add and
+// Remove cost O(levels) maintainer updates plus an O(1) map operation —
+// no linear scans on high-churn datasets. All methods are safe for
+// concurrent use with each other and with serving sessions.
+type Dataset struct {
+	name string
+
+	mu         sync.Mutex
+	maintainer *Maintainer
+	counts     map[string]int // encoded point → multiplicity
+	size       int
+}
+
+// Name returns the dataset's published name.
+func (d *Dataset) Name() string { return d.name }
+
+// Params returns the dataset's normalized reconciliation parameters —
+// the ones the server dictates to fetching clients.
+func (d *Dataset) Params() Params {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maintainer.Params()
+}
+
+// Size returns the current multiset size.
+func (d *Dataset) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Add inserts one point into the dataset, updating the maintained sketch
+// in O(levels) time.
+func (d *Dataset) Add(pt Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.maintainer.Add(pt); err != nil {
+		return err
+	}
+	d.counts[string(points.EncodeNew(pt))]++
+	d.size++
+	return nil
+}
+
+// Remove deletes one occurrence of pt from the dataset. It returns
+// ErrNotPresent if the dataset does not hold the point.
+func (d *Dataset) Remove(pt Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	enc := string(points.EncodeNew(pt))
+	if d.counts[enc] == 0 {
+		return fmt.Errorf("%w: %v not in dataset %q", ErrNotPresent, pt, d.name)
+	}
+	if err := d.maintainer.Remove(pt); err != nil {
+		return err
+	}
+	if d.counts[enc]--; d.counts[enc] == 0 {
+		delete(d.counts, enc)
+	}
+	d.size--
+	return nil
+}
+
+// Snapshot returns a copy of the current points. Order is unspecified:
+// the protocols treat inputs as multisets.
+func (d *Dataset) Snapshot() []Point {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dim := d.maintainer.Params().Universe.Dim
+	out := make([]Point, 0, d.size)
+	for enc, c := range d.counts {
+		p, err := points.Decode([]byte(enc), dim)
+		if err != nil {
+			// counts only ever holds EncodeNew output of validated points.
+			panic("robustset: corrupt dataset encoding: " + err.Error())
+		}
+		out = append(out, p)
+		for i := 1; i < c; i++ {
+			out = append(out, p.Clone())
+		}
+	}
+	return out
+}
+
+// sketchBlob marshals the maintained sketch under the dataset lock, so a
+// session can serve a consistent snapshot without holding the lock for
+// the network round-trip.
+func (d *Dataset) sketchBlob() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maintainer.Sketch().MarshalBinary()
+}
+
+// Server reconciles many named datasets with many concurrent clients.
+// Each accepted connection is one session: the client opens with a
+// handshake naming a dataset and a strategy (Session.Fetch with
+// WithDataset does this), the server replies with the dataset's
+// parameters, and the chosen protocol runs. Sessions run in their own
+// goroutines; Shutdown stops accepting and drains them.
+//
+//	srv := robustset.NewServer()
+//	srv.Publish("sensors/a", paramsA, ptsA)
+//	srv.Publish("sensors/b", paramsB, ptsB)
+//	go srv.Serve(ln)
+//	...
+//	srv.Shutdown(ctx)
+type Server struct {
+	logf           func(format string, args ...any)
+	maxMsg         int
+	sessionTimeout time.Duration
+
+	mu         sync.Mutex
+	datasets   map[string]*Dataset
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+	inShutdown atomic.Bool
+	wg         sync.WaitGroup
+
+	// baseCtx is cancelled when sessions must abort (Close, or Shutdown
+	// whose context expired).
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerLogger directs per-session error reporting (a printf-style
+// function, e.g. log.Printf). Default: discard.
+func WithServerLogger(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// WithServerMaxMessageSize caps a single protocol message on every
+// session, exactly like the Session option WithMaxMessageSize.
+func WithServerMaxMessageSize(n int) ServerOption {
+	return func(s *Server) { s.maxMsg = n }
+}
+
+// DefaultSessionTimeout bounds one server session (handshake through
+// final message) unless overridden with WithServerSessionTimeout. It
+// exists so a client that connects and goes silent cannot pin a session
+// goroutine and connection forever.
+const DefaultSessionTimeout = 2 * time.Minute
+
+// WithServerSessionTimeout overrides the per-session deadline
+// (DefaultSessionTimeout). d <= 0 disables the timeout entirely; only do
+// that behind infrastructure that bounds connection lifetimes itself.
+func WithServerSessionTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.sessionTimeout = d }
+}
+
+// NewServer builds an empty server; Publish datasets, then Serve.
+func NewServer(opts ...ServerOption) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		logf:           func(string, ...any) {},
+		sessionTimeout: DefaultSessionTimeout,
+		datasets:       make(map[string]*Dataset),
+		listeners:      make(map[net.Listener]struct{}),
+		conns:          make(map[net.Conn]struct{}),
+		baseCtx:        ctx,
+		cancelBase:     cancel,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Publish registers a named dataset and builds its maintained sketch.
+// The points are copied. Publishing a name twice is an error.
+func (s *Server) Publish(name string, p Params, pts []Point) (*Dataset, error) {
+	if name == "" || len(name) > protocol.MaxDatasetName {
+		return nil, fmt.Errorf("robustset: dataset name %q invalid (1..%d bytes)", name, protocol.MaxDatasetName)
+	}
+	m, err := NewMaintainer(p, pts)
+	if err != nil {
+		return nil, fmt.Errorf("robustset: publish %q: %w", name, err)
+	}
+	counts := make(map[string]int, len(pts))
+	for _, pt := range pts {
+		counts[string(points.EncodeNew(pt))]++
+	}
+	d := &Dataset{name: name, maintainer: m, counts: counts, size: len(pts)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return nil, fmt.Errorf("robustset: dataset %q already published", name)
+	}
+	s.datasets[name] = d
+	return d, nil
+}
+
+// Dataset returns a published dataset, or nil.
+func (s *Server) Dataset(name string) *Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.datasets[name]
+}
+
+// Datasets returns the published dataset names in sorted order.
+func (s *Server) Datasets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	return names
+}
+
+// Serve accepts connections on ln and runs one session per connection
+// until Shutdown or Close. It always returns a non-nil error; after a
+// clean shutdown the error is ErrServerClosed. Serve may be called on
+// multiple listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	if !s.trackListener(ln) {
+		ln.Close()
+		return ErrServerClosed
+	}
+	defer s.untrackListener(ln)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.inShutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if !s.trackConn(conn) {
+			conn.Close()
+			return ErrServerClosed
+		}
+		go func() {
+			defer s.untrackConn(conn)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on the TCP address addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// handle runs one session: handshake, dispatch, protocol.
+func (s *Server) handle(conn net.Conn) {
+	ctx := s.baseCtx
+	if s.sessionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.sessionTimeout)
+		defer cancel()
+	}
+	t := transport.NewConnLimit(conn, s.maxMsg)
+	hello, err := protocol.RecvHello(ctx, t)
+	if err != nil {
+		s.logf("robustset: server: %v: bad handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	d := s.Dataset(hello.Dataset)
+	if d == nil {
+		_ = protocol.RejectHello(ctx, t, fmt.Errorf("%w: %q", ErrUnknownDataset, hello.Dataset))
+		s.logf("robustset: server: %v: unknown dataset %q", conn.RemoteAddr(), hello.Dataset)
+		return
+	}
+	strat, err := strategyFromCode(hello.Strategy, hello.Config)
+	if err != nil {
+		_ = protocol.RejectHello(ctx, t, err)
+		s.logf("robustset: server: %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	params := d.Params()
+	if err := protocol.SendAccept(ctx, t, params); err != nil {
+		s.logf("robustset: server: %v: accept: %v", conn.RemoteAddr(), err)
+		return
+	}
+	// Robust one-shot sessions serve the maintained sketch directly —
+	// O(sketch size) per session instead of O(n·levels).
+	if _, oneShot := strat.(Robust); oneShot {
+		blob, err := d.sketchBlob()
+		if err == nil {
+			err = protocol.RunPushBlobAlice(ctx, t, blob)
+		}
+		if err != nil {
+			s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
+		}
+		return
+	}
+	if err := strat.serve(ctx, t, params, d.Snapshot()); err != nil {
+		s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
+	}
+}
+
+func (s *Server) trackListener(ln net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inShutdown.Load() {
+		return false
+	}
+	s.listeners[ln] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackListener(ln net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, ln)
+}
+
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inShutdown.Load() {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// closeListeners stops accepting; safe to call repeatedly.
+func (s *Server) closeListeners() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+}
+
+// closeConns force-closes every in-flight session connection.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// Shutdown gracefully stops the server: it closes the listeners, then
+// waits for in-flight sessions to finish. If ctx expires first, the
+// remaining sessions are aborted (their context is cancelled and their
+// connections closed) and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.closeListeners()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close immediately stops the server, aborting in-flight sessions.
+func (s *Server) Close() error {
+	s.inShutdown.Store(true)
+	s.closeListeners()
+	s.cancelBase()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,375 @@
+package robustset_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"robustset"
+)
+
+func startServer(t *testing.T, srv *robustset.Server) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveDone; !errors.Is(err, robustset.ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	return ln.Addr()
+}
+
+// TestServerMultiDatasetConcurrent is the acceptance scenario: one server
+// publishing two datasets, eight concurrent clients (four per dataset)
+// fetching through four different strategies each.
+func TestServerMultiDatasetConcurrent(t *testing.T) {
+	paramsA := robustset.Params{Universe: testU, Seed: 101, DiffBudget: 6}
+	paramsB := robustset.Params{Universe: testU, Seed: 202, DiffBudget: 4}
+	aliceA, bobA := deterministicPair(41, 300, 6, 2)
+	aliceB, bobB := deterministicPair(42, 200, 4, 2)
+
+	srv := robustset.NewServer(WithTestLogger(t))
+	if _, err := srv.Publish("sensors/alpha", paramsA, aliceA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish("sensors/beta", paramsB, aliceB); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Datasets(); len(got) != 2 {
+		t.Fatalf("Datasets() = %v", got)
+	}
+	addr := startServer(t, srv)
+
+	type job struct {
+		dataset       string
+		strategy      robustset.Strategy
+		local, remote []robustset.Point
+		exact         bool
+	}
+	jobs := []job{
+		{"sensors/alpha", robustset.Robust{}, bobA, aliceA, false},
+		{"sensors/alpha", robustset.Adaptive{}, bobA, aliceA, false},
+		{"sensors/alpha", robustset.ExactIBLT{}, robustset.ClonePoints(aliceA), aliceA, true},
+		{"sensors/alpha", robustset.Naive{}, bobA, aliceA, true},
+		{"sensors/beta", robustset.Robust{}, bobB, aliceB, false},
+		{"sensors/beta", robustset.Adaptive{}, bobB, aliceB, false},
+		{"sensors/beta", robustset.ExactIBLT{}, robustset.ClonePoints(aliceB), aliceB, true},
+		{"sensors/beta", robustset.Naive{}, bobB, aliceB, true},
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			fail := func(err error) {
+				errs <- fmt.Errorf("client %d (%s on %q): %w", i, j.strategy.Name(), j.dataset, err)
+			}
+			sess, err := robustset.NewSession(j.strategy, robustset.WithDataset(j.dataset))
+			if err != nil {
+				fail(err)
+				return
+			}
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			res, _, err := sess.Fetch(ctx, conn, j.local)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if j.exact && !robustset.EqualMultisets(res.SPrime, j.remote) {
+				fail(errors.New("exact strategy did not reproduce the dataset"))
+			}
+			if !j.exact && len(res.SPrime) != len(j.local) {
+				fail(fmt.Errorf("|S'| = %d, want %d", len(res.SPrime), len(j.local)))
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServerUnknownDatasetAndStrategy asserts handshake rejections reach
+// the client as remote errors.
+func TestServerUnknownDataset(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 1, DiffBudget: 4}
+	alice, bob := deterministicPair(51, 100, 4, 2)
+	srv := robustset.NewServer(WithTestLogger(t))
+	if _, err := srv.Publish("known", params, alice); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	sess, err := robustset.NewSession(robustset.Robust{}, robustset.WithDataset("missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, _, err := sess.Fetch(ctx, conn, bob); err == nil {
+		t.Fatal("fetch of unknown dataset succeeded")
+	}
+}
+
+// TestServerDatasetUpdates asserts live Add/Remove updates are visible to
+// later sessions through the maintained sketch.
+func TestServerDatasetUpdates(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 31, DiffBudget: 8}
+	alice, _ := deterministicPair(61, 150, 0, 0)
+	srv := robustset.NewServer(WithTestLogger(t))
+	d, err := srv.Publish("live", params, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	// Mutate the dataset: drop one point, add two fresh ones.
+	if err := d.Remove(alice[0]); err != nil {
+		t.Fatal(err)
+	}
+	fresh := robustset.Point{12345, 54321}
+	if err := d.Add(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(robustset.Point{999, 111}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != len(alice)+1 {
+		t.Fatalf("Size() = %d, want %d", d.Size(), len(alice)+1)
+	}
+	if err := d.Remove(robustset.Point{7, 7}); !errors.Is(err, robustset.ErrNotPresent) {
+		t.Fatalf("Remove of absent point: %v", err)
+	}
+
+	// An exact fetch sees the updated multiset.
+	sess, err := robustset.NewSession(robustset.ExactIBLT{}, robustset.WithDataset("live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, _, err := sess.Fetch(ctx, conn, d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !robustset.EqualMultisets(res.SPrime, d.Snapshot()) {
+		t.Error("fetched multiset does not match the live dataset")
+	}
+}
+
+// TestServerGracefulShutdown asserts Shutdown waits for an in-flight
+// session to complete when the context allows it.
+func TestServerGracefulShutdown(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 71, DiffBudget: 4}
+	alice, bob := deterministicPair(71, 200, 4, 2)
+	srv := robustset.NewServer(WithTestLogger(t))
+	if _, err := srv.Publish("d", params, alice); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// Start a session and hold it mid-handshake briefly, then let it
+	// finish while Shutdown is waiting.
+	sess, err := robustset.NewSession(robustset.Robust{}, robustset.WithDataset("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fetchDone := make(chan error, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond) // ensure Shutdown starts first
+		_, _, err := sess.Fetch(context.Background(), conn, bob)
+		fetchDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the server accept the conn
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+	if err := <-fetchDone; err != nil {
+		t.Fatalf("in-flight fetch during graceful shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, robustset.ErrServerClosed) {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// New connections are refused after shutdown.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+}
+
+// TestServerForcedShutdown asserts Shutdown aborts sessions that outlive
+// its context: a client that completes the handshake and then goes
+// silent holds a session goroutine, which must be torn down.
+func TestServerForcedShutdown(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 81, DiffBudget: 4}
+	alice, _ := deterministicPair(81, 100, 4, 2)
+	srv := robustset.NewServer(WithTestLogger(t))
+	if _, err := srv.Publish("d", params, alice); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// A client that connects and never speaks: the session goroutine
+	// blocks in the handshake read.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(50 * time.Millisecond) // let the server accept
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Shutdown returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("forced shutdown took %v", elapsed)
+	}
+	if err := <-serveDone; !errors.Is(err, robustset.ErrServerClosed) {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestServerPublishValidation covers dataset registration errors.
+func TestServerPublishValidation(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 1, DiffBudget: 2}
+	srv := robustset.NewServer()
+	defer srv.Close()
+	if _, err := srv.Publish("", params, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := srv.Publish("x", robustset.Params{}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := srv.Publish("x", params, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish("x", params, nil); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if srv.Dataset("x") == nil || srv.Dataset("y") != nil {
+		t.Error("Dataset lookup inconsistent")
+	}
+}
+
+// WithTestLogger routes server logs into the test output.
+func WithTestLogger(t *testing.T) robustset.ServerOption {
+	return robustset.WithServerLogger(func(format string, args ...any) {
+		t.Logf(format, args...)
+	})
+}
+
+// TestServerSessionTimeout asserts a silent client cannot pin a session
+// goroutine past the configured per-session deadline: the server closes
+// the session on its own, without Shutdown.
+func TestServerSessionTimeout(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 91, DiffBudget: 4}
+	alice, _ := deterministicPair(91, 100, 4, 2)
+	srv := robustset.NewServer(WithTestLogger(t), robustset.WithServerSessionTimeout(150*time.Millisecond))
+	defer srv.Close()
+	if _, err := srv.Publish("d", params, alice); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Never send the hello; the server must hang up when the session
+	// deadline fires.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server sent data to a silent client")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("session lingered %v past the 150ms deadline", elapsed)
+	}
+}
+
+// TestServerRejectsHostileCPICapacity sends a handcrafted hello naming an
+// absurd CPI capacity and asserts the server replies with a protocol
+// error instead of attempting the allocation.
+func TestServerRejectsHostileCPICapacity(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 7, DiffBudget: 4}
+	alice, _ := deterministicPair(99, 50, 4, 2)
+	srv := robustset.NewServer(WithTestLogger(t))
+	if _, err := srv.Publish("d", params, alice); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Frame: u32 length | 0x10 (hello) | strategy 4 (CPI) | u32 name len |
+	// "d" | u32 cfg len | u32 capacity 0xFFFFFFFF.
+	body := []byte{0x10, 4, 1, 0, 0, 0, 'd', 4, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}
+	frame := append([]byte{byte(len(body)), 0, 0, 0}, body...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	reply := make([]byte, 5)
+	if _, err := io.ReadFull(conn, reply); err != nil {
+		t.Fatalf("no reply to hostile hello: %v", err)
+	}
+	if reply[4] != 0x7f { // MsgError tag
+		t.Fatalf("server replied with tag 0x%02x, want MsgError (0x7f)", reply[4])
+	}
+}

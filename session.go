@@ -1,0 +1,562 @@
+package robustset
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+
+	"robustset/internal/emd"
+	"robustset/internal/protocol"
+	"robustset/internal/transport"
+)
+
+// Strategy selects which reconciliation protocol a Session runs. The
+// five implementations — Robust, Adaptive, ExactIBLT, CPI and Naive —
+// wrap the module's wire protocols behind one interface, so serving and
+// fetching code is written once and the protocol is a configuration
+// choice. The interface is closed (its lower-case methods cannot be
+// implemented outside this package) because both endpoints must agree on
+// the wire semantics of every strategy code.
+type Strategy interface {
+	// Name returns the strategy's stable identifier, matching the names
+	// used in experiment tables.
+	Name() string
+	// code is the wire code carried in a server handshake.
+	code() byte
+	// helloConfig encodes the strategy knobs the serving side must adopt
+	// for the two parties' sketches to be compatible.
+	helloConfig() []byte
+	// serve runs Alice's side: answer one fetching peer over t.
+	serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error
+	// fetch runs Bob's side and returns his reconciled multiset.
+	fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error)
+}
+
+// twoWayStrategy is implemented by strategies that support the symmetric
+// Session.Sync mode.
+type twoWayStrategy interface {
+	sync(ctx context.Context, t transport.Transport, p Params, pts []Point) (*SyncResult, error)
+}
+
+// validatingStrategy is implemented by strategies with knobs that can be
+// out of range; NewSession rejects invalid values up front instead of
+// letting them desynchronize the endpoints mid-protocol.
+type validatingStrategy interface {
+	validate() error
+}
+
+// maxCPICapacity bounds the CPI sketch size, matching the 1<<24 ceiling
+// every other wire-supplied capacity in the protocols enforces — a
+// handshake can never drive a pathological allocation.
+const maxCPICapacity = 1 << 24
+
+// SyncResult is the outcome of a Session.Fetch or Session.Sync: the
+// local party's updated multiset, plus the robust protocol's per-level
+// diagnostics when the strategy is robust.
+type SyncResult struct {
+	// SPrime is the reconciled multiset (S'_B). For exact strategies it
+	// equals the remote set exactly on success; for robust strategies it
+	// is close to the remote set in Earth Mover's Distance.
+	SPrime []Point
+	// Robust carries the robust protocol's detailed result (chosen level,
+	// added/removed points, per-level outcomes); nil for ExactIBLT, CPI
+	// and Naive.
+	Robust *Result
+	// Params are the parameters the exchange actually ran under. When
+	// fetching a named dataset these are the server's (adopted through
+	// the handshake), so callers can interpret SPrime — e.g. write it
+	// under the right universe — without out-of-band agreement.
+	Params Params
+
+	metric Metric
+}
+
+// EMD returns the exact Earth Mover's Distance between the result and
+// other under the session's metric (WithMetric, default L1). It solves an
+// assignment problem in O(n³); intended for diagnostics and tests, not
+// hot paths.
+func (r *SyncResult) EMD(other []Point) (float64, error) {
+	m := r.metric
+	if m == nil {
+		m = L1
+	}
+	return emd.Exact(r.SPrime, other, m)
+}
+
+// ---------------------------------------------------------------------
+// Strategy implementations
+
+// Robust is the paper's one-shot robust protocol: the serving side pushes
+// one message carrying the full multiresolution sketch; the fetching side
+// reconciles at the finest decodable level. It is the only strategy that
+// also supports the symmetric Session.Sync mode.
+type Robust struct{}
+
+// Name implements Strategy.
+func (Robust) Name() string { return "robust-oneshot" }
+
+func (Robust) code() byte          { return protocol.StrategyRobust }
+func (Robust) helloConfig() []byte { return nil }
+
+func (Robust) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	return protocol.RunPushAlice(ctx, t, p, pts)
+}
+
+func (Robust) fetch(ctx context.Context, t transport.Transport, _ Params, local []Point) (*SyncResult, error) {
+	res, err := protocol.RunPushBob(ctx, t, local)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: res.SPrime, Robust: res}, nil
+}
+
+func (Robust) sync(ctx context.Context, t transport.Transport, p Params, pts []Point) (*SyncResult, error) {
+	res, err := protocol.RunTwoWay(ctx, t, p, pts)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: res.SPrime, Robust: res}, nil
+}
+
+// Adaptive is the estimate-first robust protocol: tiny per-level
+// difference estimators first, then exactly one level table sized to the
+// estimated difference (plus retries if the fetching side asks).
+type Adaptive struct {
+	// Options tunes the fetching side; the zero value uses the defaults
+	// documented on AdaptiveOptions.
+	Options AdaptiveOptions
+}
+
+// Name implements Strategy.
+func (Adaptive) Name() string { return "robust-adaptive" }
+
+func (Adaptive) code() byte          { return protocol.StrategyAdaptive }
+func (Adaptive) helloConfig() []byte { return nil }
+
+func (Adaptive) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	return protocol.RunEstimateAlice(ctx, t, p, pts)
+}
+
+func (a Adaptive) fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error) {
+	res, err := protocol.RunEstimateBob(ctx, t, p, local, a.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: res.SPrime, Robust: res}, nil
+}
+
+// ExactIBLT is classic exact set synchronization (difference digest:
+// strata estimator plus exactly-sized IBLTs). It remains the right tool
+// when values match bit-for-bit; under value noise its cost degenerates
+// to Θ(n).
+type ExactIBLT struct {
+	// HashCount is the IBLT q; both endpoints must agree (a server
+	// session adopts it from the hello). 0 means 4.
+	HashCount int
+	// Slack multiplies the estimated difference when sizing the IBLT
+	// (fetch side only; 0 means 2.0).
+	Slack float64
+	// MaxRetries bounds decode-failure retries (fetch side only; 0
+	// means 4).
+	MaxRetries int
+}
+
+// Name implements Strategy.
+func (ExactIBLT) Name() string { return "exact-iblt" }
+
+func (e ExactIBLT) validate() error {
+	if e.HashCount != 0 && (e.HashCount < 2 || e.HashCount > 16) {
+		return fmt.Errorf("robustset: exact-IBLT hash count %d outside [2,16]", e.HashCount)
+	}
+	if e.Slack < 0 {
+		return fmt.Errorf("robustset: exact-IBLT slack %v negative", e.Slack)
+	}
+	if e.MaxRetries < 0 {
+		return fmt.Errorf("robustset: exact-IBLT max retries %d negative", e.MaxRetries)
+	}
+	return nil
+}
+
+func (e ExactIBLT) code() byte { return protocol.StrategyExactIBLT }
+
+func (e ExactIBLT) helloConfig() []byte { return []byte{byte(e.HashCount)} }
+
+func (e ExactIBLT) config(p Params) ExactConfig {
+	return ExactConfig{
+		Universe:   p.Universe,
+		Seed:       p.Seed,
+		HashCount:  e.HashCount,
+		Slack:      e.Slack,
+		MaxRetries: e.MaxRetries,
+	}
+}
+
+func (e ExactIBLT) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	return protocol.RunExactIBLTAlice(ctx, t, e.config(p), pts)
+}
+
+func (e ExactIBLT) fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error) {
+	sp, err := protocol.RunExactIBLTBob(ctx, t, e.config(p), local)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: sp}, nil
+}
+
+// CPI is characteristic-polynomial exact synchronization
+// (minisketch-class: optimal O(capacity) communication for exact
+// differences, no cheap retry path).
+type CPI struct {
+	// Capacity is the maximum recoverable difference |AΔB|. 0 derives
+	// 2·DiffBudget+8 from the session parameters.
+	Capacity int
+}
+
+// Name implements Strategy.
+func (CPI) Name() string { return "cpi" }
+
+func (c CPI) validate() error {
+	if c.Capacity < 0 || c.Capacity > maxCPICapacity {
+		return fmt.Errorf("robustset: CPI capacity %d outside [0,%d]", c.Capacity, maxCPICapacity)
+	}
+	return nil
+}
+
+func (c CPI) code() byte { return protocol.StrategyCPI }
+
+func (c CPI) helloConfig() []byte {
+	return binary.LittleEndian.AppendUint32(nil, uint32(c.Capacity))
+}
+
+func (c CPI) config(p Params) (CPIConfig, error) {
+	capacity := c.Capacity
+	if capacity == 0 {
+		if p.DiffBudget < 1 {
+			return CPIConfig{}, errors.New("robustset: CPI strategy needs Capacity or Params.DiffBudget")
+		}
+		capacity = 2*p.DiffBudget + 8
+	}
+	// Re-validated here (not only in NewSession) because a server derives
+	// the capacity from an untrusted hello blob.
+	if capacity < 1 || capacity > maxCPICapacity {
+		return CPIConfig{}, fmt.Errorf("robustset: CPI capacity %d outside [1,%d]", capacity, maxCPICapacity)
+	}
+	return CPIConfig{Universe: p.Universe, Seed: p.Seed, Capacity: capacity}, nil
+}
+
+func (c CPI) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	cfg, err := c.config(p)
+	if err != nil {
+		// Relay the configuration error so the peer fails fast with a
+		// RemoteError instead of blocking until the connection drops.
+		return protocol.SendError(ctx, t, err)
+	}
+	return protocol.RunCPIAlice(ctx, t, cfg, pts)
+}
+
+func (c CPI) fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error) {
+	cfg, err := c.config(p)
+	if err != nil {
+		return nil, protocol.SendError(ctx, t, err)
+	}
+	sp, err := protocol.RunCPIBob(ctx, t, cfg, local)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: sp}, nil
+}
+
+// Naive transfers the serving side's entire point set — the trivial
+// comparator every sublinear protocol must beat, and occasionally the
+// right answer for tiny sets.
+type Naive struct{}
+
+// Name implements Strategy.
+func (Naive) Name() string { return "naive" }
+
+func (Naive) code() byte          { return protocol.StrategyNaive }
+func (Naive) helloConfig() []byte { return nil }
+
+func (Naive) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	return protocol.RunNaiveAlice(ctx, t, p.Universe, pts)
+}
+
+func (Naive) fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error) {
+	sp, err := protocol.RunNaiveBob(ctx, t, p.Universe)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: sp}, nil
+}
+
+// strategyFromCode reconstructs the serving side of a strategy from its
+// handshake code and config blob.
+func strategyFromCode(code byte, cfg []byte) (Strategy, error) {
+	switch code {
+	case protocol.StrategyRobust:
+		return Robust{}, nil
+	case protocol.StrategyAdaptive:
+		return Adaptive{}, nil
+	case protocol.StrategyExactIBLT:
+		e := ExactIBLT{}
+		if len(cfg) >= 1 {
+			e.HashCount = int(cfg[0])
+		}
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case protocol.StrategyCPI:
+		c := CPI{}
+		if len(cfg) >= 4 {
+			c.Capacity = int(binary.LittleEndian.Uint32(cfg))
+		}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case protocol.StrategyNaive:
+		return Naive{}, nil
+	default:
+		return nil, fmt.Errorf("robustset: unknown strategy code 0x%02x", code)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Session
+
+// Session binds a Strategy to a set of options and runs reconciliations
+// over connections. A Session is stateless between calls and safe for
+// concurrent use; a service typically builds one Session per
+// (strategy, parameters) pair and reuses it for every connection.
+//
+//	sess, _ := robustset.NewSession(robustset.Robust{}, robustset.WithParams(p))
+//	go sess.Serve(ctx, aliceConn, alicePts)   // serving side
+//	res, stats, _ := sess.Fetch(ctx, bobConn, bobPts) // fetching side
+//
+// Cancelling the context aborts a session mid-round: blocked reads and
+// writes return promptly with the context's error, and a context deadline
+// is propagated onto the connection.
+type Session struct {
+	strategy  Strategy
+	params    Params
+	metric    Metric
+	statsSink func(TransferStats)
+	maxMsg    int
+	dataset   string
+}
+
+// Option configures a Session.
+type Option func(*Session) error
+
+// WithParams sets the shared reconciliation parameters. Both endpoints
+// of a peer-to-peer session must agree on them (a Fetch against a Server
+// dataset instead adopts the server's parameters automatically).
+func WithParams(p Params) Option {
+	return func(s *Session) error {
+		s.params = p
+		return nil
+	}
+}
+
+// WithMetric sets the ground metric used by SyncResult.EMD diagnostics.
+// Default: L1, the paper's primary metric.
+func WithMetric(m Metric) Option {
+	return func(s *Session) error {
+		if m == nil {
+			return errors.New("robustset: nil metric")
+		}
+		s.metric = m
+		return nil
+	}
+}
+
+// WithStatsSink registers a callback that receives the connection's
+// transfer accounting after every Serve, Fetch or Sync — including failed
+// ones — for metrics pipelines.
+func WithStatsSink(sink func(TransferStats)) Option {
+	return func(s *Session) error {
+		s.statsSink = sink
+		return nil
+	}
+}
+
+// WithMaxMessageSize caps a single protocol message in bytes, in both
+// directions: larger local sends fail, and a peer announcing a larger
+// frame is treated as corrupt rather than trusted with the allocation.
+// 0 (the default) means the transport-wide limit (256 MiB).
+func WithMaxMessageSize(n int) Option {
+	return func(s *Session) error {
+		if n < 0 || n > transport.MaxFrameSize {
+			return fmt.Errorf("robustset: max message size %d outside [0,%d]", n, transport.MaxFrameSize)
+		}
+		s.maxMsg = n
+		return nil
+	}
+}
+
+// WithDataset makes Fetch open the connection with a server handshake
+// naming the given dataset (see Server). The server replies with the
+// dataset's parameters, which the fetch adopts — WithParams is then
+// unnecessary on the client. The option applies to Fetch only: Serve and
+// Sync are peer roles with no server on the other end, and return an
+// error on a session configured with a dataset.
+func WithDataset(name string) Option {
+	return func(s *Session) error {
+		if name == "" {
+			return errors.New("robustset: empty dataset name")
+		}
+		if len(name) > protocol.MaxDatasetName {
+			return fmt.Errorf("robustset: dataset name longer than %d bytes", protocol.MaxDatasetName)
+		}
+		s.dataset = name
+		return nil
+	}
+}
+
+// NewSession builds a Session running the given strategy.
+func NewSession(strategy Strategy, opts ...Option) (*Session, error) {
+	if strategy == nil {
+		return nil, errors.New("robustset: nil strategy")
+	}
+	if v, ok := strategy.(validatingStrategy); ok {
+		if err := v.validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := &Session{strategy: strategy, metric: L1}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Strategy returns the session's strategy.
+func (s *Session) Strategy() Strategy { return s.strategy }
+
+// Params returns the session's configured parameters.
+func (s *Session) Params() Params { return s.params }
+
+func (s *Session) newTransport(conn net.Conn) transport.Transport {
+	return transport.NewConnLimit(conn, s.maxMsg)
+}
+
+func (s *Session) emit(st TransferStats) {
+	if s.statsSink != nil {
+		s.statsSink(st)
+	}
+}
+
+// errDatasetFetchOnly reports WithDataset misuse: the handshake it
+// enables exists only on the fetching side (the Server answers it).
+var errDatasetFetchOnly = errors.New("robustset: WithDataset applies to Fetch only; Serve and Sync speak the bare protocol")
+
+// Serve runs the serving (Alice) side of the session's strategy over
+// conn: it answers exactly one fetching peer and returns the wire
+// accounting. The caller owns conn and closes it afterwards.
+func (s *Session) Serve(ctx context.Context, conn net.Conn, pts []Point) (TransferStats, error) {
+	if s.dataset != "" {
+		return TransferStats{}, errDatasetFetchOnly
+	}
+	t := s.newTransport(conn)
+	err := s.strategy.serve(ctx, t, s.params, pts)
+	st := t.Stats()
+	s.emit(st)
+	return st, err
+}
+
+// ServeSketch is Serve for the Robust strategy with an already-built
+// sketch — the path used by servers that maintain a sketch incrementally
+// (Maintainer) instead of re-encoding per session.
+func (s *Session) ServeSketch(ctx context.Context, conn net.Conn, sk *Sketch) (TransferStats, error) {
+	if s.dataset != "" {
+		return TransferStats{}, errDatasetFetchOnly
+	}
+	if _, ok := s.strategy.(Robust); !ok {
+		return TransferStats{}, fmt.Errorf("robustset: ServeSketch requires the Robust strategy, session uses %s", s.strategy.Name())
+	}
+	t := s.newTransport(conn)
+	err := protocol.RunPushSketchAlice(ctx, t, sk)
+	st := t.Stats()
+	s.emit(st)
+	return st, err
+}
+
+// Fetch runs the fetching (Bob) side over conn: it reconciles local
+// against the serving peer's data and returns the result with the wire
+// accounting. With WithDataset it first performs the server handshake
+// and adopts the dataset's parameters.
+func (s *Session) Fetch(ctx context.Context, conn net.Conn, local []Point) (*SyncResult, TransferStats, error) {
+	t := s.newTransport(conn)
+	res, err := s.fetchOver(ctx, t, local)
+	st := t.Stats()
+	s.emit(st)
+	return res, st, err
+}
+
+func (s *Session) fetchOver(ctx context.Context, t transport.Transport, local []Point) (*SyncResult, error) {
+	p := s.params
+	if s.dataset != "" {
+		var err error
+		p, err = protocol.RunHelloClient(ctx, t, protocol.Hello{
+			Strategy: s.strategy.code(),
+			Dataset:  s.dataset,
+			Config:   s.strategy.helloConfig(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.strategy.fetch(ctx, t, p, local)
+	if err != nil {
+		return nil, err
+	}
+	if res.Robust != nil {
+		// The robust one-shot path learns its parameters from the sketch
+		// itself, which is authoritative even peer-to-peer.
+		res.Params = res.Robust.Params
+	} else {
+		res.Params = p
+	}
+	res.metric = s.metric
+	return res, nil
+}
+
+// ErrTwoWayUnsupported is returned by Session.Sync for strategies without
+// a symmetric mode.
+var ErrTwoWayUnsupported = errors.New("robustset: strategy does not support two-way sync")
+
+// Sync runs the symmetric two-way mode: both peers call Sync on the same
+// strategy, each pushing its own summary and reconciling against the
+// other's. Only the Robust strategy supports it; as the paper notes,
+// two-way robust reconciliation leaves each party close (in EMD) to the
+// other's original data rather than converging the sets to equality.
+func (s *Session) Sync(ctx context.Context, conn net.Conn, pts []Point) (*SyncResult, TransferStats, error) {
+	if s.dataset != "" {
+		return nil, TransferStats{}, errDatasetFetchOnly
+	}
+	tw, ok := s.strategy.(twoWayStrategy)
+	if !ok {
+		return nil, TransferStats{}, fmt.Errorf("%w: %s", ErrTwoWayUnsupported, s.strategy.Name())
+	}
+	t := s.newTransport(conn)
+	res, err := tw.sync(ctx, t, s.params, pts)
+	st := t.Stats()
+	s.emit(st)
+	if err != nil {
+		return nil, st, err
+	}
+	res.Params = res.Robust.Params
+	res.metric = s.metric
+	return res, st, nil
+}
+
+// Strategies returns one value of every built-in strategy, in a stable
+// order — handy for tools and tests that iterate over all protocols.
+func Strategies() []Strategy {
+	return []Strategy{Robust{}, Adaptive{}, ExactIBLT{}, CPI{}, Naive{}}
+}

@@ -1,0 +1,486 @@
+package robustset_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"robustset"
+)
+
+// recordingConn wraps a net.Conn and captures every byte written, so
+// tests can compare the wire traffic of two protocol implementations.
+type recordingConn struct {
+	net.Conn
+	mu   sync.Mutex
+	sent bytes.Buffer
+}
+
+func (r *recordingConn) Write(b []byte) (int, error) {
+	n, err := r.Conn.Write(b)
+	r.mu.Lock()
+	r.sent.Write(b[:n])
+	r.mu.Unlock()
+	return n, err
+}
+
+func (r *recordingConn) bytesSent() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.sent.Bytes()...)
+}
+
+// runRecorded wires a serving and a fetching endpoint through an
+// in-process pipe and returns each side's raw transmitted bytes.
+func runRecorded(t *testing.T, serve, fetch func(net.Conn) error) (serveBytes, fetchBytes []byte) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	ra := &recordingConn{Conn: c1}
+	rb := &recordingConn{Conn: c2}
+	done := make(chan error, 1)
+	go func() {
+		defer c1.Close()
+		done <- serve(ra)
+	}()
+	ferr := fetch(rb)
+	c2.Close()
+	serr := <-done
+	if ferr != nil {
+		t.Fatalf("fetch side: %v", ferr)
+	}
+	if serr != nil {
+		t.Fatalf("serve side: %v", serr)
+	}
+	return ra.bytesSent(), rb.bytesSent()
+}
+
+// TestWrapperSessionWireParity asserts that every deprecated free
+// function produces byte-identical wire traffic to its Session
+// equivalent, in both directions.
+func TestWrapperSessionWireParity(t *testing.T) {
+	rngPair := func() (alice, bob []robustset.Point) {
+		return makeNoisyPairSeed(t, 1234, 240, 6, 3)
+	}
+	alice, bob := rngPair()
+	// Exact-regime inputs for the exact protocols: identical sets with a
+	// few replaced points, so CPI's capacity bound holds.
+	exactBob := robustset.ClonePoints(alice)
+	exactAlice := robustset.ClonePoints(alice)
+	for i := 0; i < 5; i++ {
+		exactAlice[i] = robustset.Point{int64(i) * 17, int64(i) * 29}
+	}
+
+	params := robustset.Params{Universe: testU, Seed: 77, DiffBudget: 6}
+	ecfg := robustset.ExactConfig{Universe: testU, Seed: 21}
+	ccfg := robustset.CPIConfig{Universe: testU, Seed: 23, Capacity: 24}
+	ctx := context.Background()
+
+	newSession := func(s robustset.Strategy, opts ...robustset.Option) *robustset.Session {
+		sess, err := robustset.NewSession(s, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+
+	cases := []struct {
+		name               string
+		aliceSet, bobSet   []robustset.Point
+		oldServe, newServe func(net.Conn) error
+		oldFetch, newFetch func(net.Conn) error
+	}{
+		{
+			name: "robust-oneshot", aliceSet: alice, bobSet: bob,
+			oldServe: func(c net.Conn) error { _, err := robustset.Push(c, params, alice); return err },
+			oldFetch: func(c net.Conn) error { _, _, err := robustset.Pull(c, bob); return err },
+			newServe: func(c net.Conn) error {
+				_, err := newSession(robustset.Robust{}, robustset.WithParams(params)).Serve(ctx, c, alice)
+				return err
+			},
+			newFetch: func(c net.Conn) error {
+				_, _, err := newSession(robustset.Robust{}).Fetch(ctx, c, bob)
+				return err
+			},
+		},
+		{
+			name: "robust-adaptive", aliceSet: alice, bobSet: bob,
+			oldServe: func(c net.Conn) error { _, err := robustset.PushAdaptive(c, params, alice); return err },
+			oldFetch: func(c net.Conn) error {
+				_, _, err := robustset.PullAdaptive(c, params, bob, robustset.AdaptiveOptions{})
+				return err
+			},
+			newServe: func(c net.Conn) error {
+				_, err := newSession(robustset.Adaptive{}, robustset.WithParams(params)).Serve(ctx, c, alice)
+				return err
+			},
+			newFetch: func(c net.Conn) error {
+				_, _, err := newSession(robustset.Adaptive{}, robustset.WithParams(params)).Fetch(ctx, c, bob)
+				return err
+			},
+		},
+		{
+			name: "exact-iblt", aliceSet: exactAlice, bobSet: exactBob,
+			oldServe: func(c net.Conn) error { _, err := robustset.PushExact(c, ecfg, exactAlice); return err },
+			oldFetch: func(c net.Conn) error { _, _, err := robustset.PullExact(c, ecfg, exactBob); return err },
+			newServe: func(c net.Conn) error {
+				sess := newSession(robustset.ExactIBLT{}, robustset.WithParams(robustset.Params{Universe: testU, Seed: 21}))
+				_, err := sess.Serve(ctx, c, exactAlice)
+				return err
+			},
+			newFetch: func(c net.Conn) error {
+				sess := newSession(robustset.ExactIBLT{}, robustset.WithParams(robustset.Params{Universe: testU, Seed: 21}))
+				_, _, err := sess.Fetch(ctx, c, exactBob)
+				return err
+			},
+		},
+		{
+			name: "cpi", aliceSet: exactAlice, bobSet: exactBob,
+			oldServe: func(c net.Conn) error { _, err := robustset.PushCPI(c, ccfg, exactAlice); return err },
+			oldFetch: func(c net.Conn) error { _, _, err := robustset.PullCPI(c, ccfg, exactBob); return err },
+			newServe: func(c net.Conn) error {
+				sess := newSession(robustset.CPI{Capacity: 24}, robustset.WithParams(robustset.Params{Universe: testU, Seed: 23}))
+				_, err := sess.Serve(ctx, c, exactAlice)
+				return err
+			},
+			newFetch: func(c net.Conn) error {
+				sess := newSession(robustset.CPI{Capacity: 24}, robustset.WithParams(robustset.Params{Universe: testU, Seed: 23}))
+				_, _, err := sess.Fetch(ctx, c, exactBob)
+				return err
+			},
+		},
+		{
+			name: "two-way", aliceSet: alice, bobSet: bob,
+			oldServe: func(c net.Conn) error { _, _, err := robustset.SyncTwoWay(c, params, alice); return err },
+			oldFetch: func(c net.Conn) error { _, _, err := robustset.SyncTwoWay(c, params, bob); return err },
+			newServe: func(c net.Conn) error {
+				_, _, err := newSession(robustset.Robust{}, robustset.WithParams(params)).Sync(ctx, c, alice)
+				return err
+			},
+			newFetch: func(c net.Conn) error {
+				_, _, err := newSession(robustset.Robust{}, robustset.WithParams(params)).Sync(ctx, c, bob)
+				return err
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldA, oldB := runRecorded(t, tc.oldServe, tc.oldFetch)
+			newA, newB := runRecorded(t, tc.newServe, tc.newFetch)
+			if !bytes.Equal(oldA, newA) {
+				t.Errorf("serving-side traffic diverged: wrapper sent %d bytes, session %d", len(oldA), len(newA))
+			}
+			if !bytes.Equal(oldB, newB) {
+				t.Errorf("fetching-side traffic diverged: wrapper sent %d bytes, session %d", len(oldB), len(newB))
+			}
+		})
+	}
+}
+
+// makeNoisyPairSeed is makeNoisyPair with an explicit seed, for tests
+// that need several independent instances.
+func makeNoisyPairSeed(t *testing.T, seed uint64, n, k int, noise int64) (alice, bob []robustset.Point) {
+	t.Helper()
+	alice, bob = deterministicPair(seed, n, k, noise)
+	return alice, bob
+}
+
+// TestSessionAllStrategies drives every built-in strategy through the
+// same Serve/Fetch surface on inputs each can handle.
+func TestSessionAllStrategies(t *testing.T) {
+	alice, bob := deterministicPair(9, 200, 5, 2)
+	exactBob := robustset.ClonePoints(alice)
+	params := robustset.Params{Universe: testU, Seed: 3, DiffBudget: 5}
+	ctx := context.Background()
+
+	for _, strat := range robustset.Strategies() {
+		t.Run(strat.Name(), func(t *testing.T) {
+			local := bob
+			switch strat.(type) {
+			case robustset.ExactIBLT, robustset.CPI:
+				// Exact protocols get the exact regime.
+				local = exactBob
+			}
+			sess, err := robustset.NewSession(strat, robustset.WithParams(params))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c1, c2 := net.Pipe()
+			defer c1.Close()
+			defer c2.Close()
+			done := make(chan error, 1)
+			go func() {
+				_, err := sess.Serve(ctx, c1, alice)
+				done <- err
+			}()
+			res, stats, err := sess.Fetch(ctx, c2, local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if len(res.SPrime) == 0 {
+				t.Fatal("empty result")
+			}
+			if stats.Total() == 0 {
+				t.Error("no traffic accounted")
+			}
+			switch strat.(type) {
+			case robustset.Robust, robustset.Adaptive:
+				if res.Robust == nil {
+					t.Error("robust result details missing")
+				}
+			default:
+				if res.Robust != nil {
+					t.Error("unexpected robust details on exact strategy")
+				}
+				if !robustset.EqualMultisets(res.SPrime, alice) {
+					t.Error("exact strategy did not reproduce the remote set")
+				}
+			}
+		})
+	}
+}
+
+// TestSessionFetchCancel asserts that cancelling the context aborts a
+// fetch blocked on a silent peer, well within the test's deadline.
+func TestSessionFetchCancel(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close() // the "server": accepts but never speaks
+	defer c2.Close()
+	sess, err := robustset.NewSession(robustset.Robust{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := sess.Fetch(ctx, c2, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Fetch did not return")
+	}
+}
+
+// TestSessionServeCancel is the serving-side mirror: an Adaptive serve
+// blocks waiting for the estimator request and must abort on cancel.
+func TestSessionServeCancel(t *testing.T) {
+	alice, _ := deterministicPair(5, 100, 3, 2)
+	params := robustset.Params{Universe: testU, Seed: 13, DiffBudget: 3}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close() // the "client": connects but never speaks
+	sess, err := robustset.NewSession(robustset.Adaptive{}, robustset.WithParams(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Serve(ctx, c1, alice)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Serve did not return")
+	}
+}
+
+// TestSessionDeadline asserts a context deadline propagates to the
+// connection and expires a stalled round.
+func TestSessionDeadline(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	sess, err := robustset.NewSession(robustset.Robust{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, _, err := sess.Fetch(ctx, c2, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestSessionOptions exercises the remaining functional options.
+func TestSessionOptions(t *testing.T) {
+	alice, bob := deterministicPair(21, 150, 4, 2)
+	params := robustset.Params{Universe: testU, Seed: 5, DiffBudget: 4}
+
+	var sunk []robustset.TransferStats
+	var mu sync.Mutex
+	sink := func(st robustset.TransferStats) {
+		mu.Lock()
+		sunk = append(sunk, st)
+		mu.Unlock()
+	}
+	sess, err := robustset.NewSession(robustset.Robust{},
+		robustset.WithParams(params),
+		robustset.WithMetric(robustset.L2),
+		robustset.WithStatsSink(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go sess.Serve(context.Background(), c1, alice)
+	res, _, err := sess.Fetch(context.Background(), c2, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.EMD(alice); err != nil {
+		t.Fatalf("result EMD under session metric: %v", err)
+	}
+	mu.Lock()
+	n := len(sunk)
+	mu.Unlock()
+	if n < 1 {
+		t.Error("stats sink never invoked")
+	}
+
+	// A max message size below the sketch size must refuse the push
+	// locally instead of transmitting.
+	tiny, err := robustset.NewSession(robustset.Robust{},
+		robustset.WithParams(params), robustset.WithMaxMessageSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, c4 := net.Pipe()
+	defer c3.Close()
+	defer c4.Close()
+	go func() {
+		// Drain whatever arrives so the serve side isn't blocked on pipe
+		// backpressure; it must fail before sending anyway.
+		buf := make([]byte, 1024)
+		for {
+			if _, err := c4.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := tiny.Serve(context.Background(), c3, alice); err == nil {
+		t.Error("oversize message accepted under WithMaxMessageSize")
+	}
+
+	// Option validation.
+	if _, err := robustset.NewSession(nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+	if _, err := robustset.NewSession(robustset.Robust{}, robustset.WithMetric(nil)); err == nil {
+		t.Error("nil metric accepted")
+	}
+	if _, err := robustset.NewSession(robustset.Robust{}, robustset.WithMaxMessageSize(-1)); err == nil {
+		t.Error("negative max message size accepted")
+	}
+	if _, err := robustset.NewSession(robustset.Robust{}, robustset.WithDataset("")); err == nil {
+		t.Error("empty dataset name accepted")
+	}
+}
+
+// TestSyncUnsupported asserts non-robust strategies refuse the two-way
+// mode with a recognizable error.
+func TestSyncUnsupported(t *testing.T) {
+	sess, err := robustset.NewSession(robustset.Naive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if _, _, err := sess.Sync(context.Background(), c1, nil); !errors.Is(err, robustset.ErrTwoWayUnsupported) {
+		t.Fatalf("want ErrTwoWayUnsupported, got %v", err)
+	}
+}
+
+// deterministicPair builds Bob's set plus Alice's noisy copy with k fresh
+// outliers, seeded so repeated calls agree.
+func deterministicPair(seed uint64, n, k int, noise int64) (alice, bob []robustset.Point) {
+	next := seed
+	rnd := func(m int64) int64 {
+		next = next*6364136223846793005 + 1442695040888963407
+		v := int64((next >> 33) % uint64(m))
+		return v
+	}
+	bob = make([]robustset.Point, n)
+	alice = make([]robustset.Point, n)
+	for i := range bob {
+		bob[i] = robustset.Point{rnd(testU.Delta), rnd(testU.Delta)}
+		if i < k {
+			alice[i] = robustset.Point{rnd(testU.Delta), rnd(testU.Delta)}
+			continue
+		}
+		p := robustset.Point{bob[i][0] + rnd(2*noise+1) - noise, bob[i][1] + rnd(2*noise+1) - noise}
+		alice[i] = testU.Clamp(p)
+	}
+	return alice, bob
+}
+
+// TestStrategyValidation asserts out-of-range strategy knobs are rejected
+// at session construction, before they can desynchronize endpoints.
+func TestStrategyValidation(t *testing.T) {
+	if _, err := robustset.NewSession(robustset.ExactIBLT{HashCount: 256}); err == nil {
+		t.Error("hash count 256 accepted (would truncate to 0 on the wire)")
+	}
+	if _, err := robustset.NewSession(robustset.ExactIBLT{HashCount: 1}); err == nil {
+		t.Error("hash count 1 accepted")
+	}
+	if _, err := robustset.NewSession(robustset.CPI{Capacity: 1 << 30}); err == nil {
+		t.Error("oversized CPI capacity accepted")
+	}
+	if _, err := robustset.NewSession(robustset.CPI{Capacity: -1}); err == nil {
+		t.Error("negative CPI capacity accepted")
+	}
+	// The deprecated wrappers surface the same validation as errors.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	cfg := robustset.ExactConfig{Universe: testU, Seed: 1, HashCount: 256}
+	if _, err := robustset.PushExact(c1, cfg, nil); err == nil {
+		t.Error("PushExact accepted hash count 256")
+	}
+}
+
+// TestServeRejectsDatasetOption asserts the dataset handshake option is
+// refused on the roles that cannot use it, instead of silently speaking
+// the wrong protocol at a server.
+func TestServeRejectsDatasetOption(t *testing.T) {
+	sess, err := robustset.NewSession(robustset.Robust{}, robustset.WithDataset("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if _, err := sess.Serve(context.Background(), c1, nil); err == nil {
+		t.Error("Serve accepted a dataset-configured session")
+	}
+	if _, _, err := sess.Sync(context.Background(), c1, nil); err == nil {
+		t.Error("Sync accepted a dataset-configured session")
+	}
+}
