@@ -1,0 +1,410 @@
+// Command bench runs the module's fixed reconciliation workload matrix
+// over every built-in strategy and writes the timings to a stable JSON
+// schema (BENCH_core.json by default), giving the repository a recorded
+// performance trajectory: every change to the hot paths is answerable to
+// the numbers in version control.
+//
+// The matrix is deterministic — workload seeds are a function of the
+// cell coordinates — so two runs on the same machine measure the same
+// work. Sizes span 1e3–1e6 points (the -quick mode trims the matrix for
+// CI smoke runs), crossed with diff rates, point dimensions and the five
+// strategies. Cells whose protocol cost would be pathological for the
+// configuration (CPI beyond its capacity budget) are recorded as skipped
+// with a reason rather than silently dropped.
+//
+// Usage:
+//
+//	bench [-quick] [-out BENCH_core.json]
+//	bench -check BENCH_core.json   # validate schema (CI drift gate)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"robustset"
+	"robustset/internal/cpi"
+	"robustset/internal/hashutil"
+	"robustset/internal/iblt"
+	"robustset/internal/points"
+	"robustset/internal/workload"
+)
+
+// SchemaVersion identifies the report layout. The -check mode fails on
+// any other value, so accidental schema drift breaks CI instead of
+// silently forking the trajectory.
+const SchemaVersion = 1
+
+// Report is the top-level BENCH_core.json document.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	CPUs          int      `json:"cpus"`
+	Quick         bool     `json:"quick"`
+	Results       []Result `json:"results"`
+}
+
+// Result is one matrix cell.
+type Result struct {
+	Strategy   string  `json:"strategy"`
+	N          int     `json:"n"`
+	DiffRate   float64 `json:"diff_rate"`
+	Dim        int     `json:"dim"`
+	Delta      int64   `json:"delta"`
+	Regime     string  `json:"regime"` // "noisy" or "exact"
+	Skipped    bool    `json:"skipped,omitempty"`
+	SkipReason string  `json:"skip_reason,omitempty"`
+	// BuildNS times the strategy's summary construction alone (sketch,
+	// table, polynomial evaluations, or set encoding).
+	BuildNS int64 `json:"build_ns"`
+	// SyncNS is the wall time of a full serve/fetch exchange over an
+	// in-process pipe, fetch side.
+	SyncNS int64 `json:"sync_ns"`
+	// WireBytes is the fetching connection's total traffic (both ways).
+	WireBytes int64 `json:"wire_bytes"`
+	// ResultSize is |S'_B| after the exchange.
+	ResultSize int    `json:"result_size"`
+	Err        string `json:"error,omitempty"`
+}
+
+// cell is one matrix coordinate before execution.
+type cell struct {
+	strategy robustset.Strategy
+	n        int
+	rate     float64
+	dim      int
+	delta    int64
+	regime   string
+}
+
+// matrix enumerates the workload cells. Quick mode trims sizes and
+// dimensions for CI smoke runs while still covering all five strategies.
+func matrix(quick bool) []cell {
+	sizes := []int{1_000, 10_000, 100_000, 1_000_000}
+	rates := []float64{0.001, 0.01}
+	dims := []struct {
+		d     int
+		delta int64
+	}{{2, 1 << 20}, {3, 1 << 16}}
+	if quick {
+		sizes = []int{1_000, 10_000}
+		rates = []float64{0.01}
+		dims = dims[:1]
+	}
+	var cells []cell
+	for _, dm := range dims {
+		for _, n := range sizes {
+			for _, rate := range rates {
+				for _, s := range robustset.Strategies() {
+					regime := "noisy"
+					switch s.(type) {
+					case robustset.ExactIBLT, robustset.CPI:
+						// The exact comparators get the regime they are
+						// designed for; under value noise their cost is
+						// Θ(n) by construction, which would measure the
+						// degeneracy, not the implementation.
+						regime = "exact"
+					}
+					cells = append(cells, cell{
+						strategy: s, n: n, rate: rate,
+						dim: dm.d, delta: dm.delta, regime: regime,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// outliersFor returns k, the number of genuinely different points.
+func outliersFor(n int, rate float64) int {
+	k := int(float64(n) * rate)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// cpiCapacityFor mirrors the capacity the CPI strategy needs for the
+// exact-regime workload: |AΔB| = 2k plus slack.
+func cpiCapacityFor(k int) int { return 4*k + 16 }
+
+// skipReason returns a non-empty reason when the cell's protocol cost
+// would be pathological rather than informative.
+func skipReason(c cell) string {
+	if _, isCPI := c.strategy.(robustset.CPI); isCPI {
+		capacity := cpiCapacityFor(outliersFor(c.n, c.rate))
+		if capacity > 512 {
+			return fmt.Sprintf("cpi capacity %d > 512 (root finding is quadratic in capacity)", capacity)
+		}
+		if int64(c.n)*int64(capacity) > 1_000_000_000 {
+			return fmt.Sprintf("cpi evaluation cost n·m = %d exceeds budget", int64(c.n)*int64(capacity))
+		}
+	}
+	return ""
+}
+
+// genWorkload builds the deterministic instance for a cell.
+func genWorkload(c cell) (*workload.Instance, error) {
+	noise := workload.NoiseUniform
+	scale := 4.0
+	if c.regime == "exact" {
+		noise = workload.NoiseNone
+		scale = 0
+	}
+	seed := uint64(c.n)*1_000_003 ^ uint64(c.dim)<<32 ^ uint64(c.rate*1e6)
+	return workload.Generate(workload.Config{
+		N:        c.n,
+		Universe: points.Universe{Dim: c.dim, Delta: c.delta},
+		Outliers: outliersFor(c.n, c.rate),
+		Noise:    noise,
+		Scale:    scale,
+		Seed:     seed,
+	})
+}
+
+// paramsFor derives the shared session parameters for a cell.
+func paramsFor(c cell) robustset.Params {
+	return robustset.Params{
+		Universe:   robustset.Universe{Dim: c.dim, Delta: c.delta},
+		Seed:       77,
+		DiffBudget: outliersFor(c.n, c.rate) + 4,
+	}
+}
+
+// strategyFor returns the concrete strategy value with cell-dependent
+// knobs (CPI capacity) filled in.
+func strategyFor(c cell) robustset.Strategy {
+	if _, isCPI := c.strategy.(robustset.CPI); isCPI {
+		return robustset.CPI{Capacity: cpiCapacityFor(outliersFor(c.n, c.rate))}
+	}
+	return c.strategy
+}
+
+// timeBuild measures the strategy's standalone summary construction over
+// Alice's points: the hot path each strategy pays before any bytes move.
+func timeBuild(c cell, p robustset.Params, alice []robustset.Point) (int64, error) {
+	start := time.Now()
+	switch c.strategy.(type) {
+	case robustset.Robust, robustset.Adaptive:
+		if _, err := robustset.NewSketch(p, alice); err != nil {
+			return 0, err
+		}
+	case robustset.ExactIBLT:
+		// Occurrence-indexed point keys into an IBLT sized for the diff —
+		// the shape of the exact protocol's table construction.
+		keyLen := points.EncodedSize(c.dim) + 4
+		t, err := iblt.New(iblt.Config{
+			Cells:     iblt.RecommendedCells(4*outliersFor(c.n, c.rate)+16, 4),
+			HashCount: 4,
+			KeyLen:    keyLen,
+			Seed:      21,
+		})
+		if err != nil {
+			return 0, err
+		}
+		occ := make(map[string]uint32, len(alice))
+		buf := make([]byte, 0, keyLen)
+		for _, pt := range alice {
+			buf = points.Encode(buf[:0], pt)
+			o := occ[string(buf)]
+			occ[string(buf)] = o + 1
+			buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
+			t.Insert(buf)
+		}
+	case robustset.CPI:
+		h := hashutil.NewHasher(hashutil.DeriveSeed(23, "bench/elem"))
+		elems := make([]uint64, len(alice))
+		buf := make([]byte, 0, points.EncodedSize(c.dim)+4)
+		for i, pt := range alice {
+			buf = points.Encode(buf[:0], pt)
+			buf = append(buf, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+			elems[i] = h.Hash(buf) % (1<<61 - 1)
+		}
+		if _, err := cpi.NewSketch(elems, cpiCapacityFor(outliersFor(c.n, c.rate)), 5); err != nil {
+			return 0, err
+		}
+	case robustset.Naive:
+		points.EncodeSet(alice, c.dim)
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+// runCell executes one matrix cell end to end.
+func runCell(c cell) Result {
+	res := Result{
+		Strategy: c.strategy.Name(), N: c.n, DiffRate: c.rate,
+		Dim: c.dim, Delta: c.delta, Regime: c.regime,
+	}
+	if reason := skipReason(c); reason != "" {
+		res.Skipped, res.SkipReason = true, reason
+		return res
+	}
+	inst, err := genWorkload(c)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	p := paramsFor(c)
+	if res.BuildNS, err = timeBuild(c, p, inst.Alice); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	sess, err := robustset.NewSession(strategyFor(c), robustset.WithParams(p))
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := sess.Serve(ctx, c1, inst.Alice)
+		serveErr <- err
+	}()
+	start := time.Now()
+	out, stats, err := sess.Fetch(ctx, c2, inst.Bob)
+	res.SyncNS = time.Since(start).Nanoseconds()
+	res.WireBytes = stats.Total()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if err := <-serveErr; err != nil {
+		res.Err = "serve: " + err.Error()
+		return res
+	}
+	res.ResultSize = len(out.SPrime)
+	return res
+}
+
+// runMatrix executes every cell and assembles the report.
+func runMatrix(cells []cell, quick bool, logf func(format string, args ...any)) Report {
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Quick:         quick,
+	}
+	for i, c := range cells {
+		r := runCell(c)
+		rep.Results = append(rep.Results, r)
+		switch {
+		case r.Skipped:
+			logf("[%3d/%d] %-16s n=%-8d rate=%-6g dim=%d SKIP: %s",
+				i+1, len(cells), r.Strategy, r.N, r.DiffRate, r.Dim, r.SkipReason)
+		case r.Err != "":
+			logf("[%3d/%d] %-16s n=%-8d rate=%-6g dim=%d ERROR: %s",
+				i+1, len(cells), r.Strategy, r.N, r.DiffRate, r.Dim, r.Err)
+		default:
+			logf("[%3d/%d] %-16s n=%-8d rate=%-6g dim=%d build=%-12s sync=%-12s wire=%dB",
+				i+1, len(cells), r.Strategy, r.N, r.DiffRate, r.Dim,
+				time.Duration(r.BuildNS), time.Duration(r.SyncNS), r.WireBytes)
+		}
+	}
+	return rep
+}
+
+// checkReport validates a serialized report against the schema contract:
+// version match, all five strategies covered, and every non-skipped row
+// carrying real measurements. CI runs this as its drift gate.
+func checkReport(data []byte) error {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("bench: report is not valid JSON: %w", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema version %d, tool expects %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs < 1 {
+		return fmt.Errorf("bench: incomplete environment header")
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("bench: empty results")
+	}
+	want := map[string]bool{}
+	for _, s := range robustset.Strategies() {
+		want[s.Name()] = false
+	}
+	for i, r := range rep.Results {
+		if _, known := want[r.Strategy]; !known {
+			return fmt.Errorf("bench: result %d names unknown strategy %q", i, r.Strategy)
+		}
+		if r.N < 1 || r.Dim < 1 || r.Delta < 2 {
+			return fmt.Errorf("bench: result %d (%s) has malformed workload coordinates", i, r.Strategy)
+		}
+		if r.Skipped {
+			if r.SkipReason == "" {
+				return fmt.Errorf("bench: result %d (%s) skipped without a reason", i, r.Strategy)
+			}
+			continue
+		}
+		if r.Err != "" {
+			return fmt.Errorf("bench: result %d (%s n=%d) failed: %s", i, r.Strategy, r.N, r.Err)
+		}
+		if r.SyncNS <= 0 || r.WireBytes <= 0 {
+			return fmt.Errorf("bench: result %d (%s n=%d) carries no measurements", i, r.Strategy, r.N)
+		}
+		want[r.Strategy] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			return fmt.Errorf("bench: no successful result for strategy %q", name)
+		}
+	}
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed matrix for CI smoke runs")
+	out := flag.String("out", "BENCH_core.json", "output path")
+	check := flag.String("check", "", "validate an existing report instead of running")
+	flag.Parse()
+
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := checkReport(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema v%d ok\n", *check, SchemaVersion)
+		return
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep := runMatrix(matrix(*quick), *quick, logf)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := checkReport(data); err != nil {
+		fmt.Fprintln(os.Stderr, "self-check failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Results))
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"robustset"
+)
+
+// tinyMatrix is a minimal all-strategies matrix for in-process testing.
+func tinyMatrix() []cell {
+	var cells []cell
+	for _, s := range robustset.Strategies() {
+		regime := "noisy"
+		switch s.(type) {
+		case robustset.ExactIBLT, robustset.CPI:
+			regime = "exact"
+		}
+		cells = append(cells, cell{
+			strategy: s, n: 300, rate: 0.01,
+			dim: 2, delta: 1 << 12, regime: regime,
+		})
+	}
+	return cells
+}
+
+// TestRunMatrixAndCheck runs the harness end to end on a tiny matrix and
+// validates the produced report with the same checker CI uses.
+func TestRunMatrixAndCheck(t *testing.T) {
+	rep := runMatrix(tinyMatrix(), true, t.Logf)
+	if len(rep.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			t.Errorf("%s: %s", r.Strategy, r.Err)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkReport(data); err != nil {
+		t.Fatalf("self-produced report fails the schema check: %v", err)
+	}
+}
+
+// TestQuickMatrixCoversAllStrategies pins the CI matrix shape: every
+// strategy appears, and the quick matrix stays small enough for a smoke
+// job.
+func TestQuickMatrixCoversAllStrategies(t *testing.T) {
+	cells := matrix(true)
+	seen := map[string]bool{}
+	for _, c := range cells {
+		seen[c.strategy.Name()] = true
+		if c.n > 10_000 {
+			t.Errorf("quick matrix contains n=%d", c.n)
+		}
+	}
+	for _, s := range robustset.Strategies() {
+		if !seen[s.Name()] {
+			t.Errorf("quick matrix misses strategy %s", s.Name())
+		}
+	}
+	if full := matrix(false); len(full) <= len(cells) {
+		t.Error("full matrix not larger than quick matrix")
+	}
+}
+
+// TestCheckReportRejectsDrift asserts the drift gate fires on schema
+// violations.
+func TestCheckReportRejectsDrift(t *testing.T) {
+	rep := runMatrix(tinyMatrix(), true, func(string, ...any) {})
+	good, _ := json.Marshal(rep)
+
+	cases := []struct {
+		name   string
+		mutate func(r *Report)
+		want   string
+	}{
+		{"version", func(r *Report) { r.SchemaVersion = 99 }, "schema version"},
+		{"empty", func(r *Report) { r.Results = nil }, "empty results"},
+		{"strategy", func(r *Report) { r.Results[0].Strategy = "bogus" }, "unknown strategy"},
+		{"missing", func(r *Report) { r.Results = r.Results[:1] }, "no successful result"},
+		{"nomeasure", func(r *Report) { r.Results[2].SyncNS = 0 }, "no measurements"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rep Report
+			if err := json.Unmarshal(good, &rep); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(&rep)
+			data, _ := json.Marshal(rep)
+			err := checkReport(data)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	if err := checkReport([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

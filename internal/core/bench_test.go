@@ -31,6 +31,38 @@ func BenchmarkBuildSketch4096(b *testing.B) {
 	b.ReportMetric(4096, "points")
 }
 
+func BenchmarkBuildSketch100k(b *testing.B) {
+	inst, p := benchWorkload(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSketch(p, inst.Alice); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100000, "points")
+}
+
+func BenchmarkBuildSketch100kSequential(b *testing.B) {
+	inst, p := benchWorkload(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSketchParallel(p, inst.Alice, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100000, "points")
+}
+
+func BenchmarkNewMaintainer100k(b *testing.B) {
+	inst, p := benchWorkload(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMaintainer(p, inst.Alice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkReconcile4096(b *testing.B) {
 	inst, p := benchWorkload(b, 4096)
 	sk, err := BuildSketch(p, inst.Alice)

@@ -28,8 +28,14 @@
 package core
 
 import (
+	"cmp"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"robustset/internal/grid"
 	"robustset/internal/hashutil"
@@ -166,19 +172,153 @@ func splitKey(g *grid.Grid, key []byte) (grid.Cell, uint32, error) {
 	return c, occ, nil
 }
 
-// fillLevel inserts every point's (cell, occurrence) key for one level.
+// occupancy maps an encoded cell to its point count at one level. The
+// counters are held by pointer so the per-point hot path is a single
+// allocation-free map lookup plus an increment; the string key and its
+// counter are allocated once per distinct cell, not once per point.
+type occupancy = map[string]*uint32
+
+// levelScratch is the reusable per-level working state of a sketch
+// build: the key buffer and the occupancy map. Builds are frequent on a
+// sync server (every dataset publish and every fetch), so the scratch is
+// pooled; clear() keeps the map's buckets warm across builds.
+type levelScratch struct {
+	key []byte
+	occ occupancy
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &levelScratch{occ: make(occupancy)}
+}}
+
+// fillLevel inserts every point's (cell, occurrence) key for one level,
+// using pooled scratch state.
 func fillLevel(t *iblt.Table, g *grid.Grid, level int, pts []points.Point) {
-	occ := make(map[string]uint32, len(pts))
-	buf := make([]byte, 0, KeyLen(g.Universe().Dim))
-	cellBuf := make([]byte, 0, g.EncodedCellSize())
+	sc := scratchPool.Get().(*levelScratch)
+	sc.key = fillLevelOcc(t, g, level, pts, sc.occ, sc.key)
+	clear(sc.occ)
+	scratchPool.Put(sc)
+}
+
+// fillLevelOcc is fillLevel with caller-owned occupancy state; on return
+// occ holds the cell occupancies of pts at the level (the state a
+// Maintainer keeps for incremental updates). It returns the (possibly
+// regrown) key buffer for reuse.
+func fillLevelOcc(t *iblt.Table, g *grid.Grid, level int, pts []points.Point, occ occupancy, keyBuf []byte) []byte {
+	buf := keyBuf[:0]
 	for _, p := range pts {
-		cell := g.Cell(level, p)
-		cellBuf = g.EncodeCell(cellBuf[:0], cell)
-		o := occ[string(cellBuf)]
-		occ[string(cellBuf)] = o + 1
-		buf = appendKey(buf[:0], g, cell, o)
+		buf = g.AppendCell(buf[:0], level, p)
+		c := occ[string(buf)]
+		if c == nil {
+			c = new(uint32)
+			occ[string(buf)] = c
+		}
+		o := *c
+		*c = o + 1
+		buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
 		t.Insert(buf)
 	}
+	return buf
+}
+
+// mortonOrder is the Morton (Z-order) presorting of a point multiset.
+// Sorting by the bit-interleaved code of the shifted coordinates makes
+// the points of any single grid cell contiguous at every level
+// simultaneously: the level-ℓ cell of a point is the top ℓ+1 bits of
+// each shifted coordinate, so two points share a level-ℓ cell iff they
+// agree on the top d·(ℓ+1) bits of the code. That turns per-level
+// occurrence-index assignment — otherwise a hash-map lookup per point
+// per level, the dominant cost of sketch construction — into a run scan
+// with one uint64 compare per point. The shifted coordinates ride along
+// in code order as one flat array, so the per-level scans touch memory
+// strictly sequentially.
+type mortonOrder struct {
+	codes  []uint64 // sorted Morton codes, one per point
+	coords []int64  // shifted coordinates in code order, d per point
+}
+
+// newMortonOrder builds the presorting, or returns nil when the code
+// does not fit 64 bits (large dim × depth products fall back to the
+// occupancy-map path). The occurrence indices a run scan assigns differ
+// from the map path's only in which point of a cell gets which index —
+// the key set {(cell, 0..count−1)} and therefore the tables are
+// identical, so the two paths interoperate freely across parties.
+func newMortonOrder(g *grid.Grid, pts []points.Point) *mortonOrder {
+	d := g.Universe().Dim
+	coordBits := g.Levels() + 1 // shifted coords are < 2Δ = 2^(L+1)
+	if d*coordBits > 64 || len(pts) == 0 || len(pts) > 1<<31-1 {
+		return nil
+	}
+	shift := g.Shift()
+	type pair struct {
+		code uint64
+		idx  int32
+	}
+	pairs := make([]pair, len(pts))
+	for i, p := range pts {
+		var code uint64
+		for b := coordBits - 1; b >= 0; b-- {
+			for j := 0; j < d; j++ {
+				code = code<<1 | uint64((p[j]+shift[j])>>uint(b))&1
+			}
+		}
+		pairs[i] = pair{code: code, idx: int32(i)}
+	}
+	slices.SortFunc(pairs, func(a, b pair) int { return cmp.Compare(a.code, b.code) })
+	mo := &mortonOrder{
+		codes:  make([]uint64, len(pts)),
+		coords: make([]int64, len(pts)*d),
+	}
+	for i, pr := range pairs {
+		mo.codes[i] = pr.code
+		p := pts[pr.idx]
+		for j := 0; j < d; j++ {
+			mo.coords[i*d+j] = p[j] + shift[j]
+		}
+	}
+	return mo
+}
+
+// fillLevelSorted inserts every point's (cell, occurrence) key for one
+// level by scanning the Morton order: occurrence indices restart
+// whenever the code prefix — the cell — changes, and the key bytes come
+// straight from the presorted flat coordinate array. With a non-nil occ
+// it also records the per-cell counts (one map insert per distinct
+// cell, not per point).
+func fillLevelSorted(t *iblt.Table, g *grid.Grid, level int, mo *mortonOrder, occ occupancy, keyBuf []byte) []byte {
+	d := g.Universe().Dim
+	cellShift := uint(d * (g.Levels() - level)) // < 64 by newMortonOrder's bound
+	coordShift := uint(g.Levels() - level)      // cell coord = shifted coord >> (L−ℓ)
+	keyLen := 8*d + 4
+	buf := keyBuf
+	if cap(buf) < keyLen {
+		buf = make([]byte, keyLen)
+	}
+	buf = buf[:keyLen]
+	var prev uint64
+	var o uint32
+	var cnt *uint32
+	for i, code := range mo.codes {
+		cell := code >> cellShift
+		if i == 0 || cell != prev {
+			prev, o = cell, 0
+		} else {
+			o++
+		}
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(buf[8*j:], uint64(mo.coords[i*d+j]>>coordShift))
+		}
+		if occ != nil {
+			if o == 0 {
+				cnt = new(uint32)
+				occ[string(buf[:8*d])] = cnt
+			}
+			*cnt++
+		}
+		binary.LittleEndian.PutUint32(buf[8*d:], o)
+		t.Insert(buf)
+	}
+	return buf
 }
 
 // Sketch is Alice's transmissible summary: one IBLT per grid level in
@@ -193,8 +333,19 @@ type Sketch struct {
 }
 
 // BuildSketch summarizes pts under p. This is Alice's encoder; it is also
-// invoked by Bob to build the identical structure he subtracts.
+// invoked by Bob to build the identical structure he subtracts. Levels
+// are built in parallel across up to runtime.GOMAXPROCS(0) workers; the
+// result is byte-identical to a sequential build (each level is a
+// deterministic function of the parameters and the point order).
 func BuildSketch(p Params, pts []points.Point) (*Sketch, error) {
+	return BuildSketchParallel(p, pts, 0)
+}
+
+// BuildSketchParallel is BuildSketch with an explicit worker-pool bound.
+// workers ≤ 0 means runtime.GOMAXPROCS(0); 1 forces a sequential build.
+// Every worker count produces byte-identical sketches — the equivalence
+// the tests pin — so the knob trades only CPU placement, never output.
+func BuildSketchParallel(p Params, pts []points.Point, workers int) (*Sketch, error) {
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err
@@ -206,16 +357,91 @@ func BuildSketch(p Params, pts []points.Point) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Sketch{Params: p, Count: len(pts)}
-	for l := p.MinLevel; l <= p.MaxLevel; l++ {
-		t, err := levelTable(p, l, p.TableCapacity)
-		if err != nil {
-			return nil, err
-		}
-		fillLevel(t, g, l, pts)
-		s.Tables = append(s.Tables, t)
+	tables, _, err := buildTables(p, g, pts, workers, false)
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &Sketch{Params: p, Count: len(pts), Tables: tables}, nil
+}
+
+// buildTables constructs the filled per-level IBLTs of pts under the
+// normalized p, fanning levels out over a bounded worker pool. With
+// wantOcc it also returns each level's occupancy map (fresh, unpooled —
+// the Maintainer keeps them). Each level is built independently and
+// deterministically, so the concurrency is race-free by construction and
+// invisible in the output.
+func buildTables(p Params, g *grid.Grid, pts []points.Point, workers int, wantOcc bool) ([]*iblt.Table, []occupancy, error) {
+	levels := p.MaxLevel - p.MinLevel + 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > levels {
+		workers = levels
+	}
+	tables := make([]*iblt.Table, levels)
+	var occs []occupancy
+	if wantOcc {
+		occs = make([]occupancy, levels)
+	}
+	order := newMortonOrder(g, pts) // nil → occupancy-map fallback
+	buildOne := func(idx int) error {
+		t, err := levelTable(p, p.MinLevel+idx, p.TableCapacity)
+		if err != nil {
+			return err
+		}
+		switch {
+		case order != nil:
+			var occ occupancy
+			if wantOcc {
+				occ = make(occupancy, len(pts))
+				occs[idx] = occ
+			}
+			fillLevelSorted(t, g, p.MinLevel+idx, order, occ, nil)
+		case wantOcc:
+			occ := make(occupancy, len(pts))
+			fillLevelOcc(t, g, p.MinLevel+idx, pts, occ, make([]byte, 0, KeyLen(p.Universe.Dim)))
+			occs[idx] = occ
+		default:
+			fillLevel(t, g, p.MinLevel+idx, pts)
+		}
+		tables[idx] = t
+		return nil
+	}
+	if workers == 1 {
+		for idx := 0; idx < levels; idx++ {
+			if err := buildOne(idx); err != nil {
+				return nil, nil, err
+			}
+		}
+		return tables, occs, nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= levels {
+					return
+				}
+				if err := buildOne(idx); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, nil, firstEr
+	}
+	return tables, occs, nil
 }
 
 // WireSize returns the total marshalled size of the sketch in bytes.
@@ -322,7 +548,7 @@ func repair(res *Result, g *grid.Grid, level int, diff *iblt.Diff, bobPts []poin
 	occupants := make(map[string][]int, len(bobPts)) // cell key → point indices, in slice order
 	cellBuf := make([]byte, 0, g.EncodedCellSize())
 	for i, p := range bobPts {
-		cellBuf = g.EncodeCell(cellBuf[:0], g.Cell(level, p))
+		cellBuf = g.AppendCell(cellBuf[:0], level, p)
 		occupants[string(cellBuf)] = append(occupants[string(cellBuf)], i)
 	}
 	remove := make(map[int]bool, len(diff.Neg))
@@ -438,19 +664,22 @@ func LevelEstimators(p Params, pts []points.Point, k int) ([]*sketch.BottomK, er
 	}
 	ests := make([]*sketch.BottomK, 0, p.MaxLevel-p.MinLevel+1)
 	buf := make([]byte, 0, KeyLen(p.Universe.Dim))
-	cellBuf := make([]byte, 0, g.EncodedCellSize())
 	for l := p.MinLevel; l <= p.MaxLevel; l++ {
 		e, err := sketch.NewBottomK(k, hashutil.DeriveSeedN(p.Seed, "core/est", l))
 		if err != nil {
 			return nil, err
 		}
-		occ := make(map[string]uint32, len(pts))
+		occ := make(occupancy, len(pts))
 		for _, pt := range pts {
-			cell := g.Cell(l, pt)
-			cellBuf = g.EncodeCell(cellBuf[:0], cell)
-			o := occ[string(cellBuf)]
-			occ[string(cellBuf)] = o + 1
-			buf = appendKey(buf[:0], g, cell, o)
+			buf = g.AppendCell(buf[:0], l, pt)
+			c := occ[string(buf)]
+			if c == nil {
+				c = new(uint32)
+				occ[string(buf)] = c
+			}
+			o := *c
+			*c = o + 1
+			buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
 			e.Add(buf)
 		}
 		ests = append(ests, e)

@@ -23,42 +23,57 @@ import (
 //
 // The maintainer stores per-level cell occupancies, which costs O(n ·
 // levels) memory; datasets that are rebuilt rarely and updated never are
-// cheaper off with plain BuildSketch.
+// cheaper off with plain BuildSketch. The initial build fans levels out
+// over the same bounded worker pool as BuildSketch, so publishing a
+// large dataset scales with cores.
+//
+// A Maintainer is not safe for concurrent use; callers that share one
+// across goroutines (e.g. a server Dataset) serialize access externally.
 type Maintainer struct {
 	params Params
 	g      *grid.Grid
 	sketch *Sketch
-	occ    []map[string]uint32 // per level: cell key → occupancy count
+	occ    []occupancy // per level: cell key → occupancy count
 	count  int
+	keyBuf []byte // scratch reused by Add/Remove (no per-update allocs)
 }
 
 // NewMaintainer builds the sketch for the initial multiset and the
-// occupancy state needed for incremental updates.
+// occupancy state needed for incremental updates, using up to
+// runtime.GOMAXPROCS(0) parallel level builders.
 func NewMaintainer(p Params, pts []points.Point) (*Maintainer, error) {
+	return NewMaintainerParallel(p, pts, 0)
+}
+
+// NewMaintainerParallel is NewMaintainer with an explicit worker-pool
+// bound (≤ 0 means runtime.GOMAXPROCS(0), 1 forces sequential).
+func NewMaintainerParallel(p Params, pts []points.Point, workers int) (*Maintainer, error) {
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err
 	}
-	sk, err := BuildSketch(p, pts)
-	if err != nil {
+	if err := p.Universe.CheckSet(pts); err != nil {
 		return nil, err
 	}
 	g, err := gridFor(p)
 	if err != nil {
 		return nil, err
 	}
-	m := &Maintainer{params: p, g: g, sketch: sk, count: len(pts)}
-	m.occ = make([]map[string]uint32, p.MaxLevel-p.MinLevel+1)
-	cellBuf := make([]byte, 0, g.EncodedCellSize())
-	for l := p.MinLevel; l <= p.MaxLevel; l++ {
-		occ := make(map[string]uint32, len(pts))
-		for _, pt := range pts {
-			cellBuf = g.EncodeCell(cellBuf[:0], g.Cell(l, pt))
-			occ[string(cellBuf)]++
-		}
-		m.occ[l-p.MinLevel] = occ
+	// One pass builds both the tables and the occupancy state the
+	// incremental updates need — the occupancies are exactly the maps a
+	// plain build fills and discards.
+	tables, occs, err := buildTables(p, g, pts, workers, true)
+	if err != nil {
+		return nil, err
 	}
-	return m, nil
+	return &Maintainer{
+		params: p,
+		g:      g,
+		sketch: &Sketch{Params: p, Count: len(pts), Tables: tables},
+		occ:    occs,
+		count:  len(pts),
+		keyBuf: make([]byte, 0, KeyLen(p.Universe.Dim)),
+	}, nil
 }
 
 // Count returns the current multiset size.
@@ -80,17 +95,21 @@ func (m *Maintainer) Add(pt points.Point) error {
 	if !m.params.Universe.Contains(pt) {
 		return fmt.Errorf("core: maintainer: point %v outside universe", pt)
 	}
-	keyBuf := make([]byte, 0, KeyLen(m.params.Universe.Dim))
-	cellBuf := make([]byte, 0, m.g.EncodedCellSize())
+	buf := m.keyBuf
 	for l := m.params.MinLevel; l <= m.params.MaxLevel; l++ {
 		idx := l - m.params.MinLevel
-		cell := m.g.Cell(l, pt)
-		cellBuf = m.g.EncodeCell(cellBuf[:0], cell)
-		o := m.occ[idx][string(cellBuf)]
-		keyBuf = appendKey(keyBuf[:0], m.g, cell, o)
-		m.sketch.Tables[idx].Insert(keyBuf)
-		m.occ[idx][string(cellBuf)] = o + 1
+		buf = m.g.AppendCell(buf[:0], l, pt)
+		c := m.occ[idx][string(buf)]
+		if c == nil {
+			c = new(uint32)
+			m.occ[idx][string(buf)] = c
+		}
+		o := *c
+		buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
+		m.sketch.Tables[idx].Insert(buf)
+		*c = o + 1
 	}
+	m.keyBuf = buf
 	m.count++
 	return nil
 }
@@ -111,28 +130,29 @@ func (m *Maintainer) Remove(pt points.Point) error {
 	}
 	// Validate every level before touching any table, so a failed remove
 	// leaves the sketch untouched.
+	buf := m.keyBuf
 	for l := m.params.MinLevel; l <= m.params.MaxLevel; l++ {
 		idx := l - m.params.MinLevel
-		cellKey := string(m.g.EncodeCell(nil, m.g.Cell(l, pt)))
-		if m.occ[idx][cellKey] == 0 {
+		buf = m.g.AppendCell(buf[:0], l, pt)
+		if c := m.occ[idx][string(buf)]; c == nil || *c == 0 {
+			m.keyBuf = buf
 			return fmt.Errorf("%w: %v (empty cell at level %d)", ErrNotPresent, pt, l)
 		}
 	}
-	keyBuf := make([]byte, 0, KeyLen(m.params.Universe.Dim))
-	cellBuf := make([]byte, 0, m.g.EncodedCellSize())
 	for l := m.params.MinLevel; l <= m.params.MaxLevel; l++ {
 		idx := l - m.params.MinLevel
-		cell := m.g.Cell(l, pt)
-		cellBuf = m.g.EncodeCell(cellBuf[:0], cell)
-		o := m.occ[idx][string(cellBuf)] - 1
-		keyBuf = appendKey(keyBuf[:0], m.g, cell, o)
-		m.sketch.Tables[idx].Delete(keyBuf)
+		buf = m.g.AppendCell(buf[:0], l, pt)
+		c := m.occ[idx][string(buf)]
+		o := *c - 1
 		if o == 0 {
-			delete(m.occ[idx], string(cellBuf))
+			delete(m.occ[idx], string(buf))
 		} else {
-			m.occ[idx][string(cellBuf)] = o
+			*c = o
 		}
+		buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
+		m.sketch.Tables[idx].Delete(buf)
 	}
+	m.keyBuf = buf
 	m.count--
 	return nil
 }

@@ -1,0 +1,51 @@
+package cpi
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchElems(n int) []uint64 {
+	rng := rand.New(rand.NewPCG(9, 9))
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		e := rng.Uint64() >> 3 // < 2^61 ≤ P
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func BenchmarkNewSketch4096Cap64(b *testing.B) {
+	elems := benchElems(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSketch(elems, 64, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiff64(b *testing.B) {
+	shared := benchElems(4096)
+	a := shared
+	bb := append([]uint64(nil), shared[:4064]...)
+	sa, err := NewSketch(a, 64, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := NewSketch(bb, 64, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onlyA, onlyB, err := Diff(sa, sb)
+		if err != nil || len(onlyA) != 32 || len(onlyB) != 0 {
+			b.Fatalf("diff: %d/%d, %v", len(onlyA), len(onlyB), err)
+		}
+	}
+}

@@ -85,17 +85,37 @@ func NewSketch(elems []uint64, capacity int, seed uint64) (*Sketch, error) {
 	m := capacity + 1 + verifyPoints
 	pts := samplePoints(seed, m)
 	s := &Sketch{capacity: capacity, seed: seed, count: len(elems), evals: make([]gf.Elem, m)}
-	for i, z := range pts {
+	// Each sample's product ∏(z−e) is a serial multiply chain, so the
+	// chains of four sample points are interleaved per element to keep the
+	// multiplier pipelined (the same blocking poly.EvalMany uses); one
+	// element pass serves four samples.
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		z0, z1, z2, z3 := pts[i], pts[i+1], pts[i+2], pts[i+3]
+		v0, v1, v2, v3 := gf.Elem(1), gf.Elem(1), gf.Elem(1), gf.Elem(1)
+		for _, e := range elems {
+			ee := gf.Elem(e)
+			v0 = gf.Mul(v0, gf.Sub(z0, ee))
+			v1 = gf.Mul(v1, gf.Sub(z1, ee))
+			v2 = gf.Mul(v2, gf.Sub(z2, ee))
+			v3 = gf.Mul(v3, gf.Sub(z3, ee))
+		}
+		s.evals[i], s.evals[i+1], s.evals[i+2], s.evals[i+3] = v0, v1, v2, v3
+	}
+	for ; i < m; i++ {
 		v := gf.Elem(1)
+		z := pts[i]
 		for _, e := range elems {
 			v = gf.Mul(v, gf.Sub(z, gf.Elem(e)))
 		}
+		s.evals[i] = v
+	}
+	for i, v := range s.evals {
 		if v == 0 {
 			// A sample point coincided with an element (probability
 			// ~ n·m/2^61). A different seed resolves it.
 			return nil, fmt.Errorf("cpi: sample point %d collides with an element; choose a different seed", i)
 		}
-		s.evals[i] = v
 	}
 	return s, nil
 }
@@ -160,9 +180,12 @@ func Diff(a, b *Sketch) (onlyA, onlyB []uint64, err error) {
 	if pr.Degree()-qr.Degree() != delta {
 		return nil, nil, fmt.Errorf("%w: degree difference %d does not match size difference %d", ErrCapacityExceeded, pr.Degree()-qr.Degree(), delta)
 	}
-	// Verify against every sample, including the reserved extras.
-	for i, z := range pts {
-		if pr.Eval(z) != gf.Mul(ratios[i], qr.Eval(z)) {
+	// Verify against every sample, including the reserved extras. The two
+	// polynomials are evaluated at all samples in blocked batches.
+	prv := poly.EvalMany(pr, pts)
+	qrv := poly.EvalMany(qr, pts)
+	for i := range pts {
+		if prv[i] != gf.Mul(ratios[i], qrv[i]) {
 			return nil, nil, fmt.Errorf("%w: verification failed at sample %d", ErrCapacityExceeded, i)
 		}
 	}

@@ -107,6 +107,79 @@ func TestPow(t *testing.T) {
 	}
 }
 
+// TestMulImplEquivalence pins the three multipliers — the wide-multiply
+// Mersenne path (Mul), the 4-bit table-sliced path (MulTable) and the
+// shift-and-add reference (MulShiftAdd) — to each other over random
+// operands and the reduction-path extremes.
+func TestMulImplEquivalence(t *testing.T) {
+	edge := []Elem{0, 1, 2, 15, 16, 17, Elem(P - 1), Elem(P - 2), Elem(P >> 1), Elem(1) << 60, Elem((1 << 60) - 1)}
+	check := func(a, b Elem) {
+		t.Helper()
+		want := Mul(a, b)
+		if got := MulShiftAdd(a, b); got != want {
+			t.Fatalf("MulShiftAdd(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		if got := NewMulTable(b).Mul(a); got != want {
+			t.Fatalf("MulTable(%v).Mul(%v) = %v, want %v", b, a, got, want)
+		}
+	}
+	for _, a := range edge {
+		for _, b := range edge {
+			check(a, b)
+		}
+	}
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 500; i++ {
+		check(randElem(rng), randElem(rng))
+	}
+	// One table reused across many multiplicands — the intended usage.
+	m := randElem(rng)
+	mt := NewMulTable(m)
+	for i := 0; i < 2000; i++ {
+		a := randElem(rng)
+		if mt.Mul(a) != Mul(a, m) {
+			t.Fatalf("reused table diverges at a=%v m=%v", a, m)
+		}
+	}
+}
+
+func BenchmarkMulWide(b *testing.B) {
+	x, y := New(0x123456789abcdef), New(0xfedcba987654321)
+	acc := Elem(1)
+	for i := 0; i < b.N; i++ {
+		acc = Mul(acc, x)
+		acc = Add(acc, y)
+	}
+	if acc == 0 {
+		b.Fatal("degenerate")
+	}
+}
+
+func BenchmarkMulTableSliced(b *testing.B) {
+	mt := NewMulTable(New(0x123456789abcdef))
+	y := New(0xfedcba987654321)
+	acc := Elem(1)
+	for i := 0; i < b.N; i++ {
+		acc = mt.Mul(acc)
+		acc = Add(acc, y)
+	}
+	if acc == 0 {
+		b.Fatal("degenerate")
+	}
+}
+
+func BenchmarkMulShiftAdd(b *testing.B) {
+	x, y := New(0x123456789abcdef), New(0xfedcba987654321)
+	acc := Elem(1)
+	for i := 0; i < b.N; i++ {
+		acc = MulShiftAdd(acc, x)
+		acc = Add(acc, y)
+	}
+	if acc == 0 {
+		b.Fatal("degenerate")
+	}
+}
+
 func TestInvZeroPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -140,6 +140,24 @@ func (g *Grid) Round(level int, p points.Point) points.Point {
 	return g.Center(level, g.Cell(level, p))
 }
 
+// AppendCell appends the canonical encoding of the cell containing p at
+// the given level directly to dst — byte-identical to
+// g.EncodeCell(dst, g.Cell(level, p)) without materializing the Cell.
+// Sketch construction calls this once per point per level, so it must
+// not allocate: Δ is a power of two, so the cell coordinate is a shift
+// of the non-negative shifted coordinate.
+func (g *Grid) AppendCell(dst []byte, level int, p points.Point) []byte {
+	g.checkLevel(level)
+	if len(p) != g.u.Dim {
+		panic(fmt.Sprintf("grid: point dimension %d != universe dimension %d", len(p), g.u.Dim))
+	}
+	sh := uint(g.lvls - level) // cell width w_ℓ = Δ>>ℓ = 2^(L−ℓ)
+	for i, x := range p {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64((x+g.shift[i])>>sh))
+	}
+	return dst
+}
+
 // EncodedCellSize returns the byte length of EncodeCell output for this
 // grid: 8 bytes per dimension.
 func (g *Grid) EncodedCellSize() int { return 8 * g.u.Dim }

@@ -178,6 +178,30 @@ func TestEncodeDecodeCell(t *testing.T) {
 	}
 }
 
+// TestAppendCellMatchesEncodeCell pins the allocation-free cell encoder
+// to the two-step Cell + EncodeCell composition across levels, dims and
+// random shifted grids.
+func TestAppendCellMatchesEncodeCell(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for _, d := range []int{1, 2, 3, 5} {
+		u := testUniverse(d, 1<<10)
+		g, err := New(u, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for level := 0; level <= g.Levels(); level++ {
+			for trial := 0; trial < 50; trial++ {
+				p := randPoint(rng, u)
+				want := g.EncodeCell(nil, g.Cell(level, p))
+				got := g.AppendCell(nil, level, p)
+				if string(got) != string(want) {
+					t.Fatalf("dim %d level %d point %v: AppendCell %x, want %x", d, level, p, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestSeparationProbabilityEmpirical(t *testing.T) {
 	// Over random shifts, the probability that a pair at l1 distance x is
 	// separated at level l must not exceed min(1, x/w). Checked empirically

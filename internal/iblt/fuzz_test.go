@@ -18,7 +18,8 @@ func FuzzUnmarshalDecode(f *testing.F) {
 	empty, _ := New(Config{Cells: 12, HashCount: 4, KeyLen: 4, Seed: 1})
 	eb, _ := empty.MarshalBinary()
 	f.Add(eb)
-	f.Add([]byte("IBL1"))
+	f.Add([]byte("IBL2"))
+	f.Add([]byte("IBL1")) // previous wire version must be rejected cleanly
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -35,6 +36,81 @@ func FuzzUnmarshalDecode(f *testing.F) {
 		}
 		if !bytes.Equal(re, data) {
 			t.Fatalf("remarshal not canonical:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// FuzzInsertDeleteDecode drives the mutation path of the flat-cell layout
+// with fuzzer-chosen keys: arbitrary byte material is chopped into
+// fixed-length keys, split between an insert side and a delete side, and
+// the resulting table must behave like a sketch of the symmetric
+// difference — a successful decode returns exactly the one-sided keys,
+// and unwinding the decoded diff must leave every flat array zero.
+func FuzzInsertDeleteDecode(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint8(2))
+	f.Add(bytes.Repeat([]byte{7}, 64), uint8(3))
+	f.Add([]byte{}, uint8(0))
+
+	const keyLen = 8
+	f.Fuzz(func(t *testing.T, material []byte, split uint8) {
+		tbl, err := New(Config{Cells: 60, HashCount: 3, KeyLen: keyLen, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dedup keys: the IBLT contract requires distinct keys per side.
+		seen := make(map[string]bool)
+		var keys [][]byte
+		for len(material) >= keyLen {
+			k := material[:keyLen]
+			material = material[keyLen:]
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				keys = append(keys, k)
+			}
+		}
+		cut := 0
+		if len(keys) > 0 {
+			cut = int(split) % (len(keys) + 1)
+		}
+		for _, k := range keys[:cut] {
+			tbl.Insert(k)
+		}
+		for _, k := range keys[cut:] {
+			tbl.Delete(k)
+		}
+		diff, err := tbl.Decode()
+		if err != nil {
+			return // a stall is legal; only correctness of successes is checked
+		}
+		if len(diff.Pos) != cut || len(diff.Neg) != len(keys)-cut {
+			t.Fatalf("decoded %d/%d keys, inserted %d, deleted %d",
+				len(diff.Pos), len(diff.Neg), cut, len(keys)-cut)
+		}
+		got := make(map[string]int)
+		for _, k := range diff.Pos {
+			got[string(k)]++
+		}
+		for _, k := range diff.Neg {
+			got[string(k)]--
+		}
+		for i, k := range keys {
+			want := -1
+			if i < cut {
+				want = 1
+			}
+			if got[string(k)] != want {
+				t.Fatalf("key %x decoded with sign %d, want %d", k, got[string(k)], want)
+			}
+		}
+		// Unwinding the decoded difference must zero the flat arrays.
+		for _, k := range diff.Pos {
+			tbl.Delete(k)
+		}
+		for _, k := range diff.Neg {
+			tbl.Insert(k)
+		}
+		if !tbl.IsEmpty() {
+			t.Fatal("table not empty after unwinding the decoded diff")
 		}
 	})
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"robustset/internal/hashutil"
 )
@@ -99,15 +100,26 @@ const CellOverheadBytes = 4 + 8
 
 // Table is an IBLT. The zero value is not usable; construct with New.
 // Tables are not safe for concurrent mutation.
+//
+// Cells are stored as flat parallel arrays (counts, key sums, checksums)
+// rather than a slice of cell structs, and every per-key quantity — the q
+// bucket indices and the checksum — is derived from a single keyed hash
+// pass over the key: bucket i maps SplitMix64(h ^ salt_i) into its
+// partition and the checksum is SplitMix64(h ^ checkSalt). One full-key
+// hash per operation instead of q+1 is what keeps Insert allocation-free
+// and cheap; two distinct keys collide on all derived values only when
+// their 64-bit digests collide (2⁻⁶⁴ per pair), which is far below the
+// IBLT's own checksum false-positive rate.
 type Table struct {
-	cfg      Config
-	counts   []int64
-	keySums  []byte // cells × KeyLen, flat
-	checks   []uint64
-	hashers  []hashutil.Hasher // one per hash function (bucket selection)
-	checkFn  hashutil.Hasher   // per-key checksum
-	partSize int               // cells / HashCount
-	balance  int64             // inserts − deletes, diagnostic only
+	cfg       Config
+	counts    []int64
+	keySums   []byte // cells × KeyLen, flat
+	checks    []uint64
+	hasher    hashutil.Hasher // single full-key hash; everything derives from it
+	salts     []uint64        // per bucket function (bucket selection)
+	checkSalt uint64          // per-key checksum derivation
+	partSize  int             // cells / HashCount
+	balance   int64           // inserts − deletes, diagnostic only
 }
 
 // New constructs an empty table. The cell count is rounded up to a multiple
@@ -120,16 +132,17 @@ func New(cfg Config) (*Table, error) {
 		cfg.Cells += cfg.HashCount - rem
 	}
 	t := &Table{
-		cfg:      cfg,
-		counts:   make([]int64, cfg.Cells),
-		keySums:  make([]byte, cfg.Cells*cfg.KeyLen),
-		checks:   make([]uint64, cfg.Cells),
-		hashers:  make([]hashutil.Hasher, cfg.HashCount),
-		checkFn:  hashutil.NewHasher(hashutil.DeriveSeed(cfg.Seed, "iblt/check")),
-		partSize: cfg.Cells / cfg.HashCount,
+		cfg:       cfg,
+		counts:    make([]int64, cfg.Cells),
+		keySums:   make([]byte, cfg.Cells*cfg.KeyLen),
+		checks:    make([]uint64, cfg.Cells),
+		hasher:    hashutil.NewHasher(hashutil.DeriveSeed(cfg.Seed, "iblt/key")),
+		salts:     make([]uint64, cfg.HashCount),
+		checkSalt: hashutil.DeriveSeed(cfg.Seed, "iblt/check"),
+		partSize:  cfg.Cells / cfg.HashCount,
 	}
-	for i := range t.hashers {
-		t.hashers[i] = hashutil.NewHasher(hashutil.DeriveSeedN(cfg.Seed, "iblt/bucket", i))
+	for i := range t.salts {
+		t.salts[i] = hashutil.DeriveSeedN(cfg.Seed, "iblt/bucket", i)
 	}
 	return t, nil
 }
@@ -156,14 +169,15 @@ func WireSizeFor(cells, keyLen int) int {
 	return headerSize + cells*(CellOverheadBytes+keyLen)
 }
 
-// indices computes the q distinct cell indices of a key, one per partition.
-func (t *Table) indices(key []byte, out []int) []int {
-	out = out[:0]
-	for i, h := range t.hashers {
-		out = append(out, i*t.partSize+int(h.Hash(key)%uint64(t.partSize)))
-	}
-	return out
+// bucketIndex maps the key digest into hash function i's partition via
+// multiply-shift range reduction (no division on the hot path).
+func (t *Table) bucketIndex(i int, h uint64) int {
+	hi, _ := bits.Mul64(hashutil.SplitMix64(h^t.salts[i]), uint64(t.partSize))
+	return i*t.partSize + int(hi)
 }
+
+// checksum derives the per-key checksum from the key digest.
+func (t *Table) checksum(h uint64) uint64 { return hashutil.SplitMix64(h ^ t.checkSalt) }
 
 func (t *Table) checkKey(key []byte) {
 	if len(key) != t.cfg.KeyLen {
@@ -171,16 +185,32 @@ func (t *Table) checkKey(key []byte) {
 	}
 }
 
+// xorInto xors src into dst, 8 bytes at a time with a byte-wise tail.
+// len(dst) == len(src); the bounds checks keep the compiler honest.
+func xorInto(dst, src []byte) {
+	for len(src) >= 8 && len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^binary.LittleEndian.Uint64(src))
+		dst, src = dst[8:], src[8:]
+	}
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
 func (t *Table) apply(key []byte, sign int64) {
 	t.checkKey(key)
-	chk := t.checkFn.Hash(key)
-	var idxBuf [16]int
-	for _, idx := range t.indices(key, idxBuf[:0]) {
+	t.applyHashed(key, t.hasher.Hash(key), sign)
+}
+
+// applyHashed is apply with the key digest already computed — the decoder
+// reuses the digest it needed for checksum validation.
+func (t *Table) applyHashed(key []byte, h uint64, sign int64) {
+	chk := t.checksum(h)
+	kl := t.cfg.KeyLen
+	for i := 0; i < t.cfg.HashCount; i++ {
+		idx := t.bucketIndex(i, h)
 		t.counts[idx] += sign
-		row := t.keySums[idx*t.cfg.KeyLen : (idx+1)*t.cfg.KeyLen]
-		for j := range key {
-			row[j] ^= key[j]
-		}
+		xorInto(t.keySums[idx*kl:(idx+1)*kl], key)
 		t.checks[idx] ^= chk
 	}
 	t.balance += sign
@@ -204,14 +234,15 @@ func (t *Table) InsertAll(keys [][]byte) {
 // Clone returns an independent deep copy.
 func (t *Table) Clone() *Table {
 	c := &Table{
-		cfg:      t.cfg,
-		counts:   append([]int64(nil), t.counts...),
-		keySums:  append([]byte(nil), t.keySums...),
-		checks:   append([]uint64(nil), t.checks...),
-		hashers:  t.hashers,
-		checkFn:  t.checkFn,
-		partSize: t.partSize,
-		balance:  t.balance,
+		cfg:       t.cfg,
+		counts:    append([]int64(nil), t.counts...),
+		keySums:   append([]byte(nil), t.keySums...),
+		checks:    append([]uint64(nil), t.checks...),
+		hasher:    t.hasher,
+		salts:     t.salts,
+		checkSalt: t.checkSalt,
+		partSize:  t.partSize,
+		balance:   t.balance,
 	}
 	return c
 }
@@ -278,8 +309,6 @@ func (t *Table) Decode() (*Diff, error) {
 	for i := range queue {
 		queue[i] = i
 	}
-	var idxBuf [16]int
-	keyBuf := make([]byte, t.cfg.KeyLen)
 	// Each peel removes one key instance; with valid inputs at most
 	// |inserted|+|deleted| keys exist. Corrupted tables can fabricate
 	// keys, so bound the total work.
@@ -293,22 +322,22 @@ func (t *Table) Decode() (*Diff, error) {
 			continue
 		}
 		row := w.keySums[idx*t.cfg.KeyLen : (idx+1)*t.cfg.KeyLen]
-		if w.checkFn.Hash(row) != w.checks[idx] {
+		h := w.hasher.Hash(row)
+		if w.checksum(h) != w.checks[idx] {
 			continue // cell holds several keys that happen to sum to ±1
 		}
 		if peels++; peels > maxPeels {
 			return diff, &DecodeError{Recovered: diff.Size(), RemainingCells: w.nonZeroCells()}
 		}
-		copy(keyBuf, row)
-		key := append([]byte(nil), keyBuf...)
+		key := append([]byte(nil), row...)
 		if cnt == 1 {
 			diff.Pos = append(diff.Pos, key)
 		} else {
 			diff.Neg = append(diff.Neg, key)
 		}
-		w.apply(key, -cnt)
-		for _, j := range w.indices(key, idxBuf[:0]) {
-			if j != idx && (w.counts[j] == 1 || w.counts[j] == -1) {
+		w.applyHashed(key, h, -cnt)
+		for i := 0; i < w.cfg.HashCount; i++ {
+			if j := w.bucketIndex(i, h); j != idx && (w.counts[j] == 1 || w.counts[j] == -1) {
 				queue = append(queue, j)
 			}
 		}
@@ -342,13 +371,18 @@ func (t *Table) nonZeroCells() int {
 func (t *Table) IsEmpty() bool { return t.nonZeroCells() == 0 }
 
 const (
-	magic      = "IBL1"
+	// magic identifies the wire format. "IBL2" replaced "IBL1" when the
+	// per-key hashing switched from q+1 independent passes to a single
+	// keyed digest with derived buckets and checksum: the layout is
+	// unchanged but same-seed tables hold different bits, so a version
+	// skew must fail at parse time rather than as a garbled decode.
+	magic      = "IBL2"
 	headerSize = 4 + 4 + 1 + 2 + 8 // magic, cells, hashcount, keylen, seed
 )
 
 // MarshalBinary encodes the table in its canonical wire format:
 //
-//	"IBL1" | cells u32 | hashCount u8 | keyLen u16 | seed u64 |
+//	"IBL2" | cells u32 | hashCount u8 | keyLen u16 | seed u64 |
 //	cells × ( count i32 | keySum keyLen bytes | checksum u64 )
 //
 // Counts are clamped to int32 on the wire; real workloads stay far below

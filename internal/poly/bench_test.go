@@ -52,6 +52,34 @@ func BenchmarkRationalInterpolate32(b *testing.B) {
 	}
 }
 
+func BenchmarkEvalDeg64x64(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	p := randPoly(rng, 64)
+	xs := make([]gf.Elem, 64)
+	for i := range xs {
+		xs[i] = gf.New(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			p.Eval(x)
+		}
+	}
+}
+
+func BenchmarkEvalManyDeg64x64(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	p := randPoly(rng, 64)
+	xs := make([]gf.Elem, 64)
+	for i := range xs {
+		xs[i] = gf.New(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalMany(p, xs)
+	}
+}
+
 func BenchmarkGFMul(b *testing.B) {
 	x := gf.New(0x123456789abcdef)
 	y := gf.New(0xfedcba987654321)

@@ -138,6 +138,34 @@ func (p Poly) Eval(x gf.Elem) gf.Elem {
 	return acc
 }
 
+// EvalMany returns p(x) for every x in xs. Horner's rule is a serial
+// dependency chain (each step's multiply waits on the previous one), so
+// evaluating points one at a time leaves the multiplier idle; EvalMany
+// runs the chains of four points at once through each coefficient block,
+// which pipelines the independent multiplies and amortizes coefficient
+// loads. Characteristic-polynomial reconciliation calls this for its
+// sample-verification sweep.
+func EvalMany(p Poly, xs []gf.Elem) []gf.Elem {
+	out := make([]gf.Elem, len(xs))
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		var a0, a1, a2, a3 gf.Elem
+		for j := len(p) - 1; j >= 0; j-- {
+			c := p[j]
+			a0 = gf.Add(gf.Mul(a0, x0), c)
+			a1 = gf.Add(gf.Mul(a1, x1), c)
+			a2 = gf.Add(gf.Mul(a2, x2), c)
+			a3 = gf.Add(gf.Mul(a3, x3), c)
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = a0, a1, a2, a3
+	}
+	for ; i < len(xs); i++ {
+		out[i] = p.Eval(xs[i])
+	}
+	return out
+}
+
 // ErrDivisionByZero is returned by DivMod for a zero divisor.
 var ErrDivisionByZero = errors.New("poly: division by zero polynomial")
 

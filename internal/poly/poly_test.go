@@ -18,6 +18,31 @@ func randPoly(rng *rand.Rand, deg int) Poly {
 	return p
 }
 
+// TestEvalManyMatchesEval pins the blocked batch evaluator to the scalar
+// Horner path over random polynomials, block-remainder lengths and the
+// degenerate shapes (zero polynomial, constants, empty point list).
+func TestEvalManyMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	polys := []Poly{nil, {}, {5}, randPoly(rng, 1), randPoly(rng, 7), randPoly(rng, 64)}
+	for _, p := range polys {
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 33} {
+			xs := make([]gf.Elem, n)
+			for i := range xs {
+				xs[i] = gf.New(rng.Uint64())
+			}
+			got := EvalMany(p, xs)
+			if len(got) != n {
+				t.Fatalf("EvalMany returned %d values for %d points", len(got), n)
+			}
+			for i, x := range xs {
+				if want := p.Eval(x); got[i] != want {
+					t.Fatalf("deg %d, %d points: EvalMany[%d] = %v, want %v", p.Degree(), n, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
 func TestCanonicalForm(t *testing.T) {
 	p := Poly{1, 2, 0, 0}
 	if p.Degree() != 1 {

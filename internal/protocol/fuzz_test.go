@@ -1,0 +1,55 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseHello feeds arbitrary bytes through the server-session
+// handshake parser. The parser fronts every accepted connection, so it
+// must never panic, never over-read, and parse⇄encode must be a stable
+// roundtrip for every accepted input.
+func FuzzParseHello(f *testing.F) {
+	// Seed corpus: valid hellos of each strategy, edge-length names and
+	// configs, and truncation shapes.
+	for _, h := range []Hello{
+		{Strategy: StrategyRobust, Dataset: "d"},
+		{Strategy: StrategyAdaptive, Dataset: ""},
+		{Strategy: StrategyExactIBLT, Dataset: "sensors/alpha", Config: []byte{4}},
+		{Strategy: StrategyCPI, Dataset: "x", Config: []byte{0xff, 0xff, 0xff, 0xff}},
+		{Strategy: StrategyNaive, Dataset: string(bytes.Repeat([]byte{'n'}, MaxDatasetName))},
+	} {
+		body, err := h.encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := parseHello(data)
+		if err != nil {
+			return
+		}
+		if len(h.Dataset) > MaxDatasetName {
+			t.Fatalf("parser accepted a %d-byte dataset name", len(h.Dataset))
+		}
+		// Accepted input must re-encode and re-parse to the same hello:
+		// the parse is canonical, so a server and a re-serializing proxy
+		// can never disagree about a session's parameters.
+		re, err := h.encode()
+		if err != nil {
+			t.Fatalf("re-encode of parsed hello failed: %v", err)
+		}
+		h2, err := parseHello(re)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded hello failed: %v", err)
+		}
+		if h2.Strategy != h.Strategy || h2.Dataset != h.Dataset || !bytes.Equal(h2.Config, h.Config) {
+			t.Fatalf("hello roundtrip diverged: %+v vs %+v", h, h2)
+		}
+	})
+}

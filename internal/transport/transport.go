@@ -256,8 +256,22 @@ func watch(ctx context.Context, setDeadline func(time.Time) error) (stop func(),
 // poke, so callers observe context.Canceled / DeadlineExceeded instead of
 // an opaque "i/o timeout".
 func ctxErr(ctx context.Context, err error) error {
-	if err != nil && ctx.Err() != nil {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
 		return ctx.Err()
+	}
+	// The connection deadline is installed from the context's, and the
+	// net poller's timer can fire a scheduling hair before the context's
+	// own timer marks it done. If the I/O failure is a timeout and the
+	// context's deadline has in fact passed, report DeadlineExceeded —
+	// otherwise the error taxonomy would depend on which timer won.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			return context.DeadlineExceeded
+		}
 	}
 	return err
 }

@@ -53,6 +53,25 @@
 // (Push/Pull, PushAdaptive/PullAdaptive, PushExact/PullExact,
 // PushCPI/PullCPI, SyncTwoWay) remain as deprecated wrappers that
 // delegate to the equivalent Session.
+//
+// # Performance
+//
+// Sketch construction is the hot path of a serving deployment and is
+// engineered accordingly: points are presorted once in Morton (Z-order)
+// so per-level occurrence indexing is a run scan instead of a hash-map
+// lookup per point per level; IBLT inserts derive all bucket indices and
+// the checksum from a single keyed digest and perform no allocations;
+// and the levels of the multiresolution sketch are built in parallel
+// across a bounded worker pool (NewSketch uses GOMAXPROCS workers —
+// byte-identical output at every worker count). On one 2.1 GHz core,
+// building the default sketch over 100k 2-d points takes ~150 ms, about
+// 3× faster than the naive build, and scales further with cores.
+// Reconciliation inherits the same machinery for Bob's local build.
+//
+// cmd/bench runs a fixed workload matrix over all five strategies and
+// writes BENCH_core.json — the repository's recorded performance
+// trajectory; see DESIGN.md for the harness and the hot-path
+// architecture.
 package robustset
 
 import (

@@ -343,6 +343,155 @@ func TestServerSessionTimeout(t *testing.T) {
 // TestServerRejectsHostileCPICapacity sends a handcrafted hello naming an
 // absurd CPI capacity and asserts the server replies with a protocol
 // error instead of attempting the allocation.
+// TestServerConcurrentFetchAndMutation hammers one dataset with parallel
+// robust fetches while two writer goroutines churn Add/Remove — the
+// high-contention shape a sync server lives under. Run with -race; every
+// fetch must see a consistent sketch snapshot (decode errors would
+// surface as fetch failures).
+func TestServerConcurrentFetchAndMutation(t *testing.T) {
+	params := robustset.Params{Universe: testU, Seed: 3, DiffBudget: 64}
+	alice, bob := deterministicPair(55, 400, 8, 2)
+	srv := robustset.NewServer(WithTestLogger(t))
+	ds, err := srv.Publish("hot", params, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			pt := robustset.Point{int64(1000 + w), int64(2000 + w)}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := ds.Add(pt); err != nil {
+					t.Errorf("writer %d add: %v", w, err)
+					return
+				}
+				if err := ds.Remove(pt); err != nil {
+					t.Errorf("writer %d remove: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	var fetchers sync.WaitGroup
+	for f := 0; f < 4; f++ {
+		fetchers.Add(1)
+		go func(f int) {
+			defer fetchers.Done()
+			for i := 0; i < 5; i++ {
+				sess, err := robustset.NewSession(robustset.Robust{}, robustset.WithDataset("hot"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				conn, err := net.Dial("tcp", addr.String())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, _, err := sess.Fetch(context.Background(), conn, bob)
+				conn.Close()
+				if err != nil {
+					t.Errorf("fetcher %d round %d: %v", f, i, err)
+					return
+				}
+				if len(res.SPrime) == 0 {
+					t.Errorf("fetcher %d round %d: empty result", f, i)
+					return
+				}
+			}
+		}(f)
+	}
+	fetchers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// The churned dataset must still equal its snapshot semantics: every
+	// writer added and removed in pairs, so the size is the original.
+	if got := ds.Size(); got != len(alice) {
+		t.Errorf("dataset size %d after churn, want %d", got, len(alice))
+	}
+}
+
+// TestServerShutdownDuringBuild aborts a server mid-session — the client
+// completes the handshake and then stalls, pinning the serving goroutine
+// — and asserts Shutdown's deadline path force-closes the session and
+// returns. Concurrent dataset mutation during shutdown must stay safe.
+func TestServerShutdownDuringBuild(t *testing.T) {
+	// A large DiffBudget makes the pushed sketch several megabytes, so
+	// the serving side genuinely blocks on the stalled client instead of
+	// completing into the kernel's socket buffer.
+	params := robustset.Params{Universe: testU, Seed: 9, DiffBudget: 20000}
+	alice, _ := deterministicPair(77, 600, 8, 2)
+	srv := robustset.NewServer(WithTestLogger(t))
+	ds, err := srv.Publish("slow", params, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// Open a session and stall: send the hello, read the accept, then
+	// neither read nor write again.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := []byte{0x10, 1 /* robust */, 4, 0, 0, 0, 's', 'l', 'o', 'w', 0, 0, 0, 0}
+	frame := append([]byte{byte(len(body)), 0, 0, 0}, body...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, 4)); err != nil {
+		t.Fatalf("no accept: %v", err)
+	}
+
+	// Mutate the dataset while shutdown races the stalled session.
+	mutDone := make(chan struct{})
+	go func() {
+		defer close(mutDone)
+		pt := robustset.Point{123, 456}
+		for i := 0; i < 50; i++ {
+			_ = ds.Add(pt)
+			_ = ds.Remove(pt)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown returned %v, want DeadlineExceeded (stalled session)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v to abort a stalled session", elapsed)
+	}
+	if err := <-serveDone; !errors.Is(err, robustset.ErrServerClosed) {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	<-mutDone
+	if got := ds.Size(); got != len(alice) {
+		t.Errorf("dataset size %d after paired mutations, want %d", got, len(alice))
+	}
+}
+
 func TestServerRejectsHostileCPICapacity(t *testing.T) {
 	params := robustset.Params{Universe: testU, Seed: 7, DiffBudget: 4}
 	alice, _ := deterministicPair(99, 50, 4, 2)

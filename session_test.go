@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -463,6 +464,266 @@ func TestStrategyValidation(t *testing.T) {
 	cfg := robustset.ExactConfig{Universe: testU, Seed: 1, HashCount: 256}
 	if _, err := robustset.PushExact(c1, cfg, nil); err == nil {
 		t.Error("PushExact accepted hash count 256")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cross-strategy conformance suite
+//
+// One table-driven harness runs every Strategy through identical scenario
+// matrices and asserts, per scenario and strategy, (a) the reconciliation
+// outcome each protocol contracts for — exact equality, robust
+// best-effort, or a loud error — and (b) a wire-byte budget derived from
+// the strategy's cost model with ~2× slack, so a regression to Θ(n)
+// communication (or a silently bloated sketch) fails a test instead of
+// shipping. All inputs are seeded and deterministic.
+
+// confExpect is the contracted outcome of one (scenario, strategy) cell.
+type confExpect int
+
+const (
+	// expExact: fetch succeeds and SPrime equals Alice's multiset.
+	expExact confExpect = iota
+	// expClose: fetch succeeds (robust best-effort semantics; quality is
+	// covered by the EMD tests in internal/core).
+	expClose
+	// expError: the fetch must fail loudly with a recognizable error.
+	expError
+)
+
+// confScenario is one input matrix row.
+type confScenario struct {
+	name       string
+	alice, bob []robustset.Point
+	params     robustset.Params
+	// expect maps strategy name → expectation; strategies not listed use
+	// def.
+	def    confExpect
+	expect map[string]confExpect
+	// errLike: for expError cells, a substring the error must carry (or
+	// an errors.Is target in errIs).
+	errLike string
+	errIs   error
+	// diffUB bounds the exact-regime symmetric difference |AΔB|, used by
+	// the exact-IBLT wire budget.
+	diffUB int
+}
+
+// confWireBudget returns the wire-byte ceiling for a cell: the
+// strategy's cost model with generous slack. keyLen bytes per IBLT cell
+// are overestimated, never underestimated.
+func confWireBudget(strat robustset.Strategy, sc confScenario) int64 {
+	dim := sc.params.Universe.Dim
+	levels := int64(sc.params.Universe.Levels() + 1)
+	k := sc.params.DiffBudget
+	n := len(sc.alice)
+	if len(sc.bob) > n {
+		n = len(sc.bob)
+	}
+	// tableUB bounds the wire size of an IBLT provisioned for `keys`
+	// difference keys (cells ≈ 1.9·keys + rounding, ≤ 2·keys + 60).
+	tableUB := func(keys int) int64 {
+		return (2*int64(keys) + 60) * int64(24+8*dim)
+	}
+	capacity := 2 * k
+	if capacity < 8 {
+		capacity = 8
+	}
+	switch strat.(type) {
+	case robustset.Robust:
+		return levels*tableUB(capacity) + 2048
+	case robustset.Adaptive:
+		// Estimators (bottom-64 per level) + a few level tables sized to
+		// the padded estimate (≤ 4k budget + one estimator step).
+		est := levels * (64*8 + 256)
+		step := int64(2*n)/64 + 8
+		return est + 4*tableUB(4*k+int(step)) + 2048
+	case robustset.ExactIBLT:
+		// Strata estimator (fixed size) + exactly-sized tables with
+		// retry headroom.
+		strata := int64(16*40*(24+8*dim)) + 2048
+		return strata + 2*tableUB(8*sc.diffUB+64) + 2048
+	case robustset.CPI:
+		// Sketch Θ(capacity) + payload round-trip Θ(diff).
+		return int64(8*(2*k+16)) + int64(sc.diffUB)*int64(16+8*dim) + 2048
+	case robustset.Naive:
+		return 2*int64(8*dim*n) + 2048
+	}
+	return 1 << 40
+}
+
+// confScenarios builds the deterministic scenario matrix.
+func confScenarios(t *testing.T) []confScenario {
+	t.Helper()
+	pAt := func(x, y int64) robustset.Point { return robustset.Point{x, y} }
+	params := func(k int) robustset.Params {
+		return robustset.Params{Universe: testU, Seed: 41, DiffBudget: k}
+	}
+
+	grid120 := make([]robustset.Point, 120)
+	for i := range grid120 {
+		grid120[i] = pAt(int64(i%12)*977+31, int64(i/12)*1733+59)
+	}
+
+	identical, _ := deterministicPair(101, 150, 0, 0)
+
+	// Duplicate-heavy multisets: 40 distinct points × 3 copies each;
+	// Alice holds 5 extra occurrences of existing points — differences
+	// that only occurrence-indexed keys can express.
+	var dupBob []robustset.Point
+	for i := 0; i < 40; i++ {
+		base := pAt(int64(i)*571+17, int64(i)*911+5)
+		for c := 0; c < 3; c++ {
+			dupBob = append(dupBob, base.Clone())
+		}
+	}
+	dupAlice := robustset.ClonePoints(dupBob)
+	for i := 0; i < 5; i++ {
+		dupAlice = append(dupAlice, dupBob[i*7].Clone())
+	}
+
+	disA := make([]robustset.Point, 25)
+	disB := make([]robustset.Point, 25)
+	for i := range disA {
+		disA[i] = pAt(int64(i)*131+7, int64(i)*257+11)
+		disB[i] = pAt(int64(i)*131+30011, int64(i)*257+40009)
+	}
+
+	noisyA, noisyB := deterministicPair(7, 240, 6, 3)
+
+	// Above capacity: equal sizes, 80 genuine replacements against a
+	// budget of 8 — the robust protocols degrade to a coarse level, the
+	// exact IBLT retries its way through, CPI must refuse.
+	overA, overB := deterministicPair(13, 200, 80, 0)
+
+	scaleA, scaleB := deterministicPair(29, 20000, 8, 2)
+
+	return []confScenario{
+		{
+			name: "empty-both", alice: nil, bob: nil,
+			params: params(4), def: expExact,
+		},
+		{
+			name: "alice-empty", alice: nil, bob: grid120,
+			params: params(130), def: expExact, diffUB: 120,
+		},
+		{
+			name: "bob-empty", alice: grid120, bob: nil,
+			params: params(130), def: expExact, diffUB: 120,
+		},
+		{
+			name: "identical", alice: identical, bob: robustset.ClonePoints(identical),
+			params: params(6), def: expExact, diffUB: 0,
+		},
+		{
+			name: "duplicate-heavy", alice: dupAlice, bob: dupBob,
+			params: params(16), def: expExact, diffUB: 5,
+		},
+		{
+			name: "disjoint", alice: disA, bob: disB,
+			params: params(60), def: expExact, diffUB: 50,
+		},
+		{
+			name: "noisy-at-capacity", alice: noisyA, bob: noisyB,
+			params: params(6), def: expClose, diffUB: 2 * 240,
+			expect: map[string]confExpect{
+				"exact-iblt": expExact, // Θ(n) cost, still correct
+				"cpi":        expError, // diff ≫ capacity, no retry path
+				"naive":      expExact,
+			},
+			errLike: "capacity",
+		},
+		{
+			name: "above-capacity", alice: overA, bob: overB,
+			params: params(8), def: expClose, diffUB: 2 * 200,
+			expect: map[string]confExpect{
+				"exact-iblt": expExact,
+				"cpi":        expError,
+				"naive":      expExact,
+			},
+			errLike: "capacity",
+		},
+		{
+			name: "scale-sublinear", alice: scaleA, bob: scaleB,
+			params: params(8), def: expClose, diffUB: 2 * 20000,
+			expect: map[string]confExpect{
+				"exact-iblt": expExact,
+				"cpi":        expError,
+				"naive":      expExact,
+			},
+			errLike: "capacity",
+		},
+	}
+}
+
+// TestStrategyConformance is the cross-strategy conformance suite: every
+// strategy × every scenario, identical harness.
+func TestStrategyConformance(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range confScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, strat := range robustset.Strategies() {
+				t.Run(strat.Name(), func(t *testing.T) {
+					want := sc.def
+					if e, ok := sc.expect[strat.Name()]; ok {
+						want = e
+					}
+					sess, err := robustset.NewSession(strat, robustset.WithParams(sc.params))
+					if err != nil {
+						t.Fatal(err)
+					}
+					c1, c2 := net.Pipe()
+					defer c1.Close()
+					defer c2.Close()
+					serveDone := make(chan error, 1)
+					go func() {
+						_, err := sess.Serve(ctx, c1, sc.alice)
+						serveDone <- err
+					}()
+					res, stats, err := sess.Fetch(ctx, c2, sc.bob)
+					c2.Close() // unblock the serving side on error paths
+					serveErr := <-serveDone
+
+					switch want {
+					case expError:
+						if err == nil {
+							t.Fatalf("expected a loud error, got success (%d points)", len(res.SPrime))
+						}
+						if sc.errIs != nil && !errors.Is(err, sc.errIs) {
+							t.Fatalf("error %v, want errors.Is(%v)", err, sc.errIs)
+						}
+						if sc.errLike != "" && !strings.Contains(err.Error(), sc.errLike) {
+							t.Fatalf("error %q does not mention %q", err, sc.errLike)
+						}
+						return
+					case expExact, expClose:
+						if err != nil {
+							t.Fatalf("fetch failed: %v", err)
+						}
+						if serveErr != nil {
+							t.Fatalf("serve failed: %v", serveErr)
+						}
+					}
+					if want == expExact && !robustset.EqualMultisets(res.SPrime, sc.alice) {
+						t.Errorf("SPrime (%d points) does not equal Alice's multiset (%d points)",
+							len(res.SPrime), len(sc.alice))
+					}
+					switch strat.(type) {
+					case robustset.Robust, robustset.Adaptive:
+						if res.Robust == nil {
+							t.Error("robust result details missing")
+						}
+					default:
+						if res.Robust != nil {
+							t.Error("unexpected robust details on exact strategy")
+						}
+					}
+					if budget := confWireBudget(strat, sc); stats.Total() > budget {
+						t.Errorf("wire bytes %d exceed scenario budget %d", stats.Total(), budget)
+					}
+				})
+			}
+		})
 	}
 }
 
