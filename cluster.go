@@ -1,0 +1,564 @@
+package robustset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"robustset/internal/cluster"
+	"robustset/internal/points"
+	"robustset/internal/protocol"
+	"robustset/internal/transport"
+)
+
+// This file is the public face of the anti-entropy replication
+// subsystem: a Replicator wraps a Server and continuously pulls every
+// shared dataset from a rotating selection of peers, applying the
+// reconciled diffs locally. N replicators pointed at each other converge
+// the cluster — the gossip-style generalization of the repo's two-party
+// sessions. The selection, backoff and sharding policies live in
+// internal/cluster; the wire protocols are the unchanged Session
+// strategies, so a Replicator interoperates with any robustset Server.
+
+// Peer identifies one remote Server a Replicator reconciles with.
+type Peer struct {
+	// Name is the peer's stable identifier, used for selection, backoff
+	// and stats. Empty defaults to Addr.
+	Name string
+	// Addr is the TCP address of the peer's Server.
+	Addr string
+}
+
+func (p Peer) name() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.Addr
+}
+
+// PeerSelector picks which of the eligible (not backed-off) peers an
+// anti-entropy round contacts. Implementations are provided by
+// SelectRoundRobin and SelectRandomK; the interface is exported so tests
+// can inject deterministic policies. Selectors are called with the round
+// number under the replicator's round lock and need not be safe for
+// concurrent use.
+type PeerSelector interface {
+	Select(eligible []string, round int) []string
+}
+
+// SelectRoundRobin returns a selector that cycles through the peer list
+// k peers per round in sorted order, sweeping every peer once per
+// ceil(n/k) rounds. k <= 0 means one peer per round.
+func SelectRoundRobin(k int) PeerSelector { return cluster.RoundRobin{K: k} }
+
+// SelectRandomK returns the classic gossip selector: k distinct peers
+// uniformly at random each round, deterministically seeded.
+func SelectRandomK(k int, seed uint64) PeerSelector { return cluster.NewRandomK(k, seed) }
+
+// RoundStats records one anti-entropy round.
+type RoundStats struct {
+	// Round is the 0-based round number.
+	Round int
+	// Peers are the names of the peers the round contacted.
+	Peers []string
+	// Sessions counts the per-(peer, dataset) reconciliation sessions
+	// attempted, including failed ones.
+	Sessions int
+	// Added and Removed count the diff points applied to local datasets.
+	Added, Removed int
+	// Bytes is the total wire traffic of the round, both directions.
+	Bytes int64
+	// Skipped counts sessions dropped because the peer does not publish
+	// the dataset — expected in mixed catalogs, not an error.
+	Skipped int
+	// Errors counts failed sessions (unreachable peer, protocol error).
+	Errors int
+	// Converged reports a clean round that applied no diffs: at least
+	// one dataset actually reconciled, every contacted peer answered,
+	// and nothing changed locally.
+	Converged bool
+	// Duration is the round's wall time.
+	Duration time.Duration
+}
+
+// ReplicatorStats aggregates a replicator's lifetime counters.
+type ReplicatorStats struct {
+	Rounds         int
+	Added, Removed int
+	Bytes          int64
+	Errors         int
+	// ConvergedStreak is the number of consecutive most-recent rounds
+	// that were converged — the cluster-quiescence signal dashboards
+	// watch.
+	ConvergedStreak int
+}
+
+// Replicator runs continuous anti-entropy over a Server's datasets: each
+// round selects peers, reconciles every published dataset (including
+// every shard of a sharded dataset) against them via the configured
+// Session strategy, and applies the resulting diffs through the
+// dataset's batch mutations. Datasets reconcile concurrently on a
+// bounded worker pool; within one dataset the selected peers are visited
+// sequentially against a fresh snapshot each, so concurrent peers cannot
+// double-apply the same missing points. Unreachable peers back off
+// exponentially.
+//
+// By default diffs apply union-style — points the peer has and the local
+// dataset lacks are added, local-only points are kept — which is
+// monotone and converges N mutually replicating nodes to the identical
+// multiset. WithMirror instead makes the local dataset track the peer
+// exactly (removals applied too); that mode is for single-upstream
+// follower replicas, not mutual gossip.
+type Replicator struct {
+	srv      *Server
+	strategy Strategy
+	interval time.Duration
+	timeout  time.Duration
+	workers  int
+	selector PeerSelector
+	backoff  cluster.Backoff
+	logf     func(format string, args ...any)
+	maxMsg   int
+	mirror   bool
+	onRound  func(RoundStats)
+
+	// roundMu serializes rounds; mu guards the fields below.
+	roundMu sync.Mutex
+	mu      sync.Mutex
+	peers   map[string]*peerEntry
+	round   int
+	totals  ReplicatorStats
+	last    RoundStats
+}
+
+type peerEntry struct {
+	peer  Peer
+	state cluster.PeerState
+}
+
+// ReplicatorOption configures a Replicator.
+type ReplicatorOption func(*Replicator) error
+
+// WithReplicatorStrategy selects the reconciliation strategy for peer
+// sessions. Default: Robust{} (the paper's one-shot protocol; per-round
+// cost tracks the live delta). ExactIBLT{} converges bit-exact catalogs;
+// strategies must support Session.Fetch (all built-ins do).
+func WithReplicatorStrategy(s Strategy) ReplicatorOption {
+	return func(r *Replicator) error {
+		if s == nil {
+			return errors.New("robustset: nil replicator strategy")
+		}
+		r.strategy = s
+		return nil
+	}
+}
+
+// WithRoundInterval sets the pause between rounds in Replicator.Run.
+// Default: 1s.
+func WithRoundInterval(d time.Duration) ReplicatorOption {
+	return func(r *Replicator) error {
+		if d <= 0 {
+			return fmt.Errorf("robustset: round interval %v not positive", d)
+		}
+		r.interval = d
+		return nil
+	}
+}
+
+// WithRoundTimeout bounds one whole round — every peer session it runs —
+// with a context deadline. Default: 30s; 0 disables.
+func WithRoundTimeout(d time.Duration) ReplicatorOption {
+	return func(r *Replicator) error {
+		if d < 0 {
+			return fmt.Errorf("robustset: round timeout %v negative", d)
+		}
+		r.timeout = d
+		return nil
+	}
+}
+
+// WithReplicatorWorkers bounds the number of datasets reconciling
+// concurrently within a round. Default: 4.
+func WithReplicatorWorkers(n int) ReplicatorOption {
+	return func(r *Replicator) error {
+		if n < 1 {
+			return fmt.Errorf("robustset: worker count %d < 1", n)
+		}
+		r.workers = n
+		return nil
+	}
+}
+
+// WithPeerSelector sets the per-round peer selection policy. Default:
+// SelectRoundRobin(1).
+func WithPeerSelector(sel PeerSelector) ReplicatorOption {
+	return func(r *Replicator) error {
+		if sel == nil {
+			return errors.New("robustset: nil peer selector")
+		}
+		r.selector = sel
+		return nil
+	}
+}
+
+// WithPeerBackoff tunes the exponential backoff for unreachable peers:
+// first retry after base, doubling to at most max. Default: 1s → 2min.
+func WithPeerBackoff(base, max time.Duration) ReplicatorOption {
+	return func(r *Replicator) error {
+		if base <= 0 || max < base {
+			return fmt.Errorf("robustset: backoff base %v / max %v invalid", base, max)
+		}
+		r.backoff = cluster.Backoff{Base: base, Max: max}
+		return nil
+	}
+}
+
+// WithReplicatorLogger directs per-session error reporting. Default:
+// discard.
+func WithReplicatorLogger(logf func(format string, args ...any)) ReplicatorOption {
+	return func(r *Replicator) error {
+		r.logf = logf
+		return nil
+	}
+}
+
+// WithReplicatorMaxMessageSize caps a single protocol message on every
+// peer session, like the Session option WithMaxMessageSize.
+func WithReplicatorMaxMessageSize(n int) ReplicatorOption {
+	return func(r *Replicator) error {
+		if n < 0 || n > transport.MaxFrameSize {
+			return fmt.Errorf("robustset: max message size %d outside [0,%d]", n, transport.MaxFrameSize)
+		}
+		r.maxMsg = n
+		return nil
+	}
+}
+
+// WithMirror switches diff application from union to mirror: the local
+// dataset is made identical to the fetched reconciliation result,
+// removals included. Use only with a single upstream peer — mirroring
+// against multiple mutually replicating peers thrashes instead of
+// converging.
+func WithMirror() ReplicatorOption {
+	return func(r *Replicator) error {
+		r.mirror = true
+		return nil
+	}
+}
+
+// WithRoundCallback registers a callback invoked after every round with
+// its stats — the hook demos and metrics pipelines use.
+func WithRoundCallback(fn func(RoundStats)) ReplicatorOption {
+	return func(r *Replicator) error {
+		r.onRound = fn
+		return nil
+	}
+}
+
+// NewReplicator builds a replicator for srv's datasets against the given
+// peers. Peers can also be added and removed later.
+func NewReplicator(srv *Server, peers []Peer, opts ...ReplicatorOption) (*Replicator, error) {
+	if srv == nil {
+		return nil, errors.New("robustset: nil server")
+	}
+	r := &Replicator{
+		srv:      srv,
+		strategy: Robust{},
+		interval: time.Second,
+		timeout:  30 * time.Second,
+		workers:  4,
+		selector: cluster.RoundRobin{K: 1},
+		backoff:  cluster.Backoff{Base: time.Second, Max: 2 * time.Minute},
+		logf:     func(string, ...any) {},
+		peers:    make(map[string]*peerEntry),
+	}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range peers {
+		if err := r.AddPeer(p); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// AddPeer registers a peer. Adding a name twice is an error.
+func (r *Replicator) AddPeer(p Peer) error {
+	if p.Addr == "" {
+		return errors.New("robustset: peer with empty address")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := p.name()
+	if _, dup := r.peers[name]; dup {
+		return fmt.Errorf("robustset: peer %q already registered", name)
+	}
+	r.peers[name] = &peerEntry{peer: p}
+	return nil
+}
+
+// RemovePeer drops a peer by name (or address, for unnamed peers).
+func (r *Replicator) RemovePeer(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.peers[name]; !ok {
+		return fmt.Errorf("robustset: unknown peer %q", name)
+	}
+	delete(r.peers, name)
+	return nil
+}
+
+// Peers returns the registered peers in unspecified order.
+func (r *Replicator) Peers() []Peer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Peer, 0, len(r.peers))
+	for _, e := range r.peers {
+		out = append(out, e.peer)
+	}
+	return out
+}
+
+// Stats returns the lifetime counters.
+func (r *Replicator) Stats() ReplicatorStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totals
+}
+
+// LastRound returns the most recent round's stats (zero before the
+// first round).
+func (r *Replicator) LastRound() RoundStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last := r.last
+	last.Peers = append([]string(nil), last.Peers...)
+	return last
+}
+
+// Run drives rounds until ctx is done, pausing the configured interval
+// between them, and returns ctx.Err(). Round failures (unreachable
+// peers, protocol errors) are absorbed into stats and backoff — a
+// replicator is a background process that outlives individual faults.
+func (r *Replicator) Run(ctx context.Context) error {
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		if _, err := r.RunRound(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// RunRound executes one anti-entropy round: select peers, reconcile
+// every local dataset with each, apply the diffs, update backoff state.
+// Rounds serialize; concurrent calls queue. The returned error is
+// non-nil only when ctx ended the round early — per-session failures are
+// reported through RoundStats.Errors and the logger.
+func (r *Replicator) RunRound(ctx context.Context) (RoundStats, error) {
+	r.roundMu.Lock()
+	defer r.roundMu.Unlock()
+	start := time.Now()
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+
+	r.mu.Lock()
+	round := r.round
+	r.round++
+	eligible := make([]string, 0, len(r.peers))
+	for name, e := range r.peers {
+		if e.state.Eligible(start) {
+			eligible = append(eligible, name)
+		}
+	}
+	selected := r.selector.Select(eligible, round)
+	targets := make([]Peer, 0, len(selected))
+	for _, name := range selected {
+		if e, ok := r.peers[name]; ok {
+			targets = append(targets, e.peer)
+		}
+	}
+	r.mu.Unlock()
+
+	stats := RoundStats{Round: round, Peers: selected}
+	datasets := r.srv.Datasets()
+
+	// One task per dataset; within a task the selected peers are visited
+	// sequentially, re-snapshotting before each session so a point
+	// learned from one peer is not re-added from the next. Tasks fan out
+	// over the bounded pool — with sharded datasets this is exactly
+	// per-shard parallelism.
+	var (
+		resMu     sync.Mutex
+		peerFail  = make(map[string]bool, len(targets))
+		peerOK    = make(map[string]bool, len(targets))
+		taskCh    = make(chan string)
+		workersWG sync.WaitGroup
+	)
+	failedFast := func(peer string) bool {
+		resMu.Lock()
+		defer resMu.Unlock()
+		return peerFail[peer]
+	}
+	workers := r.workers
+	if len(datasets) < workers {
+		workers = len(datasets)
+	}
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			for name := range taskCh {
+				for _, peer := range targets {
+					// A peer that already failed this round is skipped for
+					// the remaining datasets; backoff handles the retry.
+					if failedFast(peer.name()) {
+						continue
+					}
+					added, removed, bytes, err := r.syncDataset(ctx, peer, name)
+					resMu.Lock()
+					stats.Sessions++
+					stats.Bytes += bytes
+					switch {
+					case err == nil:
+						stats.Added += added
+						stats.Removed += removed
+						peerOK[peer.name()] = true
+					case isUnknownDataset(err):
+						stats.Skipped++
+						peerOK[peer.name()] = true
+					default:
+						stats.Errors++
+						peerFail[peer.name()] = true
+						r.logf("robustset: replicator: peer %s: dataset %q: %v", peer.name(), name, err)
+					}
+					resMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, name := range datasets {
+		taskCh <- name
+	}
+	close(taskCh)
+	workersWG.Wait()
+
+	now := time.Now()
+	r.mu.Lock()
+	for name, e := range r.peers {
+		switch {
+		case peerFail[name]:
+			e.state.Fail(now, r.backoff)
+		case peerOK[name]:
+			e.state.Succeed()
+		}
+	}
+	// Converged requires at least one session that actually reconciled:
+	// a round with no peers, no datasets, or nothing but unknown-dataset
+	// skips proves nothing about quiescence.
+	stats.Converged = len(targets) > 0 && stats.Errors == 0 &&
+		stats.Sessions > stats.Skipped &&
+		stats.Added == 0 && stats.Removed == 0
+	stats.Duration = time.Since(start)
+	r.totals.Rounds++
+	r.totals.Added += stats.Added
+	r.totals.Removed += stats.Removed
+	r.totals.Bytes += stats.Bytes
+	r.totals.Errors += stats.Errors
+	if stats.Converged {
+		r.totals.ConvergedStreak++
+	} else {
+		r.totals.ConvergedStreak = 0
+	}
+	r.last = stats
+	r.mu.Unlock()
+
+	if r.onRound != nil {
+		r.onRound(stats)
+	}
+	return stats, ctx.Err()
+}
+
+// syncDataset reconciles one local dataset against one peer and applies
+// the diff. Returns the applied add/remove counts and the session's wire
+// bytes.
+func (r *Replicator) syncDataset(ctx context.Context, peer Peer, name string) (added, removed int, bytes int64, err error) {
+	d := r.srv.Dataset(name)
+	if d == nil {
+		return 0, 0, 0, nil // unpublished mid-round
+	}
+	sess, err := NewSession(r.strategy,
+		WithDataset(name), WithMaxMessageSize(r.maxMsg))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	local := d.Snapshot()
+	res, st, err := sess.FetchAddr(ctx, peer.Addr, local)
+	if err != nil {
+		return 0, 0, st.Total(), err
+	}
+	add, rem, err := diffToApply(res, local)
+	if err != nil {
+		return 0, 0, st.Total(), err
+	}
+	if len(add) > 0 {
+		if err := d.AddBatch(add); err != nil {
+			return 0, 0, st.Total(), err
+		}
+	}
+	if r.mirror && len(rem) > 0 {
+		if err := d.RemoveBatch(rem); err != nil {
+			return len(add), 0, st.Total(), err
+		}
+		removed = len(rem)
+	}
+	return len(add), removed, st.Total(), nil
+}
+
+// diffToApply extracts the points to add and remove from a fetch result
+// relative to the local snapshot the fetch ran with. Robust strategies
+// report the diff directly; exact strategies return the remote multiset,
+// which is diffed here.
+//
+// A robust result is only safe to apply when it decoded at the finest
+// grid level (cell width 1), where the repaired points are the peer's
+// actual points. At coarser levels the diff is made of synthetic cell
+// centers — fine for a one-shot EMD-close answer, poisonous to feed back
+// into an authoritative dataset and gossip onward — so it is rejected
+// and surfaces as a session error: raise Params.DiffBudget so the live
+// delta decodes exactly.
+func diffToApply(res *SyncResult, local []Point) (add, rem []Point, err error) {
+	if res.Robust != nil {
+		if res.Robust.CellWidth > 1 {
+			return nil, nil, fmt.Errorf(
+				"robustset: replicator: robust decode only reached cell width %d (level %d); "+
+					"diff exceeds Params.DiffBudget and the repair would be approximate — not applied",
+				res.Robust.CellWidth, res.Robust.Level)
+		}
+		return res.Robust.Added, res.Robust.Removed, nil
+	}
+	onlyRemote, onlyLocal := points.MultisetDiff(res.SPrime, local)
+	return onlyRemote, onlyLocal, nil
+}
+
+// isUnknownDataset reports whether err is the peer's rejection of a
+// dataset it does not publish — an expected condition in mixed catalogs,
+// handled as a skip rather than a peer failure.
+func isUnknownDataset(err error) bool {
+	var re *protocol.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Reason, ErrUnknownDataset.Error())
+}

@@ -10,7 +10,10 @@
 // CI smoke runs), crossed with diff rates, point dimensions and the five
 // strategies. Cells whose protocol cost would be pathological for the
 // configuration (CPI beyond its capacity budget) are recorded as skipped
-// with a reason rather than silently dropped.
+// with a reason rather than silently dropped. A cluster scenario then
+// stands up a 3-node sharded anti-entropy cluster over loopback TCP and
+// records rounds- and bytes-to-convergence for the replication-grade
+// strategies (mode "cluster" rows).
 //
 // Usage:
 //
@@ -73,6 +76,17 @@ type Result struct {
 	// ResultSize is |S'_B| after the exchange.
 	ResultSize int    `json:"result_size"`
 	Err        string `json:"error,omitempty"`
+
+	// Cluster-scenario rows (Mode == "cluster") reuse the fields above —
+	// BuildNS is dataset publication across all nodes, SyncNS the wall
+	// time to convergence, WireBytes the cluster-wide traffic and
+	// ResultSize the converged multiset size — plus the fields below.
+	Mode   string `json:"mode,omitempty"`
+	Nodes  int    `json:"nodes,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	// Rounds is the number of anti-entropy round sweeps (one round per
+	// node each) until every node held the identical multiset.
+	Rounds int `json:"rounds,omitempty"`
 }
 
 // cell is one matrix coordinate before execution.
@@ -289,6 +303,188 @@ func runCell(c cell) Result {
 	return res
 }
 
+// clusterCell is one anti-entropy convergence scenario: nodes replicas
+// of one sharded dataset, each seeded with disjoint extra points, gossip
+// until every node holds the identical multiset.
+type clusterCell struct {
+	strategy robustset.Strategy
+	n        int // shared base points
+	extra    int // disjoint extra points per node
+	nodes    int
+	shards   int
+}
+
+// clusterMatrix enumerates the replication scenarios. The two strategies
+// with exact finest-level diffs — Robust and ExactIBLT — are the ones a
+// replication layer deploys; rounds- and bytes-to-convergence are the
+// numbers that compare them.
+func clusterMatrix(quick bool) []clusterCell {
+	n, extra, shards := 10_000, 50, 8
+	if quick {
+		n, extra, shards = 1_000, 10, 4
+	}
+	var cells []clusterCell
+	for _, s := range []robustset.Strategy{robustset.Robust{}, robustset.ExactIBLT{}} {
+		cells = append(cells, clusterCell{strategy: s, n: n, extra: extra, nodes: 3, shards: shards})
+	}
+	return cells
+}
+
+// clusterWorkload builds the deterministic cluster instance: a common
+// base multiset plus per-node extras in disjoint coordinate stripes, so
+// the expected converged size is exact.
+func clusterWorkload(u robustset.Universe, n, nodes, extra int, seed uint64) ([]robustset.Point, [][]robustset.Point) {
+	inst, err := workload.Generate(workload.Config{
+		N:        n,
+		Universe: points.Universe{Dim: u.Dim, Delta: u.Delta / 2},
+		Seed:     seed,
+	})
+	if err != nil {
+		panic("bench: cluster workload: " + err.Error())
+	}
+	common := inst.Bob
+	h := hashutil.NewHasher(hashutil.DeriveSeed(seed, "bench/cluster-extra"))
+	extras := make([][]robustset.Point, nodes)
+	stripe := u.Delta / 2 / int64(nodes)
+	for nd := range extras {
+		base := u.Delta/2 + int64(nd)*stripe
+		for j := 0; j < extra; j++ {
+			p := make(robustset.Point, u.Dim)
+			p[0] = base + int64(h.HashUint64(uint64(nd)<<32|uint64(j))%uint64(stripe))
+			for k := 1; k < u.Dim; k++ {
+				p[k] = int64(h.HashUint64(uint64(k)<<48|uint64(nd)<<32|uint64(j)) % uint64(u.Delta))
+			}
+			extras[nd] = append(extras[nd], p)
+		}
+	}
+	return common, extras
+}
+
+// runClusterCell stands up the in-process cluster over loopback TCP and
+// drives replicator rounds to convergence.
+func runClusterCell(c clusterCell) Result {
+	res := Result{
+		Strategy: c.strategy.Name(), N: c.n,
+		DiffRate: float64(c.extra) / float64(c.n),
+		Dim:      2, Delta: 1 << 20, Regime: "exact",
+		Mode: "cluster", Nodes: c.nodes, Shards: c.shards,
+	}
+	u := robustset.Universe{Dim: res.Dim, Delta: res.Delta}
+	params := robustset.Params{Universe: u, Seed: 1009, DiffBudget: c.nodes*c.extra + 8}
+	common, extras := clusterWorkload(u, c.n, c.nodes, c.extra, uint64(c.n)*31+uint64(c.extra))
+
+	type node struct {
+		srv  *robustset.Server
+		addr string
+	}
+	buildStart := time.Now()
+	nodes := make([]*node, c.nodes)
+	for i := range nodes {
+		srv := robustset.NewServer()
+		defer srv.Close()
+		pts := append(append([]robustset.Point{}, common...), extras[i]...)
+		if _, err := srv.PublishSharded("bench", params, pts, c.shards); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		go srv.Serve(ln)
+		nodes[i] = &node{srv: srv, addr: ln.Addr().String()}
+	}
+	res.BuildNS = time.Since(buildStart).Nanoseconds()
+
+	reps := make([]*robustset.Replicator, c.nodes)
+	for i, nd := range nodes {
+		var peers []robustset.Peer
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, robustset.Peer{Name: fmt.Sprintf("n%d", j), Addr: other.addr})
+			}
+		}
+		rep, err := robustset.NewReplicator(nd.srv, peers,
+			robustset.WithReplicatorStrategy(c.strategy),
+			robustset.WithPeerSelector(robustset.SelectRoundRobin(len(peers))),
+			robustset.WithRoundTimeout(5*time.Minute),
+		)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		reps[i] = rep
+	}
+
+	snapshot := func(nd *node) []robustset.Point {
+		var out []robustset.Point
+		for _, name := range nd.srv.Datasets() {
+			out = append(out, nd.srv.Dataset(name).Snapshot()...)
+		}
+		return out
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	const maxSweeps = 16
+	start := time.Now()
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		for i, rep := range reps {
+			st, err := rep.RunRound(ctx)
+			if err != nil {
+				res.Err = fmt.Sprintf("node %d round %d: %v", i, sweep, err)
+				return res
+			}
+			res.WireBytes += st.Bytes
+			if st.Errors > 0 {
+				res.Err = fmt.Sprintf("node %d round %d: %d session errors", i, sweep, st.Errors)
+				return res
+			}
+		}
+		ref := snapshot(nodes[0])
+		converged := true
+		for _, nd := range nodes[1:] {
+			if !robustset.EqualMultisets(ref, snapshot(nd)) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			res.Rounds = sweep
+			res.ResultSize = len(ref)
+			break
+		}
+	}
+	res.SyncNS = time.Since(start).Nanoseconds()
+	if res.Rounds == 0 {
+		res.Err = fmt.Sprintf("no convergence after %d sweeps", maxSweeps)
+		return res
+	}
+	if want := c.n + c.nodes*c.extra; res.ResultSize != want {
+		res.Err = fmt.Sprintf("converged to %d points, want %d", res.ResultSize, want)
+	}
+	return res
+}
+
+// runClusterScenario executes the replication matrix.
+func runClusterScenario(quick bool, logf func(format string, args ...any)) []Result {
+	cells := clusterMatrix(quick)
+	out := make([]Result, 0, len(cells))
+	for i, c := range cells {
+		r := runClusterCell(c)
+		out = append(out, r)
+		if r.Err != "" {
+			logf("[cluster %d/%d] %-16s n=%-8d nodes=%d shards=%d ERROR: %s",
+				i+1, len(cells), r.Strategy, r.N, r.Nodes, r.Shards, r.Err)
+			continue
+		}
+		logf("[cluster %d/%d] %-16s n=%-8d nodes=%d shards=%d rounds=%d sync=%-12s wire=%dB",
+			i+1, len(cells), r.Strategy, r.N, r.Nodes, r.Shards, r.Rounds,
+			time.Duration(r.SyncNS), r.WireBytes)
+	}
+	return out
+}
+
 // runMatrix executes every cell and assembles the report.
 func runMatrix(cells []cell, quick bool, logf func(format string, args ...any)) Report {
 	rep := Report{
@@ -339,6 +535,7 @@ func checkReport(data []byte) error {
 	for _, s := range robustset.Strategies() {
 		want[s.Name()] = false
 	}
+	clusterRows := 0
 	for i, r := range rep.Results {
 		if _, known := want[r.Strategy]; !known {
 			return fmt.Errorf("bench: result %d names unknown strategy %q", i, r.Strategy)
@@ -358,12 +555,21 @@ func checkReport(data []byte) error {
 		if r.SyncNS <= 0 || r.WireBytes <= 0 {
 			return fmt.Errorf("bench: result %d (%s n=%d) carries no measurements", i, r.Strategy, r.N)
 		}
+		if r.Mode == "cluster" {
+			if r.Rounds < 1 || r.Nodes < 2 || r.Shards < 1 {
+				return fmt.Errorf("bench: cluster result %d (%s) carries no convergence measurements", i, r.Strategy)
+			}
+			clusterRows++
+		}
 		want[r.Strategy] = true
 	}
 	for name, seen := range want {
 		if !seen {
 			return fmt.Errorf("bench: no successful result for strategy %q", name)
 		}
+	}
+	if clusterRows == 0 {
+		return fmt.Errorf("bench: no successful cluster-convergence result")
 	}
 	return nil
 }
@@ -392,6 +598,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 	rep := runMatrix(matrix(*quick), *quick, logf)
+	rep.Results = append(rep.Results, runClusterScenario(*quick, logf)...)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

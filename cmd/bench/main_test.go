@@ -25,6 +25,12 @@ func tinyMatrix() []cell {
 	return cells
 }
 
+// tinyClusterCell is a minimal convergence scenario for in-process
+// testing.
+func tinyClusterCell() clusterCell {
+	return clusterCell{strategy: robustset.ExactIBLT{}, n: 100, extra: 3, nodes: 2, shards: 2}
+}
+
 // TestRunMatrixAndCheck runs the harness end to end on a tiny matrix and
 // validates the produced report with the same checker CI uses.
 func TestRunMatrixAndCheck(t *testing.T) {
@@ -32,6 +38,7 @@ func TestRunMatrixAndCheck(t *testing.T) {
 	if len(rep.Results) != 5 {
 		t.Fatalf("got %d results, want 5", len(rep.Results))
 	}
+	rep.Results = append(rep.Results, runClusterCell(tinyClusterCell()))
 	for _, r := range rep.Results {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Strategy, r.Err)
@@ -43,6 +50,25 @@ func TestRunMatrixAndCheck(t *testing.T) {
 	}
 	if err := checkReport(data); err != nil {
 		t.Fatalf("self-produced report fails the schema check: %v", err)
+	}
+}
+
+// TestRunClusterCell pins the cluster scenario's measurements: a 2-node
+// cluster with disjoint extras converges, reporting rounds, bytes and
+// the exact union size.
+func TestRunClusterCell(t *testing.T) {
+	r := runClusterCell(tinyClusterCell())
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	if r.Mode != "cluster" || r.Nodes != 2 || r.Shards != 2 {
+		t.Errorf("row coordinates %+v", r)
+	}
+	if r.Rounds < 1 || r.SyncNS <= 0 || r.WireBytes <= 0 {
+		t.Errorf("row carries no convergence measurements: %+v", r)
+	}
+	if want := 100 + 2*3; r.ResultSize != want {
+		t.Errorf("converged size %d, want %d", r.ResultSize, want)
 	}
 }
 
@@ -72,6 +98,7 @@ func TestQuickMatrixCoversAllStrategies(t *testing.T) {
 // violations.
 func TestCheckReportRejectsDrift(t *testing.T) {
 	rep := runMatrix(tinyMatrix(), true, func(string, ...any) {})
+	rep.Results = append(rep.Results, runClusterCell(tinyClusterCell()))
 	good, _ := json.Marshal(rep)
 
 	cases := []struct {
@@ -84,6 +111,8 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 		{"strategy", func(r *Report) { r.Results[0].Strategy = "bogus" }, "unknown strategy"},
 		{"missing", func(r *Report) { r.Results = r.Results[:1] }, "no successful result"},
 		{"nomeasure", func(r *Report) { r.Results[2].SyncNS = 0 }, "no measurements"},
+		{"nocluster", func(r *Report) { r.Results = r.Results[:5] }, "no successful cluster-convergence"},
+		{"norounds", func(r *Report) { r.Results[5].Rounds = 0 }, "no convergence measurements"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"robustset"
+)
+
+// cmdCluster runs the N-node anti-entropy demo: every node publishes the
+// same sharded dataset seeded with a common base plus its own disjoint
+// extra points, replicators gossip until every node holds the identical
+// multiset, and the command reports rounds- and bytes-to-convergence.
+// It exits non-zero if the deadline passes without convergence, so CI
+// can run it as a smoke test.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "number of nodes")
+	n := fs.Int("n", 500, "shared base points")
+	extra := fs.Int("extra", 8, "disjoint extra points per node")
+	dim := fs.Int("dim", 2, "dimensions")
+	delta := fs.Int64("delta", 1<<20, "coordinate range (power of two)")
+	shards := fs.Int("shards", 4, "shards per dataset (1 = unsharded)")
+	seed := fs.Uint64("seed", 42, "workload and protocol seed")
+	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|cpi|naive (default oneshot)")
+	selection := fs.String("select", "roundrobin", "peer selection: roundrobin|random")
+	fanout := fs.Int("fanout", 0, "peers contacted per round (0 = all)")
+	workers := fs.Int("workers", 4, "concurrent shard reconciliations per round")
+	maxSweeps := fs.Int("max-rounds", 32, "round sweeps before giving up")
+	deadline := fs.Duration("deadline", time.Minute, "overall demo deadline")
+	fs.Parse(args)
+	if *nodes < 2 {
+		return fmt.Errorf("cluster: -nodes %d < 2", *nodes)
+	}
+	if *extra < 1 {
+		return fmt.Errorf("cluster: -extra %d < 1", *extra)
+	}
+	strat, err := strategyFor(*proto)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if *delta/2 < int64(*nodes) {
+		return fmt.Errorf("cluster: -delta %d too small for %d disjoint extra stripes", *delta, *nodes)
+	}
+
+	u := robustset.Universe{Dim: *dim, Delta: *delta}
+	// DiffBudget must cover the worst per-shard decode: with union
+	// application a session's diff is at most all nodes' extras.
+	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *nodes**extra + 8}
+
+	common, extras := clusterPoints(u, *n, *nodes, *extra, *seed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+	defer cancel()
+
+	// Start the nodes: one Server each, all publishing dataset "demo".
+	type node struct {
+		srv  *robustset.Server
+		addr string
+	}
+	all := make([]*node, *nodes)
+	for i := range all {
+		srv := robustset.NewServer()
+		pts := append(robustset.ClonePoints(common), extras[i]...)
+		if *shards > 1 {
+			if _, err := srv.PublishSharded("demo", params, pts, *shards); err != nil {
+				return err
+			}
+		} else {
+			if _, err := srv.Publish("demo", params, pts); err != nil {
+				return err
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		all[i] = &node{srv: srv, addr: ln.Addr().String()}
+	}
+
+	reps := make([]*robustset.Replicator, *nodes)
+	for i, nd := range all {
+		var peers []robustset.Peer
+		for j, other := range all {
+			if j != i {
+				peers = append(peers, robustset.Peer{Name: fmt.Sprintf("node%d", j), Addr: other.addr})
+			}
+		}
+		k := *fanout
+		if k <= 0 {
+			k = len(peers)
+		}
+		var sel robustset.PeerSelector
+		switch *selection {
+		case "roundrobin":
+			sel = robustset.SelectRoundRobin(k)
+		case "random":
+			sel = robustset.SelectRandomK(k, *seed+uint64(i))
+		default:
+			return fmt.Errorf("cluster: unknown -select %q (roundrobin|random)", *selection)
+		}
+		rep, err := robustset.NewReplicator(nd.srv, peers,
+			robustset.WithReplicatorStrategy(strat),
+			robustset.WithPeerSelector(sel),
+			robustset.WithReplicatorWorkers(*workers),
+			robustset.WithRoundTimeout(*deadline),
+		)
+		if err != nil {
+			return err
+		}
+		reps[i] = rep
+	}
+
+	fmt.Printf("cluster: %d nodes, %d base + %d extra points each, %d shard(s), %s, %s selection\n",
+		*nodes, *n, *extra, *shards, strat.Name(), *selection)
+
+	snapshot := func(nd *node) []robustset.Point {
+		var out []robustset.Point
+		for _, name := range nd.srv.Datasets() {
+			out = append(out, nd.srv.Dataset(name).Snapshot()...)
+		}
+		return out
+	}
+	var totalBytes int64
+	converged := false
+	sweeps := 0
+	for sweep := 1; sweep <= *maxSweeps && !converged; sweep++ {
+		sweeps = sweep
+		var added, errs int
+		for i, rep := range reps {
+			st, err := rep.RunRound(ctx)
+			if err != nil {
+				return fmt.Errorf("cluster: node %d round: %w", i, err)
+			}
+			totalBytes += st.Bytes
+			added += st.Added
+			errs += st.Errors
+		}
+		fmt.Printf("  sweep %2d: +%d points, %d errors, %s total on the wire\n",
+			sweep, added, errs, byteCount(totalBytes))
+		ref := snapshot(all[0])
+		converged = true
+		for _, nd := range all[1:] {
+			if !robustset.EqualMultisets(ref, snapshot(nd)) {
+				converged = false
+				break
+			}
+		}
+	}
+	if !converged {
+		return fmt.Errorf("cluster: no convergence after %d sweeps", *maxSweeps)
+	}
+	want := *n + *nodes**extra
+	got := len(snapshot(all[0]))
+	fmt.Printf("converged: %d sweeps, %s on the wire, every node holds %d points (expected %d)\n",
+		sweeps, byteCount(totalBytes), got, want)
+	if got != want {
+		return fmt.Errorf("cluster: converged multiset has %d points, want %d", got, want)
+	}
+	return nil
+}
+
+// clusterPoints builds the demo workload: a common base multiset plus
+// per-node extras drawn from disjoint coordinate stripes so the expected
+// union size is exact.
+func clusterPoints(u robustset.Universe, n, nodes, extra int, seed uint64) ([]robustset.Point, [][]robustset.Point) {
+	rng := rand.New(rand.NewPCG(seed, ^seed))
+	// Base points live in the lower half of the first coordinate; extras
+	// in per-node stripes of the upper half.
+	common := make([]robustset.Point, n)
+	for i := range common {
+		p := make(robustset.Point, u.Dim)
+		p[0] = rng.Int64N(u.Delta / 2)
+		for j := 1; j < u.Dim; j++ {
+			p[j] = rng.Int64N(u.Delta)
+		}
+		common[i] = p
+	}
+	extras := make([][]robustset.Point, nodes)
+	stripe := u.Delta / 2 / int64(nodes)
+	for nd := range extras {
+		base := u.Delta/2 + int64(nd)*stripe
+		for j := 0; j < extra; j++ {
+			p := make(robustset.Point, u.Dim)
+			p[0] = base + rng.Int64N(stripe)
+			for k := 1; k < u.Dim; k++ {
+				p[k] = rng.Int64N(u.Delta)
+			}
+			extras[nd] = append(extras[nd], p)
+		}
+	}
+	return common, extras
+}
+
+// byteCount renders a byte total human-readably.
+func byteCount(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -9,6 +9,7 @@
 //	robustsync local    -alice a.txt -bob b.txt [-k 16] [-proto adaptive] [-out sprime.txt]
 //	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16]
 //	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-out sprime.txt]
+//	robustsync cluster  -nodes 3 -n 500 -extra 8 -shards 4 [-proto exact] [-deadline 1m]
 //
 // `serve` publishes each -data file as a named dataset (the file's base
 // name without extension) on a multi-dataset sync server; it serves every
@@ -53,6 +54,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "pull":
 		err = cmdPull(os.Args[2:])
+	case "cluster", "-cluster":
+		err = cmdCluster(os.Args[2:])
 	default:
 		usage()
 	}
@@ -63,12 +66,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: robustsync <gen|quantize|local|serve|pull> [flags]
+	fmt.Fprintln(os.Stderr, `usage: robustsync <gen|quantize|local|serve|pull|cluster> [flags]
   gen       generate a point file (optionally a noisy copy of another file)
   quantize  ingest float CSV data into a point file
   local     reconcile two local point files in-process
   serve     publish point files as named datasets on a sync server (Alice)
   pull      reconcile the local file against a server dataset (Bob)
+  cluster   run an N-node anti-entropy replication demo to convergence
 run "robustsync <cmd> -h" for flags`)
 	os.Exit(2)
 }

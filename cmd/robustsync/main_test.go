@@ -100,3 +100,33 @@ func TestCLIErrors(t *testing.T) {
 	}
 	_ = points.Point{} // keep the import honest if assertions change
 }
+
+// TestClusterDemo smoke-tests the anti-entropy demo: a small 3-node
+// sharded cluster must converge within the deadline for both a robust
+// and an exact strategy.
+func TestClusterDemo(t *testing.T) {
+	if err := cmdCluster([]string{"-nodes", "3", "-n", "120", "-extra", "4",
+		"-shards", "2", "-deadline", "30s"}); err != nil {
+		t.Fatalf("robust cluster demo: %v", err)
+	}
+	if err := cmdCluster([]string{"-nodes", "2", "-n", "120", "-extra", "4",
+		"-shards", "1", "-proto", "exact", "-select", "random", "-deadline", "30s"}); err != nil {
+		t.Fatalf("exact cluster demo: %v", err)
+	}
+}
+
+// TestClusterValidation covers the demo's flag validation.
+func TestClusterValidation(t *testing.T) {
+	if err := cmdCluster([]string{"-nodes", "1"}); err == nil {
+		t.Error("one-node cluster accepted")
+	}
+	if err := cmdCluster([]string{"-proto", "bogus"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := cmdCluster([]string{"-select", "bogus"}); err == nil {
+		t.Error("unknown selection policy accepted")
+	}
+	if err := cmdCluster([]string{"-nodes", "64", "-delta", "64"}); err == nil {
+		t.Error("delta too small for the extra stripes accepted")
+	}
+}

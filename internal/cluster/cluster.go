@@ -1,0 +1,148 @@
+// Package cluster holds the mechanics behind the public Replicator API:
+// peer selection policies for anti-entropy rounds, exponential backoff
+// bookkeeping for unreachable peers, and the deterministic shard map that
+// partitions a dataset's points across Maintainer-backed sub-datasets.
+//
+// The package deliberately contains no networking and no protocol code —
+// it is pure policy over names, times and point encodings — so every
+// behaviour is testable without a socket. The round driver in the root
+// package composes these pieces with Session/Server to form the
+// replication subsystem.
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"time"
+)
+
+// RoundRobin selects K peers per round by cycling through the eligible
+// list in sorted order, so over ceil(len/K) rounds every peer is
+// contacted — the deterministic "sweep" policy an N-node demo wants.
+type RoundRobin struct {
+	// K is the number of peers per round; K <= 0 means 1, and K larger
+	// than the eligible list selects everyone.
+	K int
+}
+
+// Select implements the selection policy. The eligible slice is not
+// mutated.
+func (r RoundRobin) Select(eligible []string, round int) []string {
+	if len(eligible) == 0 {
+		return nil
+	}
+	sorted := slices.Clone(eligible)
+	slices.Sort(sorted)
+	k := r.K
+	if k <= 0 {
+		k = 1
+	}
+	if k >= len(sorted) {
+		return sorted
+	}
+	start := (round * k) % len(sorted)
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, sorted[(start+i)%len(sorted)])
+	}
+	return out
+}
+
+// RandomK selects K distinct peers uniformly at random each round — the
+// classic gossip policy, which spreads load and breaks pathological
+// topologies round-robin can fall into. A RandomK value is not safe for
+// concurrent use; the Replicator serializes rounds.
+type RandomK struct {
+	k   int
+	rng *rand.Rand
+}
+
+// NewRandomK builds a RandomK selector with a deterministic seed (tests
+// and reproducible demos pass a fixed seed; production callers pass
+// anything, e.g. a per-node identifier).
+func NewRandomK(k int, seed uint64) *RandomK {
+	return &RandomK{k: k, rng: rand.New(rand.NewPCG(seed, ^seed))}
+}
+
+// Select implements the selection policy.
+func (r *RandomK) Select(eligible []string, round int) []string {
+	if len(eligible) == 0 {
+		return nil
+	}
+	sorted := slices.Clone(eligible)
+	slices.Sort(sorted) // order the permutation over a canonical base
+	k := r.k
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	perm := r.rng.Perm(len(sorted))[:k]
+	out := make([]string, 0, k)
+	for _, i := range perm {
+		out = append(out, sorted[i])
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Backoff computes the exponential retry delay for an unreachable peer:
+// Delay(1) = Base, doubling per consecutive failure, capped at Max.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns how long a peer with the given consecutive failure count
+// stays ineligible. Zero failures mean no delay.
+func (b Backoff) Delay(failures int) time.Duration {
+	if failures <= 0 || b.Base <= 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		return b.Max
+	}
+	return d
+}
+
+// PeerState is the per-peer round bookkeeping the Replicator keeps:
+// consecutive failures and the next time the peer is worth contacting.
+type PeerState struct {
+	Failures int
+	Until    time.Time
+}
+
+// Eligible reports whether the peer may be contacted at now.
+func (p *PeerState) Eligible(now time.Time) bool {
+	return p.Failures == 0 || !now.Before(p.Until)
+}
+
+// Fail records one more consecutive failure and schedules the next
+// attempt per the backoff policy.
+func (p *PeerState) Fail(now time.Time, b Backoff) {
+	p.Failures++
+	p.Until = now.Add(b.Delay(p.Failures))
+}
+
+// Succeed resets the peer to immediately eligible.
+func (p *PeerState) Succeed() {
+	p.Failures = 0
+	p.Until = time.Time{}
+}
+
+// String aids log lines.
+func (p *PeerState) String() string {
+	if p.Failures == 0 {
+		return "ok"
+	}
+	return fmt.Sprintf("%d failures, retry at %s", p.Failures, p.Until.Format(time.RFC3339))
+}

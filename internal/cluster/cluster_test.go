@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"slices"
+	"testing"
+	"time"
+)
+
+func TestRoundRobinSweepsAllPeers(t *testing.T) {
+	peers := []string{"c", "a", "b", "e", "d"}
+	sel := RoundRobin{K: 2}
+	seen := map[string]int{}
+	for round := 0; round < 5; round++ {
+		got := sel.Select(peers, round)
+		if len(got) != 2 {
+			t.Fatalf("round %d: selected %v, want 2 peers", round, got)
+		}
+		for _, p := range got {
+			seen[p]++
+		}
+	}
+	// 5 rounds × 2 picks over 5 peers: every peer exactly twice.
+	for _, p := range peers {
+		if seen[p] != 2 {
+			t.Errorf("peer %q selected %d times over the sweep, want 2", p, seen[p])
+		}
+	}
+}
+
+func TestRoundRobinBounds(t *testing.T) {
+	if got := (RoundRobin{K: 3}).Select(nil, 0); got != nil {
+		t.Errorf("empty eligible list selected %v", got)
+	}
+	got := RoundRobin{K: 10}.Select([]string{"b", "a"}, 7)
+	if !slices.Equal(got, []string{"a", "b"}) {
+		t.Errorf("oversized K selected %v, want all peers sorted", got)
+	}
+	if got := (RoundRobin{}).Select([]string{"x", "y"}, 0); len(got) != 1 {
+		t.Errorf("K=0 selected %v, want one peer", got)
+	}
+}
+
+func TestRandomKDeterministicAndDistinct(t *testing.T) {
+	peers := []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+	a := NewRandomK(3, 42)
+	b := NewRandomK(3, 42)
+	for round := 0; round < 20; round++ {
+		ga := a.Select(peers, round)
+		gb := b.Select(peers, round)
+		if !slices.Equal(ga, gb) {
+			t.Fatalf("round %d: same seed diverged: %v vs %v", round, ga, gb)
+		}
+		if len(ga) != 3 {
+			t.Fatalf("round %d: selected %v, want 3", round, ga)
+		}
+		dedup := slices.Clone(ga)
+		slices.Sort(dedup)
+		if len(slices.Compact(dedup)) != 3 {
+			t.Fatalf("round %d: duplicate selections %v", round, ga)
+		}
+	}
+}
+
+func TestRandomKCoversAllPeers(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	sel := NewRandomK(1, 7)
+	seen := map[string]bool{}
+	for round := 0; round < 64; round++ {
+		for _, p := range sel.Select(peers, round) {
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(peers) {
+		t.Errorf("64 random rounds reached %d/%d peers", len(seen), len(peers))
+	}
+}
+
+func TestBackoffDelays(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{0, 0},
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second},  // capped
+		{50, time.Second}, // no overflow
+	}
+	for _, c := range cases {
+		if got := b.Delay(c.failures); got != c.want {
+			t.Errorf("Delay(%d) = %v, want %v", c.failures, got, c.want)
+		}
+	}
+	if got := (Backoff{}).Delay(3); got != 0 {
+		t.Errorf("zero Backoff delayed %v", got)
+	}
+}
+
+func TestPeerStateLifecycle(t *testing.T) {
+	b := Backoff{Base: time.Minute, Max: time.Hour}
+	now := time.Unix(1000, 0)
+	var p PeerState
+	if !p.Eligible(now) {
+		t.Fatal("fresh peer not eligible")
+	}
+	p.Fail(now, b)
+	if p.Eligible(now) {
+		t.Fatal("failed peer still eligible immediately")
+	}
+	if p.Eligible(now.Add(30 * time.Second)) {
+		t.Fatal("peer eligible before backoff elapsed")
+	}
+	if !p.Eligible(now.Add(time.Minute)) {
+		t.Fatal("peer not eligible after backoff elapsed")
+	}
+	p.Fail(now, b)
+	if p.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", p.Failures)
+	}
+	if !p.Eligible(now.Add(2 * time.Minute)) {
+		t.Fatal("peer not eligible after doubled backoff")
+	}
+	p.Succeed()
+	if !p.Eligible(now) || p.Failures != 0 {
+		t.Fatal("Succeed did not reset the peer")
+	}
+}

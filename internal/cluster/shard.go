@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"robustset/internal/hashutil"
+	"robustset/internal/points"
+)
+
+// ShardMap deterministically assigns points to one of K shards by hashing
+// their canonical encoding. Two nodes that build a ShardMap from the same
+// (K, seed) — in practice, from the same reconciliation Params — agree on
+// every point's shard, so per-shard datasets reconcile peer-to-peer
+// without any shard metadata on the wire.
+type ShardMap struct {
+	k int
+	h hashutil.Hasher
+}
+
+// MaxShards bounds K; beyond this the per-shard fixed sketch overhead
+// dominates any delta savings.
+const MaxShards = 4096
+
+// NewShardMap builds a shard map for k shards. The seed is domain-
+// separated from the reconciliation seed, so shard assignment is
+// independent of the grid shifts and IBLT hashing.
+func NewShardMap(k int, seed uint64) (*ShardMap, error) {
+	if k < 1 || k > MaxShards {
+		return nil, fmt.Errorf("cluster: shard count %d outside [1,%d]", k, MaxShards)
+	}
+	return &ShardMap{
+		k: k,
+		h: hashutil.NewHasher(hashutil.DeriveSeed(seed, "cluster/shard")),
+	}, nil
+}
+
+// Shards returns K.
+func (m *ShardMap) Shards() int { return m.k }
+
+// ShardOfEncoded maps a canonically encoded point to its shard index.
+func (m *ShardMap) ShardOfEncoded(enc []byte) int {
+	return int(m.h.Hash(enc) % uint64(m.k))
+}
+
+// ShardOf maps a point to its shard index.
+func (m *ShardMap) ShardOf(pt points.Point) int {
+	return m.ShardOfEncoded(points.EncodeNew(pt))
+}
+
+// Partition splits pts into K per-shard slices. The input is not
+// mutated; points are not copied (slices share the backing points).
+func (m *ShardMap) Partition(pts []points.Point) [][]points.Point {
+	parts := make([][]points.Point, m.k)
+	if len(pts) == 0 {
+		return parts
+	}
+	buf := make([]byte, 0, points.EncodedSize(len(pts[0])))
+	for _, pt := range pts {
+		buf = points.Encode(buf[:0], pt)
+		i := m.ShardOfEncoded(buf)
+		parts[i] = append(parts[i], pt)
+	}
+	return parts
+}
+
+// shardSep separates a base dataset name from its shard suffix. The
+// suffix is "~i.k", e.g. "events~3.16" is shard 3 of 16 of "events".
+const shardSep = "~"
+
+// ShardName returns the dataset name of shard i of k of base.
+func ShardName(base string, i, k int) string {
+	return fmt.Sprintf("%s%s%d.%d", base, shardSep, i, k)
+}
+
+// ParseShardName splits a shard dataset name into its base name and
+// shard coordinates. ok is false for names without a well-formed shard
+// suffix (including plain dataset names).
+func ParseShardName(name string) (base string, i, k int, ok bool) {
+	cut := strings.LastIndex(name, shardSep)
+	if cut < 0 {
+		return "", 0, 0, false
+	}
+	dot := strings.LastIndex(name[cut:], ".")
+	if dot < 0 {
+		return "", 0, 0, false
+	}
+	dot += cut
+	i64, err1 := strconv.Atoi(name[cut+len(shardSep) : dot])
+	k64, err2 := strconv.Atoi(name[dot+1:])
+	if err1 != nil || err2 != nil || k64 < 1 || i64 < 0 || i64 >= k64 {
+		return "", 0, 0, false
+	}
+	return name[:cut], i64, k64, true
+}

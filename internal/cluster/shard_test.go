@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robustset/internal/points"
+)
+
+func TestShardMapDeterministicAcrossInstances(t *testing.T) {
+	a, err := NewShardMap(16, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardMap(16, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		pt := points.Point{rng.Int64N(1 << 20), rng.Int64N(1 << 20)}
+		if a.ShardOf(pt) != b.ShardOf(pt) {
+			t.Fatalf("instances disagree on %v", pt)
+		}
+	}
+	c, err := NewShardMap(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		pt := points.Point{rng.Int64N(1 << 20), rng.Int64N(1 << 20)}
+		if a.ShardOf(pt) != c.ShardOf(pt) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical shard maps")
+	}
+}
+
+func TestShardMapPartitionPreservesMultiset(t *testing.T) {
+	m, err := NewShardMap(8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	pts := make([]points.Point, 500)
+	for i := range pts {
+		pts[i] = points.Point{rng.Int64N(1 << 16), rng.Int64N(1 << 16)}
+	}
+	// Duplicates must survive partitioning.
+	pts = append(pts, pts[0].Clone(), pts[0].Clone())
+	parts := m.Partition(pts)
+	if len(parts) != 8 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var merged []points.Point
+	for i, part := range parts {
+		for _, pt := range part {
+			if m.ShardOf(pt) != i {
+				t.Fatalf("point %v landed in shard %d, maps to %d", pt, i, m.ShardOf(pt))
+			}
+		}
+		merged = append(merged, part...)
+	}
+	if !points.EqualMultisets(merged, pts) {
+		t.Error("partitioned parts do not merge back to the input multiset")
+	}
+}
+
+func TestShardMapRoughBalance(t *testing.T) {
+	const k, n = 8, 8000
+	m, err := NewShardMap(k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	pts := make([]points.Point, n)
+	for i := range pts {
+		pts[i] = points.Point{rng.Int64N(1 << 20), rng.Int64N(1 << 20)}
+	}
+	for i, part := range m.Partition(pts) {
+		// Expected n/k = 1000; a uniform hash stays within ±30% w.h.p.
+		if len(part) < 700 || len(part) > 1300 {
+			t.Errorf("shard %d holds %d points, expected ~%d", i, len(part), n/k)
+		}
+	}
+}
+
+func TestShardMapValidation(t *testing.T) {
+	if _, err := NewShardMap(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewShardMap(MaxShards+1, 1); err == nil {
+		t.Error("k beyond MaxShards accepted")
+	}
+}
+
+func TestShardNameRoundTrip(t *testing.T) {
+	name := ShardName("sensors/alpha", 3, 16)
+	if name != "sensors/alpha~3.16" {
+		t.Fatalf("ShardName = %q", name)
+	}
+	base, i, k, ok := ParseShardName(name)
+	if !ok || base != "sensors/alpha" || i != 3 || k != 16 {
+		t.Fatalf("ParseShardName(%q) = %q,%d,%d,%v", name, base, i, k, ok)
+	}
+	for _, bad := range []string{"plain", "x~", "x~a.b", "x~3.", "x~3.2", "x~-1.4", "x~4.4"} {
+		if _, _, _, ok := ParseShardName(bad); ok {
+			t.Errorf("ParseShardName(%q) accepted", bad)
+		}
+	}
+}

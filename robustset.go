@@ -49,7 +49,17 @@
 //	go srv.Serve(ln)
 //
 // and clients select a dataset with WithDataset("telemetry"), adopting
-// the server's parameters automatically. The legacy free functions
+// the server's parameters automatically. Datasets can be sharded
+// (Server.PublishSharded) and retired at runtime (Server.Unpublish).
+//
+// A Replicator turns N such servers into an anti-entropy cluster: each
+// node continuously reconciles every shared dataset shard with a
+// rotating selection of peers and applies the diffs locally, converging
+// the nodes to the identical multiset at a per-round cost that tracks
+// the live delta per shard — see NewReplicator and DESIGN.md's
+// "Replication & sharding".
+//
+// The legacy free functions
 // (Push/Pull, PushAdaptive/PullAdaptive, PushExact/PullExact,
 // PushCPI/PullCPI, SyncTwoWay) remain as deprecated wrappers that
 // delegate to the equivalent Session.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"robustset/internal/cluster"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
 	"robustset/internal/transport"
@@ -37,6 +38,7 @@ type Dataset struct {
 	maintainer *Maintainer
 	counts     map[string]int // encoded point → multiplicity
 	size       int
+	retired    bool // set by Server.Unpublish; mutations and serving reject
 }
 
 // Name returns the dataset's published name.
@@ -57,11 +59,22 @@ func (d *Dataset) Size() int {
 	return d.size
 }
 
-// Add inserts one point into the dataset, updating the maintained sketch
-// in O(levels) time.
-func (d *Dataset) Add(pt Point) error {
+// errRetired builds the rejection mutations and sessions see after
+// Server.Unpublish retired the dataset.
+func (d *Dataset) errRetired() error {
+	return fmt.Errorf("%w: %q retired", ErrUnknownDataset, d.name)
+}
+
+// retire marks the dataset unpublished: every later mutation and serving
+// session is rejected with ErrUnknownDataset.
+func (d *Dataset) retire() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.retired = true
+	d.mu.Unlock()
+}
+
+// addLocked inserts one point with d.mu held.
+func (d *Dataset) addLocked(pt Point) error {
 	if err := d.maintainer.Add(pt); err != nil {
 		return err
 	}
@@ -70,11 +83,8 @@ func (d *Dataset) Add(pt Point) error {
 	return nil
 }
 
-// Remove deletes one occurrence of pt from the dataset. It returns
-// ErrNotPresent if the dataset does not hold the point.
-func (d *Dataset) Remove(pt Point) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// removeLocked deletes one occurrence of pt with d.mu held.
+func (d *Dataset) removeLocked(pt Point) error {
 	enc := string(points.EncodeNew(pt))
 	if d.counts[enc] == 0 {
 		return fmt.Errorf("%w: %v not in dataset %q", ErrNotPresent, pt, d.name)
@@ -89,11 +99,68 @@ func (d *Dataset) Remove(pt Point) error {
 	return nil
 }
 
-// Snapshot returns a copy of the current points. Order is unspecified:
-// the protocols treat inputs as multisets.
-func (d *Dataset) Snapshot() []Point {
+// Add inserts one point into the dataset, updating the maintained sketch
+// in O(levels) time.
+func (d *Dataset) Add(pt Point) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.retired {
+		return d.errRetired()
+	}
+	return d.addLocked(pt)
+}
+
+// Remove deletes one occurrence of pt from the dataset. It returns
+// ErrNotPresent if the dataset does not hold the point.
+func (d *Dataset) Remove(pt Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired {
+		return d.errRetired()
+	}
+	return d.removeLocked(pt)
+}
+
+// AddBatch inserts every point in pts, taking the dataset lock once for
+// the whole batch — the bulk-apply path replication rounds use, where a
+// per-point lock round-trip would dominate the O(levels) sketch update.
+// On error the points before the failing one remain applied; the error
+// reports how many.
+func (d *Dataset) AddBatch(pts []Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired {
+		return d.errRetired()
+	}
+	for i, pt := range pts {
+		if err := d.addLocked(pt); err != nil {
+			return fmt.Errorf("robustset: add batch to %q: point %d of %d: %w (first %d applied)",
+				d.name, i, len(pts), err, i)
+		}
+	}
+	return nil
+}
+
+// RemoveBatch deletes one occurrence of every point in pts under a single
+// acquisition of the dataset lock. On error the removals before the
+// failing point remain applied; the error reports how many.
+func (d *Dataset) RemoveBatch(pts []Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired {
+		return d.errRetired()
+	}
+	for i, pt := range pts {
+		if err := d.removeLocked(pt); err != nil {
+			return fmt.Errorf("robustset: remove batch from %q: point %d of %d: %w (first %d applied)",
+				d.name, i, len(pts), err, i)
+		}
+	}
+	return nil
+}
+
+// snapshotLocked copies the current points with d.mu held.
+func (d *Dataset) snapshotLocked() []Point {
 	dim := d.maintainer.Params().Universe.Dim
 	out := make([]Point, 0, d.size)
 	for enc, c := range d.counts {
@@ -110,13 +177,128 @@ func (d *Dataset) Snapshot() []Point {
 	return out
 }
 
+// Snapshot returns a copy of the current points. Order is unspecified:
+// the protocols treat inputs as multisets.
+func (d *Dataset) Snapshot() []Point {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+// servePoints is Snapshot for serving sessions: it rejects retired
+// datasets, so a session that resolved the dataset just before an
+// Unpublish fails with ErrUnknownDataset instead of serving stale data.
+func (d *Dataset) servePoints() ([]Point, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired {
+		return nil, d.errRetired()
+	}
+	return d.snapshotLocked(), nil
+}
+
 // sketchBlob marshals the maintained sketch under the dataset lock, so a
 // session can serve a consistent snapshot without holding the lock for
-// the network round-trip.
+// the network round-trip. Retired datasets are rejected like servePoints.
 func (d *Dataset) sketchBlob() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.retired {
+		return nil, d.errRetired()
+	}
 	return d.maintainer.Sketch().MarshalBinary()
+}
+
+// ShardedDataset is one logical point multiset published as K
+// independent shard datasets (see Server.PublishSharded). Points route
+// to shards by a deterministic hash of their canonical encoding, so two
+// nodes publishing the same name under the same parameters agree on
+// every point's shard and reconcile shard-by-shard. Mutations route to
+// the owning shard; batch mutations group points per shard and take each
+// shard lock once. All methods are safe for concurrent use.
+type ShardedDataset struct {
+	name   string
+	m      *cluster.ShardMap
+	shards []*Dataset
+}
+
+// Name returns the base name the sharded dataset was published under.
+func (sd *ShardedDataset) Name() string { return sd.name }
+
+// NumShards returns K.
+func (sd *ShardedDataset) NumShards() int { return len(sd.shards) }
+
+// Shards returns the per-shard datasets in shard order. The slice is a
+// copy; the datasets are the live shards.
+func (sd *ShardedDataset) Shards() []*Dataset {
+	return slices.Clone(sd.shards)
+}
+
+// Shard returns the dataset that owns pt.
+func (sd *ShardedDataset) Shard(pt Point) *Dataset {
+	return sd.shards[sd.m.ShardOf(pt)]
+}
+
+// Params returns the shared reconciliation parameters of the shards.
+func (sd *ShardedDataset) Params() Params { return sd.shards[0].Params() }
+
+// Size returns the total multiset size across shards.
+func (sd *ShardedDataset) Size() int {
+	n := 0
+	for _, d := range sd.shards {
+		n += d.Size()
+	}
+	return n
+}
+
+// Add inserts one point into its owning shard.
+func (sd *ShardedDataset) Add(pt Point) error { return sd.Shard(pt).Add(pt) }
+
+// Remove deletes one occurrence of pt from its owning shard.
+func (sd *ShardedDataset) Remove(pt Point) error { return sd.Shard(pt).Remove(pt) }
+
+// partition groups pts by owning shard, preserving order within a shard.
+func (sd *ShardedDataset) partition(pts []Point) [][]Point {
+	return sd.m.Partition(pts)
+}
+
+// AddBatch inserts every point, grouped so each owning shard's lock is
+// taken once. Shards are independent, so a failure in one shard's batch
+// does not undo the others; the returned error names the failing shard.
+func (sd *ShardedDataset) AddBatch(pts []Point) error {
+	for i, part := range sd.partition(pts) {
+		if len(part) == 0 {
+			continue
+		}
+		if err := sd.shards[i].AddBatch(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveBatch deletes one occurrence of every point, grouped per shard
+// like AddBatch.
+func (sd *ShardedDataset) RemoveBatch(pts []Point) error {
+	for i, part := range sd.partition(pts) {
+		if len(part) == 0 {
+			continue
+		}
+		if err := sd.shards[i].RemoveBatch(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the full multiset across all shards. Order
+// is unspecified.
+func (sd *ShardedDataset) Snapshot() []Point {
+	var out []Point
+	for _, d := range sd.shards {
+		out = append(out, d.Snapshot()...)
+	}
+	return out
 }
 
 // Server reconciles many named datasets with many concurrent clients.
@@ -139,6 +321,7 @@ type Server struct {
 
 	mu         sync.Mutex
 	datasets   map[string]*Dataset
+	sharded    map[string]*ShardedDataset
 	listeners  map[net.Listener]struct{}
 	conns      map[net.Conn]struct{}
 	inShutdown atomic.Bool
@@ -185,6 +368,7 @@ func NewServer(opts ...ServerOption) *Server {
 		logf:           func(string, ...any) {},
 		sessionTimeout: DefaultSessionTimeout,
 		datasets:       make(map[string]*Dataset),
+		sharded:        make(map[string]*ShardedDataset),
 		listeners:      make(map[net.Listener]struct{}),
 		conns:          make(map[net.Conn]struct{}),
 		baseCtx:        ctx,
@@ -196,12 +380,8 @@ func NewServer(opts ...ServerOption) *Server {
 	return s
 }
 
-// Publish registers a named dataset and builds its maintained sketch.
-// The points are copied. Publishing a name twice is an error.
-func (s *Server) Publish(name string, p Params, pts []Point) (*Dataset, error) {
-	if name == "" || len(name) > protocol.MaxDatasetName {
-		return nil, fmt.Errorf("robustset: dataset name %q invalid (1..%d bytes)", name, protocol.MaxDatasetName)
-	}
+// newDataset builds an unregistered Dataset with its maintained sketch.
+func newDataset(name string, p Params, pts []Point) (*Dataset, error) {
 	m, err := NewMaintainer(p, pts)
 	if err != nil {
 		return nil, fmt.Errorf("robustset: publish %q: %w", name, err)
@@ -210,14 +390,141 @@ func (s *Server) Publish(name string, p Params, pts []Point) (*Dataset, error) {
 	for _, pt := range pts {
 		counts[string(points.EncodeNew(pt))]++
 	}
-	d := &Dataset{name: name, maintainer: m, counts: counts, size: len(pts)}
+	return &Dataset{name: name, maintainer: m, counts: counts, size: len(pts)}, nil
+}
+
+// validDatasetName rejects names the wire handshake cannot carry.
+func validDatasetName(name string) error {
+	if name == "" || len(name) > protocol.MaxDatasetName {
+		return fmt.Errorf("robustset: dataset name %q invalid (1..%d bytes)", name, protocol.MaxDatasetName)
+	}
+	return nil
+}
+
+// Publish registers a named dataset and builds its maintained sketch.
+// The points are copied. Publishing a name twice is an error.
+func (s *Server) Publish(name string, p Params, pts []Point) (*Dataset, error) {
+	if err := validDatasetName(name); err != nil {
+		return nil, err
+	}
+	d, err := newDataset(name, p, pts)
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.datasets[name]; dup {
-		return nil, fmt.Errorf("robustset: dataset %q already published", name)
+	if err := s.checkNameFreeLocked(name); err != nil {
+		return nil, err
 	}
 	s.datasets[name] = d
 	return d, nil
+}
+
+// checkNameFreeLocked reports a collision with any published dataset or
+// sharded-dataset base name. Caller holds s.mu.
+func (s *Server) checkNameFreeLocked(name string) error {
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("robustset: dataset %q already published", name)
+	}
+	if _, dup := s.sharded[name]; dup {
+		return fmt.Errorf("robustset: dataset %q already published (sharded)", name)
+	}
+	return nil
+}
+
+// PublishSharded registers a dataset split across nshards shard datasets,
+// each backed by its own Maintainer. Points hash into shards by their
+// canonical encoding under a map derived from p.Seed, so every node that
+// publishes the same name with the same parameters and shard count
+// partitions identically and the shards reconcile independently — a
+// replication round's cost then scales with the delta per shard, and the
+// shards of one dataset reconcile concurrently. Each shard is published
+// under ShardName(name, i, nshards) ("name~i.k") and is fetchable like
+// any other dataset; the base name itself is reserved and not fetchable.
+func (s *Server) PublishSharded(name string, p Params, pts []Point, nshards int) (*ShardedDataset, error) {
+	if err := validDatasetName(name); err != nil {
+		return nil, err
+	}
+	if err := validDatasetName(cluster.ShardName(name, nshards-1, nshards)); err != nil {
+		return nil, fmt.Errorf("robustset: sharded dataset %q: shard names too long: %w", name, err)
+	}
+	sm, err := cluster.NewShardMap(nshards, p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("robustset: publish sharded %q: %w", name, err)
+	}
+	if err := p.Universe.CheckSet(pts); err != nil {
+		return nil, fmt.Errorf("robustset: publish sharded %q: %w", name, err)
+	}
+	parts := sm.Partition(pts)
+	sd := &ShardedDataset{name: name, m: sm, shards: make([]*Dataset, nshards)}
+	for i, part := range parts {
+		d, err := newDataset(cluster.ShardName(name, i, nshards), p, part)
+		if err != nil {
+			return nil, fmt.Errorf("robustset: publish sharded %q: shard %d: %w", name, i, err)
+		}
+		sd.shards[i] = d
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkNameFreeLocked(name); err != nil {
+		return nil, err
+	}
+	for _, d := range sd.shards {
+		if err := s.checkNameFreeLocked(d.name); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range sd.shards {
+		s.datasets[d.name] = d
+	}
+	s.sharded[name] = sd
+	return sd, nil
+}
+
+// Unpublish retires a dataset (or a sharded dataset by its base name) at
+// runtime: the name disappears from the catalog immediately, later
+// handshakes are rejected, and in-flight sessions that already resolved
+// the dataset fail with ErrUnknownDataset instead of serving retired
+// data. Mutations through retained Dataset handles are rejected the same
+// way. Unpublishing an unknown name returns ErrUnknownDataset.
+func (s *Server) Unpublish(name string) error {
+	s.mu.Lock()
+	var retire []*Dataset
+	if sd, ok := s.sharded[name]; ok {
+		delete(s.sharded, name)
+		for _, d := range sd.shards {
+			delete(s.datasets, d.name)
+			retire = append(retire, d)
+		}
+	} else if d, ok := s.datasets[name]; ok {
+		// A single shard of a sharded dataset cannot be retired on its
+		// own: it would leave the ShardedDataset half-dead — mutations to
+		// ~1/K of points failing, replicators silently diverging on that
+		// shard. Retire the base name instead.
+		if base, i, k, isShard := cluster.ParseShardName(name); isShard {
+			if sd := s.sharded[base]; sd != nil && k == len(sd.shards) && sd.shards[i] == d {
+				s.mu.Unlock()
+				return fmt.Errorf("robustset: %q is shard %d of sharded dataset %q; unpublish the base name", name, i, base)
+			}
+		}
+		delete(s.datasets, name)
+		retire = append(retire, d)
+	}
+	s.mu.Unlock()
+	if len(retire) == 0 {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	for _, d := range retire {
+		d.retire()
+	}
+	return nil
+}
+
+// ShardedDataset returns a sharded dataset by its base name, or nil.
+func (s *Server) ShardedDataset(name string) *ShardedDataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharded[name]
 }
 
 // Dataset returns a published dataset, or nil.
@@ -313,15 +620,25 @@ func (s *Server) handle(conn net.Conn) {
 	// O(sketch size) per session instead of O(n·levels).
 	if _, oneShot := strat.(Robust); oneShot {
 		blob, err := d.sketchBlob()
-		if err == nil {
-			err = protocol.RunPushBlobAlice(ctx, t, blob)
-		}
 		if err != nil {
+			// The dataset was retired between the handshake and the push;
+			// relay the rejection so the client fails with a RemoteError.
+			_ = protocol.SendError(ctx, t, err)
+			s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
+			return
+		}
+		if err := protocol.RunPushBlobAlice(ctx, t, blob); err != nil {
 			s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
 		}
 		return
 	}
-	if err := strat.serve(ctx, t, params, d.Snapshot()); err != nil {
+	pts, err := d.servePoints()
+	if err != nil {
+		_ = protocol.SendError(ctx, t, err)
+		s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
+		return
+	}
+	if err := strat.serve(ctx, t, params, pts); err != nil {
 		s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
 	}
 }

@@ -1,0 +1,40 @@
+package robustset
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRetiredDatasetServingRejected pins the in-flight retirement
+// contract at the serving layer: a session that resolved its dataset
+// just before an Unpublish hits servePoints/sketchBlob next, and both
+// must reject with ErrUnknownDataset once the dataset is retired. (The
+// end-to-end handshake rejection is covered in sharded_test.go; this
+// white-box test makes the narrower race deterministic.)
+func TestRetiredDatasetServingRejected(t *testing.T) {
+	params := Params{Universe: Universe{Dim: 2, Delta: 1 << 12}, Seed: 5, DiffBudget: 4}
+	srv := NewServer()
+	defer srv.Close()
+	d, err := srv.Publish("d", params, []Point{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.servePoints(); err != nil {
+		t.Fatalf("servePoints before retirement: %v", err)
+	}
+	if _, err := d.sketchBlob(); err != nil {
+		t.Fatalf("sketchBlob before retirement: %v", err)
+	}
+	if err := srv.Unpublish("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.servePoints(); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("servePoints on retired dataset: %v, want ErrUnknownDataset", err)
+	}
+	if _, err := d.sketchBlob(); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("sketchBlob on retired dataset: %v, want ErrUnknownDataset", err)
+	}
+	if pts := d.Snapshot(); len(pts) != 2 {
+		t.Errorf("Snapshot after retirement returned %d points; reads stay usable", len(pts))
+	}
+}

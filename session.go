@@ -486,6 +486,20 @@ func (s *Session) ServeSketch(ctx context.Context, conn net.Conn, sk *Sketch) (T
 	return st, err
 }
 
+// FetchAddr dials addr over TCP and runs Fetch on the connection,
+// closing it afterwards. The context bounds the dial and the exchange
+// together — the plumbing a replication round driver wants, where one
+// deadline covers connect-through-reconcile per peer session.
+func (s *Session) FetchAddr(ctx context.Context, addr string, local []Point) (*SyncResult, TransferStats, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	defer conn.Close()
+	return s.Fetch(ctx, conn, local)
+}
+
 // Fetch runs the fetching (Bob) side over conn: it reconciles local
 // against the serving peer's data and returns the result with the wire
 // accounting. With WithDataset it first performs the server handshake
