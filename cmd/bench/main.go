@@ -7,13 +7,24 @@
 // The matrix is deterministic — workload seeds are a function of the
 // cell coordinates — so two runs on the same machine measure the same
 // work. Sizes span 1e3–1e6 points (the -quick mode trims the matrix for
-// CI smoke runs), crossed with diff rates, point dimensions and the five
+// CI smoke runs), crossed with diff rates, point dimensions and the six
 // strategies. Cells whose protocol cost would be pathological for the
 // configuration (CPI beyond its capacity budget) are recorded as skipped
 // with a reason rather than silently dropped. A cluster scenario then
 // stands up a 3-node sharded anti-entropy cluster over loopback TCP and
 // records rounds- and bytes-to-convergence for the replication-grade
 // strategies (mode "cluster" rows).
+//
+// A rateless scenario (mode "rateless" rows) pairs the rateless cell
+// stream against the exact-IBLT doubling-retry path on the same
+// workloads, twice per cell: once with an honest difference (the strata
+// estimate lands within its ~2× band) and once with the difference
+// skewed entirely into stratum 0, which collapses the estimate to ~0 —
+// the estimator's blind spot. Each row records the rateless wire bytes
+// (wire_bytes) against the doubling path's (baseline_bytes); the -check
+// gate enforces the robustness contract on them: at most 0.6× the
+// doubling bytes when the estimate undershoots, at most 1.1× when it is
+// accurate.
 //
 // Usage:
 //
@@ -23,6 +34,7 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +48,7 @@ import (
 	"robustset/internal/hashutil"
 	"robustset/internal/iblt"
 	"robustset/internal/points"
+	"robustset/internal/sketch"
 	"robustset/internal/workload"
 )
 
@@ -87,6 +100,14 @@ type Result struct {
 	// Rounds is the number of anti-entropy round sweeps (one round per
 	// node each) until every node held the identical multiset.
 	Rounds int `json:"rounds,omitempty"`
+
+	// Rateless-scenario rows (Mode == "rateless") additionally carry the
+	// estimate regime ("accurate" or "undershoot" — the latter forced by
+	// a stratum-0-skewed difference) and the doubling-retry path's total
+	// wire bytes on the identical workload, the baseline wire_bytes is
+	// contracted against.
+	Estimate      string `json:"estimate,omitempty"`
+	BaselineBytes int64  `json:"baseline_bytes,omitempty"`
 }
 
 // cell is one matrix coordinate before execution.
@@ -100,7 +121,7 @@ type cell struct {
 }
 
 // matrix enumerates the workload cells. Quick mode trims sizes and
-// dimensions for CI smoke runs while still covering all five strategies.
+// dimensions for CI smoke runs while still covering all six strategies.
 func matrix(quick bool) []cell {
 	sizes := []int{1_000, 10_000, 100_000, 1_000_000}
 	rates := []float64{0.001, 0.01}
@@ -120,7 +141,7 @@ func matrix(quick bool) []cell {
 				for _, s := range robustset.Strategies() {
 					regime := "noisy"
 					switch s.(type) {
-					case robustset.ExactIBLT, robustset.CPI:
+					case robustset.ExactIBLT, robustset.Rateless, robustset.CPI:
 						// The exact comparators get the regime they are
 						// designed for; under value noise their cost is
 						// Θ(n) by construction, which would measure the
@@ -203,6 +224,23 @@ func strategyFor(c cell) robustset.Strategy {
 	return c.strategy
 }
 
+// occurrenceKeys builds the occurrence-indexed point keys the exact wire
+// protocols hash (encoded point | u32 occurrence) — one shared
+// implementation so the build timings and the skew miner key exactly what
+// internal/protocol's exactKeys keys.
+func occurrenceKeys(pts []robustset.Point, dim int) [][]byte {
+	occ := make(map[string]uint32, len(pts))
+	keys := make([][]byte, 0, len(pts))
+	buf := make([]byte, 0, points.EncodedSize(dim))
+	for _, pt := range pts {
+		buf = points.Encode(buf[:0], pt)
+		o := occ[string(buf)]
+		occ[string(buf)] = o + 1
+		keys = append(keys, binary.LittleEndian.AppendUint32(append([]byte(nil), buf...), o))
+	}
+	return keys
+}
+
 // timeBuild measures the strategy's standalone summary construction over
 // Alice's points: the hot path each strategy pays before any bytes move.
 func timeBuild(c cell, p robustset.Params, alice []robustset.Point) (int64, error) {
@@ -225,15 +263,19 @@ func timeBuild(c cell, p robustset.Params, alice []robustset.Point) (int64, erro
 		if err != nil {
 			return 0, err
 		}
-		occ := make(map[string]uint32, len(alice))
-		buf := make([]byte, 0, keyLen)
-		for _, pt := range alice {
-			buf = points.Encode(buf[:0], pt)
-			o := occ[string(buf)]
-			occ[string(buf)] = o + 1
-			buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
-			t.Insert(buf)
+		for _, k := range occurrenceKeys(alice, c.dim) {
+			t.Insert(k)
 		}
+	case robustset.Rateless:
+		// Occurrence-indexed keys into a rateless cell stream, emitting
+		// the cells a well-estimated difference needs — the serving-side
+		// cost of the first CELLS answer.
+		keyLen := points.EncodedSize(c.dim) + 4
+		stream, err := iblt.NewCellStream(iblt.ExtendConfig{KeyLen: keyLen, Seed: 21}, occurrenceKeys(alice, c.dim))
+		if err != nil {
+			return 0, err
+		}
+		stream.Emit(2*outliersFor(c.n, c.rate) + 32)
 	case robustset.CPI:
 		h := hashutil.NewHasher(hashutil.DeriveSeed(23, "bench/elem"))
 		elems := make([]uint64, len(alice))
@@ -272,10 +314,23 @@ func runCell(c cell) Result {
 		res.Err = err.Error()
 		return res
 	}
-	sess, err := robustset.NewSession(strategyFor(c), robustset.WithParams(p))
+	bytes, ns, out, err := pipeExchange(strategyFor(c), p, inst.Alice, inst.Bob)
+	res.SyncNS, res.WireBytes = ns, bytes
 	if err != nil {
 		res.Err = err.Error()
 		return res
+	}
+	res.ResultSize = len(out)
+	return res
+}
+
+// pipeExchange runs one serve/fetch exchange over an in-process pipe and
+// returns the fetch-side traffic, wall time and result — the harness
+// every two-party scenario shares.
+func pipeExchange(strat robustset.Strategy, p robustset.Params, alice, bob []robustset.Point) (int64, int64, []robustset.Point, error) {
+	sess, err := robustset.NewSession(strat, robustset.WithParams(p))
+	if err != nil {
+		return 0, 0, nil, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -284,23 +339,19 @@ func runCell(c cell) Result {
 	defer c2.Close()
 	serveErr := make(chan error, 1)
 	go func() {
-		_, err := sess.Serve(ctx, c1, inst.Alice)
+		_, err := sess.Serve(ctx, c1, alice)
 		serveErr <- err
 	}()
 	start := time.Now()
-	out, stats, err := sess.Fetch(ctx, c2, inst.Bob)
-	res.SyncNS = time.Since(start).Nanoseconds()
-	res.WireBytes = stats.Total()
+	out, stats, err := sess.Fetch(ctx, c2, bob)
+	ns := time.Since(start).Nanoseconds()
 	if err != nil {
-		res.Err = err.Error()
-		return res
+		return stats.Total(), ns, nil, err
 	}
 	if err := <-serveErr; err != nil {
-		res.Err = "serve: " + err.Error()
-		return res
+		return stats.Total(), ns, nil, fmt.Errorf("serve: %w", err)
 	}
-	res.ResultSize = len(out.SPrime)
-	return res
+	return stats.Total(), ns, out.SPrime, nil
 }
 
 // clusterCell is one anti-entropy convergence scenario: nodes replicas
@@ -485,6 +536,149 @@ func runClusterScenario(quick bool, logf func(format string, args ...any)) []Res
 	return out
 }
 
+// ratelessCell is one rateless-vs-doubling comparison scenario: n shared
+// base points plus diff Alice-only extras, optionally skewed so the
+// strata estimate collapses.
+type ratelessCell struct {
+	n      int
+	diff   int
+	skewed bool
+}
+
+// ratelessMatrix enumerates the comparison scenarios. Differences are
+// kept ≥ a couple thousand keys so the fixed strata-estimator bytes —
+// identical on both paths — do not wash out the cell-stream comparison.
+func ratelessMatrix(quick bool) []ratelessCell {
+	grid := []struct{ n, diff int }{{10_000, 2_000}, {100_000, 8_000}, {1_000_000, 10_000}}
+	if quick {
+		grid = []struct{ n, diff int }{{2_000, 800}}
+	}
+	var cells []ratelessCell
+	for _, g := range grid {
+		cells = append(cells,
+			ratelessCell{n: g.n, diff: g.diff, skewed: false},
+			ratelessCell{n: g.n, diff: g.diff, skewed: true},
+		)
+	}
+	return cells
+}
+
+// ratelessSeed is the shared session seed of the rateless scenario; the
+// skew miner must derive the same strata sampling hash the protocols
+// will, so it is fixed here.
+const ratelessSeed = 77
+
+// ratelessWorkload builds the comparison instance: identical base sets in
+// the lower coordinate stripe plus diff Alice-only extras in the upper
+// stripe. With skewed set, every extra is rejection-sampled onto stratum
+// 0 of the protocols' strata estimator — half the key space, so the skew
+// is cheap to mine yet collapses the difference estimate toward zero
+// (everything above stratum 0 sees nothing, and stratum 0 itself is far
+// too loaded to decode).
+func ratelessWorkload(u robustset.Universe, n, diff int, skewed bool, seed uint64) (alice, bob []robustset.Point, err error) {
+	inst, err := workload.Generate(workload.Config{
+		N:        n,
+		Universe: points.Universe{Dim: u.Dim, Delta: u.Delta / 2},
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bob = inst.Bob
+	alice = robustset.ClonePoints(bob)
+
+	st, err := sketch.NewStrata(sketch.StrataConfig{
+		KeyLen: points.EncodedSize(u.Dim) + 4,
+		Seed:   hashutil.DeriveSeed(ratelessSeed, "exact/strata"),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	h := hashutil.NewHasher(hashutil.DeriveSeed(seed, "bench/rateless-extra"))
+	seen := make(map[string]bool, diff)
+	stripe := u.Delta - u.Delta/2
+	for i, attempt := 0, uint64(0); i < diff; attempt++ {
+		p := make(robustset.Point, u.Dim)
+		for k := 0; k < u.Dim; k++ {
+			p[k] = u.Delta/2 + int64(h.HashUint64(uint64(k)<<48|attempt)%uint64(stripe))
+		}
+		enc := points.EncodeNew(p)
+		if seen[string(enc)] {
+			continue
+		}
+		// Occurrence index 0: extras are distinct and disjoint from the
+		// base stripe, so this is the exact wire key both protocols hash.
+		key := occurrenceKeys([]robustset.Point{p}, u.Dim)[0]
+		if skewed && st.StratumOf(key) != 0 {
+			continue
+		}
+		seen[string(enc)] = true
+		alice = append(alice, p)
+		i++
+	}
+	return alice, bob, nil
+}
+
+// runRatelessCell measures one comparison: the rateless stream and the
+// doubling-retry path on the identical workload, both required to
+// converge exactly (the doubling path gets unlimited-in-practice retries,
+// so the comparison is bytes at equal decode success).
+func runRatelessCell(c ratelessCell) Result {
+	res := Result{
+		Strategy: robustset.Rateless{}.Name(), Mode: "rateless",
+		N: c.n, DiffRate: float64(c.diff) / float64(c.n),
+		Dim: 2, Delta: 1 << 20, Regime: "exact",
+		Estimate: "accurate",
+	}
+	if c.skewed {
+		res.Estimate = "undershoot"
+	}
+	u := robustset.Universe{Dim: res.Dim, Delta: res.Delta}
+	params := robustset.Params{Universe: u, Seed: ratelessSeed, DiffBudget: c.diff + 4}
+	alice, bob, err := ratelessWorkload(u, c.n, c.diff, c.skewed, uint64(c.n)*17+uint64(c.diff))
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rBytes, rNS, rOut, err := pipeExchange(robustset.Rateless{}, params, alice, bob)
+	if err != nil {
+		res.Err = "rateless: " + err.Error()
+		return res
+	}
+	dBytes, _, dOut, err := pipeExchange(robustset.ExactIBLT{MaxRetries: 24}, params, alice, bob)
+	if err != nil {
+		res.Err = "doubling: " + err.Error()
+		return res
+	}
+	if !robustset.EqualMultisets(rOut, alice) || !robustset.EqualMultisets(dOut, alice) {
+		res.Err = "paths did not converge to Alice's multiset"
+		return res
+	}
+	res.WireBytes, res.BaselineBytes = rBytes, dBytes
+	res.SyncNS = rNS
+	res.ResultSize = len(rOut)
+	return res
+}
+
+// runRatelessScenario executes the comparison matrix.
+func runRatelessScenario(quick bool, logf func(format string, args ...any)) []Result {
+	cells := ratelessMatrix(quick)
+	out := make([]Result, 0, len(cells))
+	for i, c := range cells {
+		r := runRatelessCell(c)
+		out = append(out, r)
+		if r.Err != "" {
+			logf("[rateless %d/%d] n=%-8d diff=%-6d %-10s ERROR: %s",
+				i+1, len(cells), r.N, c.diff, r.Estimate, r.Err)
+			continue
+		}
+		logf("[rateless %d/%d] n=%-8d diff=%-6d %-10s wire=%dB baseline=%dB (×%.2f)",
+			i+1, len(cells), r.N, c.diff, r.Estimate, r.WireBytes, r.BaselineBytes,
+			float64(r.WireBytes)/float64(r.BaselineBytes))
+	}
+	return out
+}
+
 // runMatrix executes every cell and assembles the report.
 func runMatrix(cells []cell, quick bool, logf func(format string, args ...any)) Report {
 	rep := Report{
@@ -515,7 +709,7 @@ func runMatrix(cells []cell, quick bool, logf func(format string, args ...any)) 
 }
 
 // checkReport validates a serialized report against the schema contract:
-// version match, all five strategies covered, and every non-skipped row
+// version match, all six strategies covered, and every non-skipped row
 // carrying real measurements. CI runs this as its drift gate.
 func checkReport(data []byte) error {
 	var rep Report
@@ -536,6 +730,7 @@ func checkReport(data []byte) error {
 		want[s.Name()] = false
 	}
 	clusterRows := 0
+	ratelessRows := map[string]int{}
 	for i, r := range rep.Results {
 		if _, known := want[r.Strategy]; !known {
 			return fmt.Errorf("bench: result %d names unknown strategy %q", i, r.Strategy)
@@ -561,6 +756,29 @@ func checkReport(data []byte) error {
 			}
 			clusterRows++
 		}
+		if r.Mode == "rateless" {
+			if r.Estimate != "accurate" && r.Estimate != "undershoot" {
+				return fmt.Errorf("bench: rateless result %d carries estimate regime %q", i, r.Estimate)
+			}
+			if r.BaselineBytes <= 0 {
+				return fmt.Errorf("bench: rateless result %d carries no doubling baseline", i)
+			}
+			// The robustness contract: streaming increments must beat the
+			// doubling-retry path decisively when the estimate collapses,
+			// and must never cost materially more when it is accurate.
+			ratio := float64(r.WireBytes) / float64(r.BaselineBytes)
+			switch r.Estimate {
+			case "undershoot":
+				if ratio > 0.6 {
+					return fmt.Errorf("bench: rateless result %d (n=%d): undershoot wire ratio %.2f exceeds 0.6", i, r.N, ratio)
+				}
+			case "accurate":
+				if ratio > 1.1 {
+					return fmt.Errorf("bench: rateless result %d (n=%d): accurate wire ratio %.2f exceeds 1.1", i, r.N, ratio)
+				}
+			}
+			ratelessRows[r.Estimate]++
+		}
 		want[r.Strategy] = true
 	}
 	for name, seen := range want {
@@ -570,6 +788,10 @@ func checkReport(data []byte) error {
 	}
 	if clusterRows == 0 {
 		return fmt.Errorf("bench: no successful cluster-convergence result")
+	}
+	if ratelessRows["accurate"] == 0 || ratelessRows["undershoot"] == 0 {
+		return fmt.Errorf("bench: rateless scenario incomplete: %d accurate / %d undershoot rows",
+			ratelessRows["accurate"], ratelessRows["undershoot"])
 	}
 	return nil
 }
@@ -599,6 +821,7 @@ func main() {
 	}
 	rep := runMatrix(matrix(*quick), *quick, logf)
 	rep.Results = append(rep.Results, runClusterScenario(*quick, logf)...)
+	rep.Results = append(rep.Results, runRatelessScenario(*quick, logf)...)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

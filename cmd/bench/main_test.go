@@ -14,7 +14,7 @@ func tinyMatrix() []cell {
 	for _, s := range robustset.Strategies() {
 		regime := "noisy"
 		switch s.(type) {
-		case robustset.ExactIBLT, robustset.CPI:
+		case robustset.ExactIBLT, robustset.Rateless, robustset.CPI:
 			regime = "exact"
 		}
 		cells = append(cells, cell{
@@ -31,14 +31,27 @@ func tinyClusterCell() clusterCell {
 	return clusterCell{strategy: robustset.ExactIBLT{}, n: 100, extra: 3, nodes: 2, shards: 2}
 }
 
+// tinyRatelessCells is a minimal rateless-vs-doubling pair for in-process
+// testing: the difference is large enough for the undershoot contract to
+// hold over the fixed estimator bytes.
+func tinyRatelessCells() []ratelessCell {
+	return []ratelessCell{
+		{n: 2_000, diff: 800, skewed: false},
+		{n: 2_000, diff: 800, skewed: true},
+	}
+}
+
 // TestRunMatrixAndCheck runs the harness end to end on a tiny matrix and
 // validates the produced report with the same checker CI uses.
 func TestRunMatrixAndCheck(t *testing.T) {
 	rep := runMatrix(tinyMatrix(), true, t.Logf)
-	if len(rep.Results) != 5 {
-		t.Fatalf("got %d results, want 5", len(rep.Results))
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
 	}
 	rep.Results = append(rep.Results, runClusterCell(tinyClusterCell()))
+	for _, c := range tinyRatelessCells() {
+		rep.Results = append(rep.Results, runRatelessCell(c))
+	}
 	for _, r := range rep.Results {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Strategy, r.Err)
@@ -99,6 +112,9 @@ func TestQuickMatrixCoversAllStrategies(t *testing.T) {
 func TestCheckReportRejectsDrift(t *testing.T) {
 	rep := runMatrix(tinyMatrix(), true, func(string, ...any) {})
 	rep.Results = append(rep.Results, runClusterCell(tinyClusterCell()))
+	for _, c := range tinyRatelessCells() {
+		rep.Results = append(rep.Results, runRatelessCell(c))
+	}
 	good, _ := json.Marshal(rep)
 
 	cases := []struct {
@@ -111,8 +127,18 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 		{"strategy", func(r *Report) { r.Results[0].Strategy = "bogus" }, "unknown strategy"},
 		{"missing", func(r *Report) { r.Results = r.Results[:1] }, "no successful result"},
 		{"nomeasure", func(r *Report) { r.Results[2].SyncNS = 0 }, "no measurements"},
-		{"nocluster", func(r *Report) { r.Results = r.Results[:5] }, "no successful cluster-convergence"},
-		{"norounds", func(r *Report) { r.Results[5].Rounds = 0 }, "no convergence measurements"},
+		{"nocluster", func(r *Report) { r.Results = append(r.Results[:6:6], r.Results[7:]...) }, "no successful cluster-convergence"},
+		{"norounds", func(r *Report) { r.Results[6].Rounds = 0 }, "no convergence measurements"},
+		{"norateless", func(r *Report) { r.Results = r.Results[:7] }, "rateless scenario incomplete"},
+		{"badestimate", func(r *Report) { r.Results[7].Estimate = "wild" }, "estimate regime"},
+		{"nobaseline", func(r *Report) { r.Results[7].BaselineBytes = 0 }, "no doubling baseline"},
+		{"contract", func(r *Report) {
+			for i := range r.Results {
+				if r.Results[i].Estimate == "undershoot" {
+					r.Results[i].WireBytes = r.Results[i].BaselineBytes
+				}
+			}
+		}, "undershoot wire ratio"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -130,5 +156,29 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 	}
 	if err := checkReport([]byte("{not json")); err == nil {
 		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestRunRatelessCell pins the comparison scenario's contract at test
+// scale: the skewed workload collapses the estimate and the rateless
+// stream must then decisively beat the doubling path; the honest workload
+// must stay within the 1.1× band.
+func TestRunRatelessCell(t *testing.T) {
+	for _, c := range tinyRatelessCells() {
+		r := runRatelessCell(c)
+		if r.Err != "" {
+			t.Fatalf("skewed=%v: %s", c.skewed, r.Err)
+		}
+		ratio := float64(r.WireBytes) / float64(r.BaselineBytes)
+		t.Logf("skewed=%v: rateless %d B vs doubling %d B (×%.2f)", c.skewed, r.WireBytes, r.BaselineBytes, ratio)
+		if c.skewed && ratio > 0.6 {
+			t.Errorf("undershoot ratio %.2f exceeds the 0.6 contract", ratio)
+		}
+		if !c.skewed && ratio > 1.1 {
+			t.Errorf("accurate ratio %.2f exceeds the 1.1 contract", ratio)
+		}
+		if want := c.n + c.diff; r.ResultSize != want {
+			t.Errorf("converged size %d, want %d", r.ResultSize, want)
+		}
 	}
 }

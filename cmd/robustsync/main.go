@@ -15,7 +15,7 @@
 // name without extension) on a multi-dataset sync server; it serves every
 // protocol variant concurrently and shuts down gracefully on SIGINT.
 // `pull` opens a session naming one dataset and a protocol
-// (-proto oneshot|adaptive|exact|cpi|naive) and adopts the server's
+// (-proto oneshot|adaptive|exact|rateless|cpi|naive) and adopts the server's
 // reconciliation parameters automatically.
 package main
 
@@ -86,12 +86,14 @@ func strategyFor(proto string) (robustset.Strategy, error) {
 		return robustset.Adaptive{}, nil
 	case "exact":
 		return robustset.ExactIBLT{}, nil
+	case "rateless":
+		return robustset.Rateless{}, nil
 	case "cpi":
 		return robustset.CPI{}, nil
 	case "naive":
 		return robustset.Naive{}, nil
 	default:
-		return nil, fmt.Errorf("unknown -proto %q (oneshot|adaptive|exact|cpi|naive)", proto)
+		return nil, fmt.Errorf("unknown -proto %q (oneshot|adaptive|exact|rateless|cpi|naive)", proto)
 	}
 }
 
@@ -166,7 +168,7 @@ func cmdLocal(args []string) error {
 	bobFile := fs.String("bob", "", "Bob's point file (required)")
 	k := fs.Int("k", 16, "difference budget")
 	seed := fs.Uint64("seed", 42, "shared protocol seed")
-	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|cpi|naive (default oneshot)")
+	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|rateless|cpi|naive (default oneshot)")
 	adaptive := fs.Bool("adaptive", false, "shorthand for -proto adaptive")
 	out := fs.String("out", "", "write Bob's reconciled set here")
 	fs.Parse(args)
@@ -310,7 +312,7 @@ func cmdPull(args []string) error {
 	data := fs.String("data", "", "local point file (required)")
 	connect := fs.String("connect", "", "server address (required)")
 	dataset := fs.String("dataset", "", "dataset name on the server (default: derived from -data)")
-	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|cpi|naive (default oneshot)")
+	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|rateless|cpi|naive (default oneshot)")
 	adaptive := fs.Bool("adaptive", false, "shorthand for -proto adaptive")
 	timeout := fs.Duration("timeout", time.Minute, "overall session deadline (0 = none)")
 	out := fs.String("out", "", "write the reconciled set here")

@@ -1,0 +1,426 @@
+// Rateless (extendable) IBLT: an IBLT whose cell array is a prefix of an
+// unbounded stream of coded cells, so a sender can keep emitting "the next
+// R cells" until the receiver's peeling succeeds — communication then
+// tracks the actual difference instead of an up-front estimate.
+//
+// The construction follows the rateless-coding view of set reconciliation
+// (Lázaro & Matuz's rate-compatible sketches; Yang et al.'s rateless
+// IBLTs): every key participates in coded cell 0 and then in an infinite
+// pseudorandom index sequence whose gaps grow geometrically, giving cell i
+// an expected per-key participation probability of Θ(1/i). A difference of
+// d keys therefore loads the cells around index d with Θ(1) keys — the
+// regime where peeling starts — and decodes after Θ(d) cells whatever d
+// turns out to be, with no parameter chosen in advance. All randomness
+// derives from the shared seed, exactly like Table: the stream is part of
+// the public-coins wire contract.
+package iblt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"robustset/internal/hashutil"
+)
+
+// ExtendConfig describes a rateless cell stream. Two parties can combine
+// streams only if their configs are identical.
+type ExtendConfig struct {
+	// KeyLen is the exact byte length of every key.
+	KeyLen int
+	// Seed keys the digest, checksum and index-sequence derivations.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c ExtendConfig) Validate() error {
+	if c.KeyLen < 1 {
+		return fmt.Errorf("iblt: rateless key length %d < 1", c.KeyLen)
+	}
+	return nil
+}
+
+// MaxStreamCells bounds the total number of cells a decoder will accept;
+// a peer streaming beyond it is treated as corrupt (a genuine difference
+// of this size would have decoded long before).
+const MaxStreamCells = 1 << 26
+
+// maxSeqIndex caps a key's cell-index sequence. Indices grow by a random
+// factor per step, so the cap only matters as an overflow guard — the
+// decoder never holds more than MaxStreamCells cells anyway.
+const maxSeqIndex = int64(1) << 40
+
+// codedSeq walks one key's participation indices: idx is the current
+// (participating) cell index, rng the sequence's PRNG state.
+type codedSeq struct {
+	idx int64
+	rng uint64
+}
+
+// newSeq starts a key's sequence: every key participates in cell 0, which
+// is what lets "all received cells are zero" certify a complete decode.
+func newSeq(h, salt uint64) codedSeq {
+	return codedSeq{idx: 0, rng: h ^ salt}
+}
+
+// next advances to the key's next participating index. With u uniform in
+// [0,1), the jump idx → idx + (idx+1.5)·(1/√(1−u) − 1) multiplies idx+1.5
+// by 1/√(1−u), so ln(idx) grows by E[−½·ln(1−u)] = ½ per step: a key hits
+// Θ(log M) of the first M cells and cell i is hit with probability Θ(1/i).
+func (s *codedSeq) next() {
+	s.rng = hashutil.SplitMix64(s.rng)
+	u := float64(s.rng>>11) / (1 << 53) // uniform [0,1)
+	grow := 1/math.Sqrt(1-u) - 1
+	nf := float64(s.idx) + (float64(s.idx)+1.5)*grow
+	switch {
+	case nf < float64(s.idx+1):
+		s.idx++
+	case nf >= float64(maxSeqIndex):
+		s.idx = maxSeqIndex
+	default:
+		s.idx = int64(nf)
+	}
+}
+
+// CellBlock is a contiguous range of coded cells [Start, Start+Len()) in
+// the canonical cell layout (count, key sum, checksum — the same cell
+// shape as Table's wire format).
+type CellBlock struct {
+	Start   int
+	KeyLen  int
+	Counts  []int64
+	KeySums []byte // Len() × KeyLen, flat
+	Checks  []uint64
+}
+
+// Len returns the number of cells in the block.
+func (b *CellBlock) Len() int { return len(b.Counts) }
+
+func newCellBlock(start, n, keyLen int) *CellBlock {
+	return &CellBlock{
+		Start:   start,
+		KeyLen:  keyLen,
+		Counts:  make([]int64, n),
+		KeySums: make([]byte, n*keyLen),
+		Checks:  make([]uint64, n),
+	}
+}
+
+// apply folds one key occurrence into cell i of the block.
+func (b *CellBlock) apply(i int, key []byte, chk uint64, sign int64) {
+	b.Counts[i] += sign
+	xorInto(b.KeySums[i*b.KeyLen:(i+1)*b.KeyLen], key)
+	b.Checks[i] ^= chk
+}
+
+const (
+	// blockMagic identifies the cell-block wire format. It is versioned
+	// independently of the table magic ("IBL2"): the cell layout matches,
+	// but the index-sequence derivation is part of this format.
+	blockMagic      = "IBX1"
+	blockHeaderSize = 4 + 4 + 4 + 2 // magic, start u32, count u32, keyLen u16
+)
+
+// BlockWireSize returns the marshalled size of a block of n cells with the
+// given key length, without constructing one.
+func BlockWireSize(n, keyLen int) int {
+	return blockHeaderSize + n*(CellOverheadBytes+keyLen)
+}
+
+// MarshalBinary encodes the block:
+//
+//	"IBX1" | start u32 | count u32 | keyLen u16 |
+//	count × ( count i32 | keySum keyLen bytes | checksum u64 )
+func (b *CellBlock) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, BlockWireSize(b.Len(), b.KeyLen))
+	out = append(out, blockMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.Start))
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.Len()))
+	out = binary.LittleEndian.AppendUint16(out, uint16(b.KeyLen))
+	for i := 0; i < b.Len(); i++ {
+		if b.Counts[i] > math.MaxInt32 || b.Counts[i] < math.MinInt32 {
+			return nil, fmt.Errorf("iblt: block cell %d count %d overflows wire format", i, b.Counts[i])
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(b.Counts[i])))
+		out = append(out, b.KeySums[i*b.KeyLen:(i+1)*b.KeyLen]...)
+		out = binary.LittleEndian.AppendUint64(out, b.Checks[i])
+	}
+	return out, nil
+}
+
+// UnmarshalBinary parses MarshalBinary output. The declared cell count is
+// validated against the buffer length before any allocation, so a hostile
+// header cannot drive an oversized allocation.
+func (b *CellBlock) UnmarshalBinary(data []byte) error {
+	if len(data) < blockHeaderSize || string(data[:4]) != blockMagic {
+		return errors.New("iblt: block unmarshal: bad magic or short header")
+	}
+	start := int(binary.LittleEndian.Uint32(data[4:]))
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	keyLen := int(binary.LittleEndian.Uint16(data[12:]))
+	if keyLen < 1 {
+		return errors.New("iblt: block unmarshal: key length < 1")
+	}
+	if start > MaxStreamCells || n > MaxStreamCells {
+		return fmt.Errorf("iblt: block unmarshal: start %d / count %d beyond stream bound", start, n)
+	}
+	want := uint64(blockHeaderSize) + uint64(n)*uint64(CellOverheadBytes+keyLen)
+	if uint64(len(data)) != want {
+		return fmt.Errorf("iblt: block unmarshal: have %d bytes, want %d", len(data), want)
+	}
+	nb := newCellBlock(start, n, keyLen)
+	off := blockHeaderSize
+	for i := 0; i < n; i++ {
+		nb.Counts[i] = int64(int32(binary.LittleEndian.Uint32(data[off:])))
+		off += 4
+		copy(nb.KeySums[i*keyLen:(i+1)*keyLen], data[off:off+keyLen])
+		off += keyLen
+		nb.Checks[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	*b = *nb
+	return nil
+}
+
+// streamKey is one key's per-stream state in a CellStream.
+type streamKey struct {
+	key []byte
+	chk uint64
+	seq codedSeq
+}
+
+// CellStream enumerates the rateless coded cells of a fixed key set, in
+// order, without ever rebuilding earlier cells: Emit(n) returns the next n
+// cells and advances the frontier. The serving side of the rateless
+// protocol holds one CellStream per session and answers each "more cells"
+// request with an Emit.
+//
+// Keys must be distinct (multiset semantics via occurrence-indexed keys,
+// as with Table). A CellStream is not safe for concurrent use.
+type CellStream struct {
+	cfg       ExtendConfig
+	hasher    hashutil.Hasher
+	checkSalt uint64
+	seqSalt   uint64
+	keys      []streamKey
+	frontier  int
+}
+
+// streamDerivations returns the shared hash derivations of a stream and
+// its decoder; both sides must agree bit-for-bit.
+func streamDerivations(cfg ExtendConfig) (h hashutil.Hasher, checkSalt, seqSalt uint64) {
+	return hashutil.NewHasher(hashutil.DeriveSeed(cfg.Seed, "iblt/rateless/key")),
+		hashutil.DeriveSeed(cfg.Seed, "iblt/rateless/check"),
+		hashutil.DeriveSeed(cfg.Seed, "iblt/rateless/seq")
+}
+
+// NewCellStream builds a stream over the given keys (copied).
+func NewCellStream(cfg ExtendConfig, keys [][]byte) (*CellStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &CellStream{cfg: cfg, keys: make([]streamKey, 0, len(keys))}
+	s.hasher, s.checkSalt, s.seqSalt = streamDerivations(cfg)
+	for _, k := range keys {
+		if len(k) != cfg.KeyLen {
+			return nil, fmt.Errorf("iblt: stream key length %d != configured %d", len(k), cfg.KeyLen)
+		}
+		h := s.hasher.Hash(k)
+		s.keys = append(s.keys, streamKey{
+			key: append([]byte(nil), k...),
+			chk: hashutil.SplitMix64(h ^ s.checkSalt),
+			seq: newSeq(h, s.seqSalt),
+		})
+	}
+	return s, nil
+}
+
+// Frontier returns the number of cells emitted so far.
+func (s *CellStream) Frontier() int { return s.frontier }
+
+// Emit returns cells [Frontier, Frontier+n) and advances the frontier.
+// Each key's index sequence is walked exactly once across all Emit calls,
+// so the amortized cost of streaming M cells is O(keys · log M) sequence
+// steps plus the participations themselves.
+func (s *CellStream) Emit(n int) *CellBlock {
+	if n < 0 {
+		n = 0
+	}
+	b := newCellBlock(s.frontier, n, s.cfg.KeyLen)
+	hi := int64(s.frontier + n)
+	for i := range s.keys {
+		k := &s.keys[i]
+		for k.seq.idx < hi {
+			b.apply(int(k.seq.idx)-s.frontier, k.key, k.chk, +1)
+			k.seq.next()
+		}
+	}
+	s.frontier += n
+	return b
+}
+
+// recKey is one recovered difference key inside a CellDecoder, with its
+// sequence parked at the first index ≥ the decoder frontier so future
+// blocks can cancel its contributions without replaying the past.
+type recKey struct {
+	key  []byte
+	chk  uint64
+	sign int64
+	seq  codedSeq
+}
+
+// CellDecoder accumulates a peer's coded cells, subtracts the local key
+// set's cells for the same index range, and peels the symmetric
+// difference incrementally: work done on earlier blocks — peeled keys and
+// partially drained cells — carries over when the next block arrives.
+//
+// Usage: NewCellDecoder with the local keys, AddBlock for every received
+// block (blocks must arrive in order, each starting at Frontier()), then
+// Decoded to test for completion.
+type CellDecoder struct {
+	cfg       ExtendConfig
+	hasher    hashutil.Hasher
+	checkSalt uint64
+	seqSalt   uint64
+	local     *CellStream
+	counts    []int64
+	keySums   []byte
+	checks    []uint64
+	recovered []recKey
+}
+
+// NewCellDecoder builds a decoder subtracting the local keys (copied).
+func NewCellDecoder(cfg ExtendConfig, localKeys [][]byte) (*CellDecoder, error) {
+	local, err := NewCellStream(cfg, localKeys)
+	if err != nil {
+		return nil, err
+	}
+	d := &CellDecoder{cfg: cfg, local: local}
+	d.hasher, d.checkSalt, d.seqSalt = streamDerivations(cfg)
+	return d, nil
+}
+
+// Frontier returns the number of cells received so far.
+func (d *CellDecoder) Frontier() int { return len(d.counts) }
+
+// Recovered returns the number of difference keys peeled so far.
+func (d *CellDecoder) Recovered() int { return len(d.recovered) }
+
+// AddBlock folds the peer's next cell block into the decoder and peels as
+// far as possible. Blocks must be contiguous and in order.
+func (d *CellDecoder) AddBlock(b *CellBlock) error {
+	if b.KeyLen != d.cfg.KeyLen {
+		return fmt.Errorf("iblt: block key length %d != decoder key length %d", b.KeyLen, d.cfg.KeyLen)
+	}
+	if b.Start != d.Frontier() {
+		return fmt.Errorf("iblt: block starts at cell %d, decoder frontier is %d", b.Start, d.Frontier())
+	}
+	n := b.Len()
+	if d.Frontier()+n > MaxStreamCells {
+		return fmt.Errorf("iblt: cell stream beyond %d cells", MaxStreamCells)
+	}
+	lo := d.Frontier()
+	kl := d.cfg.KeyLen
+	d.counts = append(d.counts, b.Counts...)
+	d.keySums = append(d.keySums, b.KeySums...)
+	d.checks = append(d.checks, b.Checks...)
+	// Subtract the local keys' cells for the same range: the residual
+	// sketches the symmetric difference (+1 peer-only, −1 local-only).
+	lb := d.local.Emit(n)
+	for i := 0; i < n; i++ {
+		d.counts[lo+i] -= lb.Counts[i]
+		d.checks[lo+i] ^= lb.Checks[i]
+	}
+	xorInto(d.keySums[lo*kl:], lb.KeySums)
+	// Cancel already-recovered keys out of the new range, continuing each
+	// parked sequence — this is the work reuse that makes increments cheap.
+	hi := int64(lo + n)
+	for i := range d.recovered {
+		r := &d.recovered[i]
+		for r.seq.idx < hi {
+			j := int(r.seq.idx)
+			d.counts[j] -= r.sign
+			xorInto(d.keySums[j*kl:(j+1)*kl], r.key)
+			d.checks[j] ^= r.chk
+			r.seq.next()
+		}
+	}
+	d.peel()
+	return nil
+}
+
+// peel drains every currently pure cell, bounded so corrupt inputs cannot
+// loop: each peel removes one key from the residual, and a valid residual
+// holds at most one key per participation of the densest prefix.
+func (d *CellDecoder) peel() {
+	m := len(d.counts)
+	kl := d.cfg.KeyLen
+	queue := make([]int, m)
+	for i := range queue {
+		queue[i] = i
+	}
+	maxPeels := 4*m + 64
+	peels := 0
+	for len(queue) > 0 {
+		idx := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		c := d.counts[idx]
+		if c != 1 && c != -1 {
+			continue
+		}
+		row := d.keySums[idx*kl : (idx+1)*kl]
+		h := d.hasher.Hash(row)
+		chk := hashutil.SplitMix64(h ^ d.checkSalt)
+		if chk != d.checks[idx] {
+			continue // several keys happening to sum to ±1
+		}
+		if peels++; peels > maxPeels {
+			return // corrupt stream; let the caller's budget decide
+		}
+		key := append([]byte(nil), row...)
+		seq := newSeq(h, d.seqSalt)
+		for seq.idx < int64(m) {
+			j := int(seq.idx)
+			d.counts[j] -= c
+			xorInto(d.keySums[j*kl:(j+1)*kl], key)
+			d.checks[j] ^= chk
+			if j != idx && (d.counts[j] == 1 || d.counts[j] == -1) {
+				queue = append(queue, j)
+			}
+			seq.next()
+		}
+		d.recovered = append(d.recovered, recKey{key: key, chk: chk, sign: c, seq: seq})
+	}
+}
+
+// Decoded reports whether the difference has been fully recovered — every
+// received cell has drained to zero — and if so returns it: Pos holds
+// peer-only keys, Neg local-only keys. Every key participates in cell 0,
+// so a key the decoder has not accounted for would leave cell 0 nonzero;
+// the residual zeroing is the same completeness certificate Table.Decode
+// relies on. At least one cell must have been received.
+func (d *CellDecoder) Decoded() (*Diff, bool) {
+	if len(d.counts) == 0 {
+		return nil, false
+	}
+	for i, c := range d.counts {
+		if c != 0 || d.checks[i] != 0 {
+			return nil, false
+		}
+	}
+	for _, b := range d.keySums {
+		if b != 0 {
+			return nil, false
+		}
+	}
+	diff := &Diff{}
+	for _, r := range d.recovered {
+		if r.sign == 1 {
+			diff.Pos = append(diff.Pos, r.key)
+		} else {
+			diff.Neg = append(diff.Neg, r.key)
+		}
+	}
+	return diff, true
+}

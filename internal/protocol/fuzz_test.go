@@ -3,6 +3,8 @@ package protocol
 import (
 	"bytes"
 	"testing"
+
+	"robustset/internal/iblt"
 )
 
 // FuzzParseHello feeds arbitrary bytes through the server-session
@@ -50,6 +52,64 @@ func FuzzParseHello(f *testing.F) {
 		}
 		if h2.Strategy != h.Strategy || h2.Dataset != h.Dataset || !bytes.Equal(h2.Config, h.Config) {
 			t.Fatalf("hello roundtrip diverged: %+v vs %+v", h, h2)
+		}
+	})
+}
+
+// FuzzParseCells feeds arbitrary bytes through the rateless cell-block
+// parser, which fronts every MsgCells frame the fetching side accepts: it
+// must never panic, never allocate from an unvalidated header, and
+// parse⇄encode must roundtrip bit-for-bit for every accepted input.
+func FuzzParseCells(f *testing.F) {
+	// Seed corpus: real blocks of several shapes, plus truncations.
+	for _, shape := range []struct {
+		keys, skip, n int
+		keyLen        int
+	}{
+		{0, 0, 1, 8},
+		{5, 0, 16, 12},
+		{40, 32, 64, 20},
+	} {
+		cfg := iblt.ExtendConfig{KeyLen: shape.keyLen, Seed: 9}
+		keys := make([][]byte, shape.keys)
+		for i := range keys {
+			k := make([]byte, shape.keyLen)
+			for j := range k {
+				k[j] = byte(i*31 + j)
+			}
+			keys[i] = k
+		}
+		s, err := iblt.NewCellStream(cfg, keys)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Emit(shape.skip)
+		blob, err := s.Emit(shape.n).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("IBX1"))
+	f.Add([]byte("IBX1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := parseCells(data)
+		if err != nil {
+			return
+		}
+		if b.Len()*b.KeyLen != len(b.KeySums) {
+			t.Fatalf("parser accepted inconsistent block: %d cells × %d keyLen vs %d sum bytes",
+				b.Len(), b.KeyLen, len(b.KeySums))
+		}
+		re, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of parsed block failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("block parse⇄encode not canonical: %d vs %d bytes", len(re), len(data))
 		}
 	})
 }

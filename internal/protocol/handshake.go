@@ -33,6 +33,18 @@ const (
 	StrategyNaive     byte = 5
 )
 
+// Feature bits. A client advertises optional protocol features in byte 1
+// of the ExactIBLT-family hello config (byte 0 remains the hash count);
+// a server that honors a feature echoes the bit in a trailing byte of the
+// accept. Legacy endpoints ignore the extra config byte and send a bare
+// accept, so each side downgrades the other cleanly: a legacy server
+// gets a doubling-path client, a legacy client never sees a feature byte.
+const (
+	// FeatureRateless negotiates the rateless cell-stream protocol
+	// (MsgCellsRequest/MsgCells) in place of the doubling retry path.
+	FeatureRateless byte = 1 << 0
+)
+
 // MaxDatasetName bounds the dataset-name length a server will parse.
 const MaxDatasetName = 255
 
@@ -96,22 +108,35 @@ func parseHello(body []byte) (Hello, error) {
 // A MsgError reply (unknown dataset, unsupported strategy) surfaces as a
 // *RemoteError.
 func RunHelloClient(ctx context.Context, t transport.Transport, h Hello) (core.Params, error) {
+	p, _, err := RunHelloClientExt(ctx, t, h)
+	return p, err
+}
+
+// RunHelloClientExt is RunHelloClient returning, in addition, the feature
+// bits the server echoed in the accept — zero from a legacy server, which
+// is exactly the signal a feature-requesting client uses to downgrade.
+func RunHelloClientExt(ctx context.Context, t transport.Transport, h Hello) (core.Params, byte, error) {
 	body, err := h.encode()
 	if err != nil {
-		return core.Params{}, err
+		return core.Params{}, 0, err
 	}
 	if err := send(ctx, t, MsgHello, body); err != nil {
-		return core.Params{}, err
+		return core.Params{}, 0, err
 	}
 	ab, err := recvExpect(ctx, t, MsgAccept)
 	if err != nil {
-		return core.Params{}, err
+		return core.Params{}, 0, err
+	}
+	var features byte
+	if len(ab) == core.ParamsWireSize+1 {
+		features = ab[len(ab)-1]
+		ab = ab[:len(ab)-1]
 	}
 	var p core.Params
 	if err := p.UnmarshalBinary(ab); err != nil {
-		return core.Params{}, err
+		return core.Params{}, 0, err
 	}
-	return p, nil
+	return p, features, nil
 }
 
 // RecvHello reads and parses the opening hello of a server session.
@@ -125,9 +150,19 @@ func RecvHello(ctx context.Context, t transport.Transport) (Hello, error) {
 
 // SendAccept acknowledges a hello with the dataset's parameters.
 func SendAccept(ctx context.Context, t transport.Transport, p core.Params) error {
+	return SendAcceptFeatures(ctx, t, p, 0)
+}
+
+// SendAcceptFeatures acknowledges a hello, echoing the feature bits the
+// server honors. features == 0 produces the legacy bare accept, byte for
+// byte — old clients never observe the extension.
+func SendAcceptFeatures(ctx context.Context, t transport.Transport, p core.Params, features byte) error {
 	blob, err := p.MarshalBinary()
 	if err != nil {
 		return sendErr(ctx, t, err)
+	}
+	if features != 0 {
+		blob = append(blob, features)
 	}
 	return send(ctx, t, MsgAccept, blob)
 }

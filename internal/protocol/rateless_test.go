@@ -1,0 +1,262 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"robustset/internal/core"
+	"robustset/internal/points"
+	"robustset/internal/transport"
+)
+
+func TestRatelessHappyPath(t *testing.T) {
+	inst, err := exactInstanceForProtocol(t, 300, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RatelessConfig{Universe: testU, Seed: 7}
+	runPair(t,
+		func(tr transport.Transport) error { return RunRatelessAlice(bg, tr, cfg, inst.alice) },
+		func(tr transport.Transport) error {
+			got, err := RunRatelessBob(bg, tr, cfg, inst.bob)
+			if err != nil {
+				return err
+			}
+			if !points.EqualMultisets(got, inst.alice) {
+				t.Error("rateless sync did not converge to S_A")
+			}
+			return nil
+		})
+}
+
+func TestRatelessNoDifference(t *testing.T) {
+	inst, err := exactInstanceForProtocol(t, 150, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RatelessConfig{Universe: testU, Seed: 13}
+	runPair(t,
+		func(tr transport.Transport) error { return RunRatelessAlice(bg, tr, cfg, inst.alice) },
+		func(tr transport.Transport) error {
+			got, err := RunRatelessBob(bg, tr, cfg, inst.bob)
+			if err != nil {
+				return err
+			}
+			if !points.EqualMultisets(got, inst.alice) {
+				t.Error("identical sets changed under rateless sync")
+			}
+			return nil
+		})
+}
+
+// TestRatelessDuplicateMultiset: occurrence-indexed keys give the rateless
+// path the same multiset semantics as the exact path.
+func TestRatelessDuplicateMultiset(t *testing.T) {
+	base := points.Point{17, 23}
+	var bob []points.Point
+	for i := 0; i < 3; i++ {
+		bob = append(bob, base.Clone())
+	}
+	alice := points.Clone(bob)
+	alice = append(alice, base.Clone(), base.Clone()) // two extra occurrences
+
+	cfg := RatelessConfig{Universe: testU, Seed: 21}
+	runPair(t,
+		func(tr transport.Transport) error { return RunRatelessAlice(bg, tr, cfg, alice) },
+		func(tr transport.Transport) error {
+			got, err := RunRatelessBob(bg, tr, cfg, bob)
+			if err != nil {
+				return err
+			}
+			if !points.EqualMultisets(got, alice) {
+				t.Errorf("got %d points, want %d identical copies", len(got), len(alice))
+			}
+			return nil
+		})
+}
+
+// TestRatelessUndershootCheaperThanDoubling is the protocol-level version
+// of the tentpole claim: when the capacity seeding is forced far below the
+// true difference, the rateless stream pays incremental cells while the
+// doubling path pays whole rebuilt tables — strictly more bytes.
+func TestRatelessUndershootCheaperThanDoubling(t *testing.T) {
+	inst, err := exactInstanceForProtocol(t, 2000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(alice func(transport.Transport) error, bob func(transport.Transport) error) int64 {
+		at, bt := transport.Pair()
+		defer at.Close()
+		defer bt.Close()
+		done := make(chan error, 1)
+		go func() { done <- alice(at) }()
+		if err := bob(bt); err != nil {
+			t.Fatalf("bob: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("alice: %v", err)
+		}
+		return bt.Stats().Total()
+	}
+
+	// Both capacity seeds forced to ~1/20 of the true difference.
+	rcfg := RatelessConfig{Universe: testU, Seed: 7, InitialFactor: 0.05}
+	ratelessBytes := run(
+		func(tr transport.Transport) error { return RunRatelessAlice(bg, tr, rcfg, inst.alice) },
+		func(tr transport.Transport) error {
+			got, err := RunRatelessBob(bg, tr, rcfg, inst.bob)
+			if err != nil {
+				return err
+			}
+			if !points.EqualMultisets(got, inst.alice) {
+				t.Error("rateless result diverged")
+			}
+			return nil
+		})
+
+	ecfg := ExactConfig{Universe: testU, Seed: 7, Slack: 0.05, MaxRetries: 16}
+	doublingBytes := run(
+		func(tr transport.Transport) error { return RunExactIBLTAlice(bg, tr, ecfg, inst.alice) },
+		func(tr transport.Transport) error {
+			got, err := RunExactIBLTBob(bg, tr, ecfg, inst.bob)
+			if err != nil {
+				return err
+			}
+			if !points.EqualMultisets(got, inst.alice) {
+				t.Error("doubling result diverged")
+			}
+			return nil
+		})
+
+	t.Logf("undershoot ×20: rateless %d B, doubling %d B (ratio %.2f)",
+		ratelessBytes, doublingBytes, float64(ratelessBytes)/float64(doublingBytes))
+	if ratelessBytes >= doublingBytes {
+		t.Errorf("rateless (%d B) not cheaper than doubling retries (%d B) under undershoot",
+			ratelessBytes, doublingBytes)
+	}
+}
+
+// TestRatelessBudgetTrips: a budget too small for the difference must
+// surface the typed ErrRatelessBudget instead of streaming forever.
+func TestRatelessBudgetTrips(t *testing.T) {
+	inst, err := exactInstanceForProtocol(t, 500, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RatelessConfig{Universe: testU, Seed: 3, MaxBytes: 2048}
+	at, bt := transport.Pair()
+	defer at.Close()
+	defer bt.Close()
+	done := make(chan error, 1)
+	go func() { done <- RunRatelessAlice(bg, at, cfg, inst.alice) }()
+	_, berr := RunRatelessBob(bg, bt, cfg, inst.bob)
+	if !errors.Is(berr, ErrRatelessBudget) {
+		t.Fatalf("want ErrRatelessBudget, got %v", berr)
+	}
+	if aerr := <-done; aerr != nil {
+		t.Fatalf("alice should see a clean MsgDone after the give-up, got %v", aerr)
+	}
+}
+
+// TestRatelessAliceServesDoublingFallback: the rateless serving loop must
+// answer classic MsgIBLTRequest traffic, so a peer that negotiated down
+// mid-handshake still syncs (the estimator halves are wire-identical).
+func TestRatelessAliceServesDoublingFallback(t *testing.T) {
+	inst, err := exactInstanceForProtocol(t, 300, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := RatelessConfig{Universe: testU, Seed: 17}
+	ecfg := ExactConfig{Universe: testU, Seed: 17}
+	runPair(t,
+		func(tr transport.Transport) error { return RunRatelessAlice(bg, tr, rcfg, inst.alice) },
+		func(tr transport.Transport) error {
+			got, err := RunExactIBLTBob(bg, tr, ecfg, inst.bob)
+			if err != nil {
+				return err
+			}
+			if !points.EqualMultisets(got, inst.alice) {
+				t.Error("doubling fallback against rateless server diverged")
+			}
+			return nil
+		})
+}
+
+// TestRatelessAliceRejectsMalformedRequests drives the serving loop with
+// corrupt MORE frames.
+func TestRatelessAliceRejectsMalformedRequests(t *testing.T) {
+	inst, err := exactInstanceForProtocol(t, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RatelessConfig{Universe: testU, Seed: 1}
+	alice := func(tr transport.Transport) error { return RunRatelessAlice(bg, tr, cfg, inst.alice) }
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"short body", []byte{1, 0}},
+		{"zero cells", binary.LittleEndian.AppendUint32(nil, 0)},
+		{"oversized chunk", binary.LittleEndian.AppendUint32(nil, maxChunkCells+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := driveAlice(t, alice, func(tr transport.Transport) {
+				_ = tr.Send(bg, append([]byte{MsgCellsRequest}, tc.body...))
+				_, _ = tr.Recv(bg) // the MsgError reply
+			})
+			if err == nil {
+				t.Fatal("malformed cells request accepted")
+			}
+		})
+	}
+}
+
+// TestAcceptFeatureNegotiation checks both directions of the accept
+// extension: a featured accept surfaces the bits, a bare accept reads as
+// zero (the legacy-server signal).
+func TestAcceptFeatureNegotiation(t *testing.T) {
+	params := core.Params{Universe: testU, Seed: 3, DiffBudget: 4}
+	hello := Hello{Strategy: StrategyExactIBLT, Dataset: "d", Config: []byte{4, FeatureRateless}}
+
+	for _, tc := range []struct {
+		name  string
+		feats byte
+	}{
+		{"featured accept", FeatureRateless},
+		{"legacy bare accept", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			at, bt := transport.Pair()
+			defer at.Close()
+			defer bt.Close()
+			done := make(chan error, 1)
+			go func() {
+				h, err := RecvHello(bg, at)
+				if err != nil {
+					done <- err
+					return
+				}
+				if h.Strategy != StrategyExactIBLT || len(h.Config) != 2 || h.Config[1] != FeatureRateless {
+					t.Errorf("server parsed hello %+v", h)
+				}
+				done <- SendAcceptFeatures(bg, at, params, tc.feats)
+			}()
+			p, feats, err := RunHelloClientExt(bg, bt, hello)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if feats != tc.feats {
+				t.Errorf("client saw features %#x, want %#x", feats, tc.feats)
+			}
+			if p.Universe != params.Universe {
+				t.Errorf("params diverged through the accept: %+v", p)
+			}
+		})
+	}
+}

@@ -311,7 +311,7 @@ func TestStrataDistribution(t *testing.T) {
 	const n = 1 << 14
 	counts := make([]int, s.strata)
 	for _, k := range randKeys(rng, n) {
-		counts[s.stratumOf(k)]++
+		counts[s.StratumOf(k)]++
 	}
 	for i := 0; i < 4; i++ {
 		want := float64(n) / float64(uint64(2)<<uint(i))

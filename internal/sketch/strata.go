@@ -79,9 +79,12 @@ func NewStrata(cfg StrataConfig) (*Strata, error) {
 	return s, nil
 }
 
-// stratumOf maps a key to its stratum: the number of leading zero bits of
-// its sampling hash, clamped into [0, strata).
-func (s *Strata) stratumOf(key []byte) int {
+// StratumOf maps a key to its stratum: the number of leading zero bits of
+// its sampling hash, clamped into [0, strata). It is exported for
+// workload construction and tests — a difference skewed into stratum 0
+// (half the key space) is invisible above it and drives the estimate
+// toward zero, the adversarial regime for estimate-then-size protocols.
+func (s *Strata) StratumOf(key []byte) int {
 	h := s.sampleFn.Hash(key)
 	lz := 0
 	for lz < s.strata-1 && h&(1<<63) == 0 {
@@ -93,7 +96,7 @@ func (s *Strata) stratumOf(key []byte) int {
 
 // Add inserts a key into its stratum.
 func (s *Strata) Add(key []byte) {
-	s.tables[s.stratumOf(key)].Insert(key)
+	s.tables[s.StratumOf(key)].Insert(key)
 }
 
 // EstimateDiff estimates |A Δ B| from two compatible strata estimators.

@@ -33,10 +33,13 @@
 //
 // For connection-oriented use, build a Session: a Strategy value picks
 // the wire protocol — Robust (one-shot), Adaptive (estimate-first,
-// multi-round), or the classic exact schemes the paper benchmarks
-// against, ExactIBLT (difference digest), CPI (characteristic-polynomial
-// sync) and Naive (full transfer) — and Session.Serve / Session.Fetch run
-// it over any net.Conn with context cancellation and deadlines:
+// multi-round), the classic exact schemes the paper benchmarks against,
+// ExactIBLT (difference digest), CPI (characteristic-polynomial sync)
+// and Naive (full transfer), or Rateless (extendable-IBLT cell
+// streaming: exact sync whose wire cost tracks the actual difference
+// even when the difference estimate is wrong) — and Session.Serve /
+// Session.Fetch run it over any net.Conn with context cancellation and
+// deadlines:
 //
 //	sess, _ := robustset.NewSession(robustset.Robust{}, robustset.WithParams(params))
 //	res, stats, err := sess.Fetch(ctx, conn, bobPoints)
@@ -78,7 +81,7 @@
 // 3× faster than the naive build, and scales further with cores.
 // Reconciliation inherits the same machinery for Bob's local build.
 //
-// cmd/bench runs a fixed workload matrix over all five strategies and
+// cmd/bench runs a fixed workload matrix over all six strategies and
 // writes BENCH_core.json — the repository's recorded performance
 // trajectory; see DESIGN.md for the harness and the hot-path
 // architecture.

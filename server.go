@@ -612,7 +612,14 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	params := d.Params()
-	if err := protocol.SendAccept(ctx, t, params); err != nil {
+	// Echo the features the negotiated strategy honors, so the client
+	// knows the rateless cell stream (rather than the doubling fallback)
+	// will be spoken on this session.
+	var feats byte
+	if _, ok := strat.(Rateless); ok {
+		feats = protocol.FeatureRateless
+	}
+	if err := protocol.SendAcceptFeatures(ctx, t, params, feats); err != nil {
 		s.logf("robustset: server: %v: accept: %v", conn.RemoteAddr(), err)
 		return
 	}

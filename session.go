@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 
 	"robustset/internal/emd"
@@ -12,9 +13,9 @@ import (
 	"robustset/internal/transport"
 )
 
-// Strategy selects which reconciliation protocol a Session runs. The
-// five implementations — Robust, Adaptive, ExactIBLT, CPI and Naive —
-// wrap the module's wire protocols behind one interface, so serving and
+// Strategy selects which reconciliation protocol a Session runs. The six
+// implementations — Robust, Adaptive, ExactIBLT, Rateless, CPI and Naive
+// — wrap the module's wire protocols behind one interface, so serving and
 // fetching code is written once and the protocol is a configuration
 // choice. The interface is closed (its lower-case methods cannot be
 // implemented outside this package) because both endpoints must agree on
@@ -61,8 +62,8 @@ type SyncResult struct {
 	// is close to the remote set in Earth Mover's Distance.
 	SPrime []Point
 	// Robust carries the robust protocol's detailed result (chosen level,
-	// added/removed points, per-level outcomes); nil for ExactIBLT, CPI
-	// and Naive.
+	// added/removed points, per-level outcomes); nil for ExactIBLT,
+	// Rateless, CPI and Naive.
 	Robust *Result
 	// Params are the parameters the exchange actually ran under. When
 	// fetching a named dataset these are the server's (adopted through
@@ -205,6 +206,84 @@ func (e ExactIBLT) fetch(ctx context.Context, t transport.Transport, p Params, l
 	return &SyncResult{SPrime: sp}, nil
 }
 
+// Rateless is rateless incremental exact synchronization: after the same
+// strata-estimator opening as ExactIBLT, the fetching side streams
+// fixed-increment ranges of extendable-IBLT cells until its decoder
+// certifies completion. Where ExactIBLT answers a mis-estimated
+// difference by discarding the table and retrying with a doubled one,
+// Rateless pays only the incremental cells it was short — wire cost
+// tracks the actual difference, not the estimate.
+//
+// Against a Server (WithDataset) the strategy advertises itself as a
+// feature bit on the ExactIBLT handshake; a legacy server that does not
+// echo the bit is served with the classic doubling path automatically.
+// Peer-to-peer (WithParams), both endpoints must run Rateless.
+type Rateless struct {
+	// HashCount is the IBLT q of the doubling-path fallback; both
+	// endpoints must agree (a server session adopts it from the hello).
+	// 0 means 4.
+	HashCount int
+	// InitialFactor scales the strata estimate into the first requested
+	// cell increment (fetch side only; 0 means 1.4, the stream's
+	// empirical decode overhead).
+	InitialFactor float64
+	// MaxBytes caps the total streamed cell bytes before the fetching
+	// side gives up (fetch side only; 0 means 64 MiB).
+	MaxBytes int64
+}
+
+// Name implements Strategy.
+func (Rateless) Name() string { return "rateless" }
+
+func (r Rateless) validate() error {
+	if r.HashCount != 0 && (r.HashCount < 2 || r.HashCount > 16) {
+		return fmt.Errorf("robustset: rateless hash count %d outside [2,16]", r.HashCount)
+	}
+	if r.InitialFactor < 0 || math.IsNaN(r.InitialFactor) || math.IsInf(r.InitialFactor, 0) {
+		return fmt.Errorf("robustset: rateless initial factor %v not a finite non-negative number", r.InitialFactor)
+	}
+	if r.MaxBytes < 0 {
+		return fmt.Errorf("robustset: rateless max bytes %d negative", r.MaxBytes)
+	}
+	return nil
+}
+
+// code shares ExactIBLT's wire code: the rateless capability rides the
+// hello as a feature bit, which is what lets legacy peers fall back.
+func (r Rateless) code() byte { return protocol.StrategyExactIBLT }
+
+func (r Rateless) helloConfig() []byte {
+	return []byte{byte(r.HashCount), protocol.FeatureRateless}
+}
+
+// fallback returns the doubling-path strategy a fetch downgrades to when
+// the server's accept does not echo the rateless feature bit.
+func (r Rateless) fallback() Strategy {
+	return ExactIBLT{HashCount: r.HashCount}
+}
+
+func (r Rateless) config(p Params) protocol.RatelessConfig {
+	return protocol.RatelessConfig{
+		Universe:      p.Universe,
+		Seed:          p.Seed,
+		HashCount:     r.HashCount,
+		InitialFactor: r.InitialFactor,
+		MaxBytes:      r.MaxBytes,
+	}
+}
+
+func (r Rateless) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	return protocol.RunRatelessAlice(ctx, t, r.config(p), pts)
+}
+
+func (r Rateless) fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error) {
+	sp, err := protocol.RunRatelessBob(ctx, t, r.config(p), local)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncResult{SPrime: sp}, nil
+}
+
 // CPI is characteristic-polynomial exact synchronization
 // (minisketch-class: optimal O(capacity) communication for exact
 // differences, no cheap retry path).
@@ -300,6 +379,17 @@ func strategyFromCode(code byte, cfg []byte) (Strategy, error) {
 	case protocol.StrategyAdaptive:
 		return Adaptive{}, nil
 	case protocol.StrategyExactIBLT:
+		// Byte 1 of the config, when present, carries feature bits; a
+		// rateless-capable client negotiates the cell-stream protocol on
+		// the same wire code (legacy servers ignore the byte and serve the
+		// doubling path, which the client detects via the bare accept).
+		if len(cfg) >= 2 && cfg[1]&protocol.FeatureRateless != 0 {
+			r := Rateless{HashCount: int(cfg[0])}
+			if err := r.validate(); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
 		e := ExactIBLT{}
 		if len(cfg) >= 1 {
 			e.HashCount = int(cfg[0])
@@ -514,18 +604,25 @@ func (s *Session) Fetch(ctx context.Context, conn net.Conn, local []Point) (*Syn
 
 func (s *Session) fetchOver(ctx context.Context, t transport.Transport, local []Point) (*SyncResult, error) {
 	p := s.params
+	strat := s.strategy
 	if s.dataset != "" {
+		var feats byte
 		var err error
-		p, err = protocol.RunHelloClient(ctx, t, protocol.Hello{
-			Strategy: s.strategy.code(),
+		p, feats, err = protocol.RunHelloClientExt(ctx, t, protocol.Hello{
+			Strategy: strat.code(),
 			Dataset:  s.dataset,
-			Config:   s.strategy.helloConfig(),
+			Config:   strat.helloConfig(),
 		})
 		if err != nil {
 			return nil, err
 		}
+		if r, ok := strat.(Rateless); ok && feats&protocol.FeatureRateless == 0 {
+			// Legacy server: it accepted the session but did not echo the
+			// rateless feature, so it will serve the doubling path.
+			strat = r.fallback()
+		}
 	}
-	res, err := s.strategy.fetch(ctx, t, p, local)
+	res, err := strat.fetch(ctx, t, p, local)
 	if err != nil {
 		return nil, err
 	}
@@ -572,5 +669,5 @@ func (s *Session) Sync(ctx context.Context, conn net.Conn, pts []Point) (*SyncRe
 // Strategies returns one value of every built-in strategy, in a stable
 // order — handy for tools and tests that iterate over all protocols.
 func Strategies() []Strategy {
-	return []Strategy{Robust{}, Adaptive{}, ExactIBLT{}, CPI{}, Naive{}}
+	return []Strategy{Robust{}, Adaptive{}, ExactIBLT{}, Rateless{}, CPI{}, Naive{}}
 }

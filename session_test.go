@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -202,7 +203,7 @@ func TestSessionAllStrategies(t *testing.T) {
 		t.Run(strat.Name(), func(t *testing.T) {
 			local := bob
 			switch strat.(type) {
-			case robustset.ExactIBLT, robustset.CPI:
+			case robustset.ExactIBLT, robustset.Rateless, robustset.CPI:
 				// Exact protocols get the exact regime.
 				local = exactBob
 			}
@@ -451,6 +452,18 @@ func TestStrategyValidation(t *testing.T) {
 	if _, err := robustset.NewSession(robustset.ExactIBLT{HashCount: 1}); err == nil {
 		t.Error("hash count 1 accepted")
 	}
+	if _, err := robustset.NewSession(robustset.Rateless{HashCount: 1}); err == nil {
+		t.Error("rateless hash count 1 accepted")
+	}
+	if _, err := robustset.NewSession(robustset.Rateless{InitialFactor: math.Inf(1)}); err == nil {
+		t.Error("infinite rateless initial factor accepted")
+	}
+	if _, err := robustset.NewSession(robustset.Rateless{InitialFactor: math.NaN()}); err == nil {
+		t.Error("NaN rateless initial factor accepted")
+	}
+	if _, err := robustset.NewSession(robustset.Rateless{MaxBytes: -1}); err == nil {
+		t.Error("negative rateless byte budget accepted")
+	}
 	if _, err := robustset.NewSession(robustset.CPI{Capacity: 1 << 30}); err == nil {
 		t.Error("oversized CPI capacity accepted")
 	}
@@ -543,6 +556,13 @@ func confWireBudget(strat robustset.Strategy, sc confScenario) int64 {
 		// retry headroom.
 		strata := int64(16*40*(24+8*dim)) + 2048
 		return strata + 2*tableUB(8*sc.diffUB+64) + 2048
+	case robustset.Rateless:
+		// Strata estimator + the cell stream: ~1.5·diff cells to decode
+		// plus at most 50% chunk-growth overshoot — deliberately tighter
+		// than ExactIBLT's retry worst case, which is the strategy's
+		// whole point.
+		strata := int64(16*40*(24+8*dim)) + 2048
+		return strata + tableUB(2*sc.diffUB+64) + 2048
 	case robustset.CPI:
 		// Sketch Θ(capacity) + payload round-trip Θ(diff).
 		return int64(8*(2*k+16)) + int64(sc.diffUB)*int64(16+8*dim) + 2048
@@ -628,6 +648,7 @@ func confScenarios(t *testing.T) []confScenario {
 			params: params(6), def: expClose, diffUB: 2 * 240,
 			expect: map[string]confExpect{
 				"exact-iblt": expExact, // Θ(n) cost, still correct
+				"rateless":   expExact, // streams until decode, still correct
 				"cpi":        expError, // diff ≫ capacity, no retry path
 				"naive":      expExact,
 			},
@@ -638,6 +659,7 @@ func confScenarios(t *testing.T) []confScenario {
 			params: params(8), def: expClose, diffUB: 2 * 200,
 			expect: map[string]confExpect{
 				"exact-iblt": expExact,
+				"rateless":   expExact,
 				"cpi":        expError,
 				"naive":      expExact,
 			},
@@ -648,6 +670,7 @@ func confScenarios(t *testing.T) []confScenario {
 			params: params(8), def: expClose, diffUB: 2 * 20000,
 			expect: map[string]confExpect{
 				"exact-iblt": expExact,
+				"rateless":   expExact,
 				"cpi":        expError,
 				"naive":      expExact,
 			},
