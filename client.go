@@ -1,0 +1,322 @@
+package robustset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"robustset/internal/protocol"
+	"robustset/internal/transport"
+)
+
+// ErrClientClosed is returned for operations on a closed Client.
+var ErrClientClosed = errors.New("robustset: client closed")
+
+// Client amortizes one server connection over many reconciliation
+// sessions. Dial once, then open sessions against any of the server's
+// datasets; sessions run concurrently as pipelined streams of a single
+// multiplexed (MUX1) connection, with a bounded number in flight — the
+// cost-tracks-the-delta principle applied to transport: per-connection
+// setup is paid once per peer, not once per dataset.
+//
+//	cl, _ := robustset.DialClient(ctx, addr)
+//	defer cl.Close()
+//	sess, _ := cl.Session("sensors/a", robustset.Robust{})
+//	res, stats, err := sess.Fetch(ctx, localPts)
+//
+// Against a legacy (pre-mux) server the client downgrades transparently
+// to one connection per session: the server closes the probing
+// connection on the unknown mux hello, the client remembers, and every
+// Fetch dials its own connection exactly like Session.FetchAddr. If the
+// multiplexed connection dies mid-life the next Fetch redials and
+// renegotiates once before reporting the failure.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	addr       string
+	maxStreams int
+	maxMsg     int
+	window     int
+	noMux      bool
+	logf       func(format string, args ...any)
+
+	sem chan struct{}
+
+	mu       sync.Mutex
+	mux      *transport.Mux
+	legacy   bool
+	closed   bool
+	prev     TransferStats // accounting of connections already torn down
+	redials  int64
+	sessions int64
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client) error
+
+// WithClientMaxStreams bounds the sessions concurrently in flight on
+// the client (backpressure: the next Fetch blocks until a slot frees).
+// Default: 16. Servers additionally bound streams per connection
+// (WithServerMaxStreamsPerConn), so keep the client bound at or below
+// the server's.
+func WithClientMaxStreams(n int) ClientOption {
+	return func(c *Client) error {
+		if n < 1 {
+			return fmt.Errorf("robustset: client max streams %d < 1", n)
+		}
+		c.maxStreams = n
+		return nil
+	}
+}
+
+// WithClientMaxMessageSize caps a single protocol message on every
+// session, like the Session option WithMaxMessageSize.
+func WithClientMaxMessageSize(n int) ClientOption {
+	return func(c *Client) error {
+		if n < 0 || n > transport.MaxFrameSize {
+			return fmt.Errorf("robustset: max message size %d outside [0,%d]", n, transport.MaxFrameSize)
+		}
+		c.maxMsg = n
+		return nil
+	}
+}
+
+// WithClientWindow sets the per-stream receive window granted to the
+// server. Default: transport.DefaultMuxWindow.
+func WithClientWindow(n int) ClientOption {
+	return func(c *Client) error {
+		if n < 1 {
+			return fmt.Errorf("robustset: client window %d < 1", n)
+		}
+		c.window = n
+		return nil
+	}
+}
+
+// WithClientNoMux forces connection-per-session mode without probing
+// for mux support — for measurements and compatibility testing.
+func WithClientNoMux() ClientOption {
+	return func(c *Client) error {
+		c.noMux = true
+		return nil
+	}
+}
+
+// WithClientLogger directs connection-lifecycle reporting (redials,
+// downgrades). Default: discard.
+func WithClientLogger(logf func(format string, args ...any)) ClientOption {
+	return func(c *Client) error {
+		c.logf = logf
+		return nil
+	}
+}
+
+// DialClient connects to a robustset Server and negotiates connection
+// multiplexing. Dial failures are returned immediately; a reachable
+// server that does not speak mux yields a working client in
+// connection-per-session mode.
+func DialClient(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr:       addr,
+		maxStreams: 16,
+		window:     transport.DefaultMuxWindow,
+		logf:       func(string, ...any) {},
+	}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	c.sem = make(chan struct{}, c.maxStreams)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked dials and negotiates, entering legacy mode on a
+// mux-refusing peer. Caller holds c.mu.
+func (c *Client) connectLocked(ctx context.Context) error {
+	if c.noMux {
+		c.legacy = true
+		return nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	// Mux-sized frame limit: a maximal legal protocol message must fit
+	// in one mux frame, header included.
+	t := transport.NewMuxConnLimit(conn, c.maxMsg)
+	serverWindow, err := protocol.RunMuxHelloClient(ctx, t, uint32(c.window))
+	if err != nil {
+		// The probe connection is dead either way; close it before
+		// deciding between downgrade and failure.
+		conn.Close()
+		if errors.Is(err, protocol.ErrMuxUnsupported) {
+			c.logf("robustset: client: %s: legacy server, downgrading to connection-per-session", c.addr)
+			c.legacy = true
+			return nil
+		}
+		return err
+	}
+	c.mux = transport.NewMux(t, true, transport.MuxConfig{
+		RecvWindow: c.window,
+		SendWindow: int(serverWindow),
+	})
+	return nil
+}
+
+// ensure returns a live mux, or legacy=true, redialing a dead mux once
+// per call.
+func (c *Client) ensure(ctx context.Context) (m *transport.Mux, legacy bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false, ErrClientClosed
+	}
+	if c.legacy {
+		return nil, true, nil
+	}
+	if c.mux != nil && c.mux.Err() == nil {
+		return c.mux, false, nil
+	}
+	if c.mux != nil {
+		st := c.mux.Stats()
+		c.prev.BytesSent += st.BytesSent
+		c.prev.BytesRecv += st.BytesRecv
+		c.prev.MsgsSent += st.MsgsSent
+		c.prev.MsgsRecv += st.MsgsRecv
+		c.mux.Close()
+		c.mux = nil
+		c.redials++
+		c.logf("robustset: client: %s: connection lost, redialing", c.addr)
+	}
+	if err := c.connectLocked(ctx); err != nil {
+		return nil, false, err
+	}
+	return c.mux, c.legacy, nil
+}
+
+// Muxed reports whether the client currently holds a live multiplexed
+// connection (false in legacy connection-per-session mode).
+func (c *Client) Muxed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mux != nil && c.mux.Err() == nil
+}
+
+// Addr returns the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Stats returns the client's connection-level accounting across every
+// connection it has held — mux framing included, legacy per-session
+// connections excluded (those are returned per Fetch).
+func (c *Client) Stats() TransferStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.prev
+	if c.mux != nil {
+		st := c.mux.Stats()
+		out.BytesSent += st.BytesSent
+		out.BytesRecv += st.BytesRecv
+		out.MsgsSent += st.MsgsSent
+		out.MsgsRecv += st.MsgsRecv
+	}
+	return out
+}
+
+// Sessions returns the lifetime count of sessions the client ran.
+func (c *Client) Sessions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions
+}
+
+// Close tears down the connection; in-flight sessions fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.mux != nil {
+		c.mux.Close()
+		c.mux = nil
+	}
+	return nil
+}
+
+// ClientSession binds one (dataset, strategy) pair to the client; its
+// Fetch may be called repeatedly and concurrently, each call one
+// pipelined session.
+type ClientSession struct {
+	c    *Client
+	sess *Session
+}
+
+// Session builds a session against a named server dataset. Options are
+// the Session options (WithMetric, WithStatsSink, ...); the dataset and
+// the client's message cap are applied for you.
+func (c *Client) Session(dataset string, strategy Strategy, opts ...Option) (*ClientSession, error) {
+	all := append(append([]Option{}, opts...),
+		WithDataset(dataset), WithMaxMessageSize(c.maxMsg))
+	sess, err := NewSession(strategy, all...)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientSession{c: c, sess: sess}, nil
+}
+
+// Fetch reconciles local against the session's dataset and returns the
+// result plus this session's wire accounting (its stream's share of the
+// multiplexed connection, or the whole connection in legacy mode).
+// Concurrent Fetches beyond the client's stream bound block — that is
+// the backpressure, not an error.
+func (cs *ClientSession) Fetch(ctx context.Context, local []Point) (*SyncResult, TransferStats, error) {
+	c := cs.c
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, TransferStats{}, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+	c.mu.Lock()
+	c.sessions++
+	c.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		m, legacy, err := c.ensure(ctx)
+		if err != nil {
+			return nil, TransferStats{}, err
+		}
+		if legacy {
+			return cs.sess.FetchAddr(ctx, c.addr, local)
+		}
+		st, err := m.Open(ctx)
+		if err != nil {
+			// A dead mux surfaces here; redial and retry exactly once.
+			if attempt == 0 && ctx.Err() == nil {
+				continue
+			}
+			return nil, TransferStats{}, err
+		}
+		res, ferr := cs.sess.fetchOver(ctx, st, local)
+		stats := st.Stats()
+		if ferr != nil {
+			// Tear this stream down on both ends without disturbing its
+			// siblings; the server's session aborts promptly instead of
+			// waiting out its timeout.
+			st.Reset(ferr)
+			return nil, stats, ferr
+		}
+		_ = st.Close()
+		return res, stats, nil
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"robustset/internal/cluster"
+	"robustset/internal/metrics"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
 	"robustset/internal/transport"
@@ -123,7 +124,9 @@ type Replicator struct {
 	logf     func(format string, args ...any)
 	maxMsg   int
 	mirror   bool
+	mux      bool
 	onRound  func(RoundStats)
+	metrics  *metrics.Registry // nil-safe no-op when unset
 
 	// roundMu serializes rounds; mu guards the fields below.
 	roundMu sync.Mutex
@@ -132,11 +135,21 @@ type Replicator struct {
 	round   int
 	totals  ReplicatorStats
 	last    RoundStats
+	closed  bool
 }
 
 type peerEntry struct {
 	peer  Peer
 	state cluster.PeerState
+	// client is the peer's cached multiplexed connection when the
+	// replicator runs in mux mode: every dataset session of every round
+	// is a pipelined stream of this one connection. nil until first use
+	// and after a teardown. dialing single-flights the first dial so
+	// concurrent shard workers share one connection instead of racing
+	// eight dials; it is non-nil (and closed on completion) while a dial
+	// is in progress.
+	client  *Client
+	dialing chan struct{}
 }
 
 // ReplicatorOption configures a Replicator.
@@ -258,6 +271,30 @@ func WithRoundCallback(fn func(RoundStats)) ReplicatorOption {
 	}
 }
 
+// WithReplicatorMux switches peer sessions onto multiplexed
+// connections: the replicator dials each peer once and keeps the
+// connection, and every dataset (every shard) of every round reconciles
+// as a pipelined stream of it — one dial and one handshake per peer
+// instead of one per (round × dataset). Peers that do not speak mux
+// degrade to connection-per-session automatically, and a dead
+// connection is redialed on the next session.
+func WithReplicatorMux() ReplicatorOption {
+	return func(r *Replicator) error {
+		r.mux = true
+		return nil
+	}
+}
+
+// WithReplicatorMetrics directs the replicator's instrumentation —
+// round counts, session errors, wire bytes, round latency histograms —
+// into m (see Metrics for the names).
+func WithReplicatorMetrics(m *Metrics) ReplicatorOption {
+	return func(r *Replicator) error {
+		r.metrics = m.registry()
+		return nil
+	}
+}
+
 // NewReplicator builds a replicator for srv's datasets against the given
 // peers. Peers can also be added and removed later.
 func NewReplicator(srv *Server, peers []Peer, opts ...ReplicatorOption) (*Replicator, error) {
@@ -303,14 +340,22 @@ func (r *Replicator) AddPeer(p Peer) error {
 	return nil
 }
 
-// RemovePeer drops a peer by name (or address, for unnamed peers).
+// RemovePeer drops a peer by name (or address, for unnamed peers),
+// closing its cached connection if one exists.
 func (r *Replicator) RemovePeer(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.peers[name]; !ok {
+	e, ok := r.peers[name]
+	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("robustset: unknown peer %q", name)
 	}
 	delete(r.peers, name)
+	cl := e.client
+	e.client = nil
+	r.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
 	return nil
 }
 
@@ -487,6 +532,11 @@ func (r *Replicator) RunRound(ctx context.Context) (RoundStats, error) {
 	r.last = stats
 	r.mu.Unlock()
 
+	r.metrics.Counter("replicator_rounds_total").Inc()
+	r.metrics.Counter("replicator_session_errors_total").Add(int64(stats.Errors))
+	r.metrics.Counter("replicator_bytes_total").Add(stats.Bytes)
+	r.metrics.Histogram("replicator_round_seconds").Observe(stats.Duration)
+
 	if r.onRound != nil {
 		r.onRound(stats)
 	}
@@ -495,19 +545,27 @@ func (r *Replicator) RunRound(ctx context.Context) (RoundStats, error) {
 
 // syncDataset reconciles one local dataset against one peer and applies
 // the diff. Returns the applied add/remove counts and the session's wire
-// bytes.
+// bytes. In mux mode the session runs as one pipelined stream of the
+// peer's cached connection; otherwise it dials its own.
 func (r *Replicator) syncDataset(ctx context.Context, peer Peer, name string) (added, removed int, bytes int64, err error) {
 	d := r.srv.Dataset(name)
 	if d == nil {
 		return 0, 0, 0, nil // unpublished mid-round
 	}
-	sess, err := NewSession(r.strategy,
-		WithDataset(name), WithMaxMessageSize(r.maxMsg))
-	if err != nil {
-		return 0, 0, 0, err
-	}
 	local := d.Snapshot()
-	res, st, err := sess.FetchAddr(ctx, peer.Addr, local)
+	var res *SyncResult
+	var st TransferStats
+	if r.mux {
+		res, st, err = r.muxFetch(ctx, peer, name, local)
+	} else {
+		var sess *Session
+		sess, err = NewSession(r.strategy,
+			WithDataset(name), WithMaxMessageSize(r.maxMsg))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, st, err = sess.FetchAddr(ctx, peer.Addr, local)
+	}
 	if err != nil {
 		return 0, 0, st.Total(), err
 	}
@@ -527,6 +585,124 @@ func (r *Replicator) syncDataset(ctx context.Context, peer Peer, name string) (a
 		removed = len(rem)
 	}
 	return len(add), removed, st.Total(), nil
+}
+
+// muxFetch runs one dataset session over the peer's cached multiplexed
+// connection, dialing it on first use. Concurrent dataset workers
+// hitting the same peer share the connection — that is the whole point:
+// a 64-shard round is one dial and 64 parallel streams.
+func (r *Replicator) muxFetch(ctx context.Context, peer Peer, name string, local []Point) (*SyncResult, TransferStats, error) {
+	cl, err := r.clientFor(ctx, peer)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	cs, err := cl.Session(name, r.strategy)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	return cs.Fetch(ctx, local)
+}
+
+// clientFor returns the peer's cached Client, dialing one on first use.
+// A lost connection is not handled here — the Client redials itself —
+// so a cached handle stays valid for the peer's lifetime.
+func (r *Replicator) clientFor(ctx context.Context, peer Peer) (*Client, error) {
+	name := peer.name()
+	r.mu.Lock()
+	for {
+		if r.closed {
+			r.mu.Unlock()
+			return nil, ErrClientClosed
+		}
+		e, ok := r.peers[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("robustset: unknown peer %q", name)
+		}
+		if e.client != nil {
+			cl := e.client
+			r.mu.Unlock()
+			return cl, nil
+		}
+		if e.dialing == nil {
+			e.dialing = make(chan struct{})
+			break
+		}
+		// A sibling worker is dialing this peer; wait for it and re-check.
+		wait := e.dialing
+		r.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		r.mu.Lock()
+	}
+	myDial := r.peers[name].dialing
+	r.mu.Unlock()
+
+	cl, err := DialClient(ctx, peer.Addr,
+		WithClientMaxMessageSize(r.maxMsg), WithClientLogger(r.logf))
+
+	r.mu.Lock()
+	e, ok := r.peers[name]
+	closed := r.closed
+	current := ok && e.dialing == myDial
+	if current {
+		e.dialing = nil
+	}
+	// This goroutine created myDial, so it closes it unconditionally —
+	// even when the peer was removed (or removed and re-added) mid-dial,
+	// where the entry no longer holds it but sibling workers may still
+	// be blocked on it.
+	close(myDial)
+	switch {
+	case err != nil:
+		r.mu.Unlock()
+		return nil, err
+	case closed, !ok:
+		r.mu.Unlock()
+		cl.Close()
+		if closed {
+			return nil, ErrClientClosed
+		}
+		return nil, fmt.Errorf("robustset: unknown peer %q", name)
+	case !current:
+		// The peer was removed and re-added while we dialed: this client
+		// may be pinned to the old address, so it must not be cached.
+		// Hand back the re-added entry's client if one exists; otherwise
+		// report the churn and let the round's error handling retry.
+		winner := e.client
+		r.mu.Unlock()
+		cl.Close()
+		if winner != nil {
+			return winner, nil
+		}
+		return nil, fmt.Errorf("robustset: peer %q changed during dial", name)
+	}
+	e.client = cl
+	r.mu.Unlock()
+	return cl, nil
+}
+
+// Close releases the replicator's cached peer connections. Further
+// mux-mode sessions fail with ErrClientClosed; connectionless state
+// (stats, peers) remains readable.
+func (r *Replicator) Close() error {
+	r.mu.Lock()
+	var clients []*Client
+	r.closed = true
+	for _, e := range r.peers {
+		if e.client != nil {
+			clients = append(clients, e.client)
+			e.client = nil
+		}
+	}
+	r.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	return nil
 }
 
 // diffToApply extracts the points to add and remove from a fetch result

@@ -464,3 +464,95 @@ func TestReplicatorValidation(t *testing.T) {
 		t.Errorf("Peers() = %v after removal", got)
 	}
 }
+
+// TestReplicatorMuxConvergence runs the three-node sharded scenario in
+// mux mode: every node keeps ONE connection per peer and reconciles all
+// its shards as parallel streams of it. Convergence must match the
+// connection-per-session mode, the per-peer connection count must be 1,
+// and the server metrics must show the shards riding a single
+// connection with zero decode failures.
+func TestReplicatorMuxConvergence(t *testing.T) {
+	const shards = 8
+	params := robustset.Params{Universe: testU, Seed: 55, DiffBudget: 40}
+	common, extras := clusterWorkload(3, 120, 6)
+
+	m := robustset.NewMetrics()
+	var nodes []*clusterNode
+	for i := 0; i < 3; i++ {
+		srv := robustset.NewServer(WithTestLogger(t), robustset.WithServerMetrics(m))
+		pts := append(robustset.ClonePoints(common), extras[i]...)
+		if _, err := srv.PublishSharded("data", params, pts, shards); err != nil {
+			t.Fatal(err)
+		}
+		addr := startServer(t, srv)
+		nodes = append(nodes, &clusterNode{srv: srv, addr: addr.String()})
+	}
+
+	var reps []*robustset.Replicator
+	for i, n := range nodes {
+		var peers []robustset.Peer
+		for j, o := range nodes {
+			if j != i {
+				peers = append(peers, robustset.Peer{Name: fmt.Sprintf("node%d", j), Addr: o.addr})
+			}
+		}
+		rep, err := robustset.NewReplicator(n.srv, peers,
+			robustset.WithReplicatorStrategy(robustset.ExactIBLT{}),
+			robustset.WithPeerSelector(robustset.SelectRoundRobin(2)),
+			robustset.WithRoundTimeout(time.Minute),
+			robustset.WithReplicatorWorkers(shards),
+			robustset.WithReplicatorMux(),
+			robustset.WithReplicatorMetrics(m),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rep.Close()
+		reps = append(reps, rep)
+	}
+
+	sweeps := runConvergence(t, nodes, reps, 5)
+	t.Logf("mux mode converged in %d sweep(s)", sweeps)
+
+	want := robustset.ClonePoints(common)
+	for _, ex := range extras {
+		want = append(want, ex...)
+	}
+	if got := nodes[0].snapshot(); !robustset.EqualMultisets(got, want) {
+		t.Errorf("converged multiset has %d points, want the %d-point union", len(got), len(want))
+	}
+
+	snap := m.Snapshot()
+	// 3 replicators × 2 peers each = 6 mux connections, total — every
+	// round reuses them, so the count must not grow with sweeps.
+	if got := snap["server_mux_conns_total"]; got != 6 {
+		t.Errorf("mux connections: %d, want 6 (one per replicator-peer edge)", got)
+	}
+	if snap["mux_decode_failures_total"] != 0 {
+		t.Errorf("decode failures: %d", snap["mux_decode_failures_total"])
+	}
+	// Each connection carried all 8 shards at least once per sweep.
+	if got := snap["server_mux_streams_per_conn_max"]; got < shards {
+		t.Errorf("streams per conn max: %d, want >= %d", got, shards)
+	}
+	if snap["replicator_rounds_total"] < 3 {
+		t.Errorf("replicator rounds: %d", snap["replicator_rounds_total"])
+	}
+	if snap["replicator_round_seconds_count"] != snap["replicator_rounds_total"] {
+		t.Errorf("round histogram count %d != rounds %d",
+			snap["replicator_round_seconds_count"], snap["replicator_rounds_total"])
+	}
+
+	// Closing the replicators tears down the cached connections; a
+	// post-close round must fail sessions rather than leak new dials.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reps[0].Close()
+	st, err := reps[0].RunRound(ctx)
+	if err != nil {
+		t.Fatalf("post-close round: %v", err)
+	}
+	if st.Errors == 0 {
+		t.Errorf("post-close round reported no session errors: %+v", st)
+	}
+}

@@ -41,10 +41,19 @@ func tinyRatelessCells() []ratelessCell {
 	}
 }
 
+// tinyMuxCell is a minimal multiplexed-serving comparison for
+// in-process testing. The byte contract (connection overhead amortized
+// once) holds at this scale; the wall-clock contract is only gated on
+// quick reports, so the tiny reports below are stamped Quick=false —
+// a single-core test runner measures scheduling noise, not overlap.
+func tinyMuxCell() muxCell {
+	return muxCell{shards: 4, perShard: 60, diff: 16, budget: 12}
+}
+
 // TestRunMatrixAndCheck runs the harness end to end on a tiny matrix and
 // validates the produced report with the same checker CI uses.
 func TestRunMatrixAndCheck(t *testing.T) {
-	rep := runMatrix(tinyMatrix(), true, t.Logf)
+	rep := runMatrix(tinyMatrix(), false, t.Logf)
 	if len(rep.Results) != 6 {
 		t.Fatalf("got %d results, want 6", len(rep.Results))
 	}
@@ -52,6 +61,7 @@ func TestRunMatrixAndCheck(t *testing.T) {
 	for _, c := range tinyRatelessCells() {
 		rep.Results = append(rep.Results, runRatelessCell(c))
 	}
+	rep.Results = append(rep.Results, runMuxCell(tinyMuxCell()))
 	for _, r := range rep.Results {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Strategy, r.Err)
@@ -110,11 +120,12 @@ func TestQuickMatrixCoversAllStrategies(t *testing.T) {
 // TestCheckReportRejectsDrift asserts the drift gate fires on schema
 // violations.
 func TestCheckReportRejectsDrift(t *testing.T) {
-	rep := runMatrix(tinyMatrix(), true, func(string, ...any) {})
+	rep := runMatrix(tinyMatrix(), false, func(string, ...any) {})
 	rep.Results = append(rep.Results, runClusterCell(tinyClusterCell()))
 	for _, c := range tinyRatelessCells() {
 		rep.Results = append(rep.Results, runRatelessCell(c))
 	}
+	rep.Results = append(rep.Results, runMuxCell(tinyMuxCell()))
 	good, _ := json.Marshal(rep)
 
 	cases := []struct {
@@ -139,6 +150,13 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 				}
 			}
 		}, "undershoot wire ratio"},
+		{"nomux", func(r *Report) { r.Results = r.Results[:9] }, "no successful multiplexed-serving"},
+		{"muxstreams", func(r *Report) { r.Results[9].MuxStreams = 1 }, "streams on one connection"},
+		{"muxbytes", func(r *Report) { r.Results[9].WireBytes = r.Results[9].BaselineBytes }, "wire ratio"},
+		{"muxwall", func(r *Report) {
+			r.Quick = true
+			r.Results[9].SyncNS = r.Results[9].BaselineNS
+		}, "wall-clock ratio"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -2,10 +2,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"time"
 
 	"robustset"
@@ -32,6 +35,8 @@ func cmdCluster(args []string) error {
 	workers := fs.Int("workers", 4, "concurrent shard reconciliations per round")
 	maxSweeps := fs.Int("max-rounds", 32, "round sweeps before giving up")
 	deadline := fs.Duration("deadline", time.Minute, "overall demo deadline")
+	mux := fs.Bool("mux", false, "multiplex: one connection per peer, shards as parallel streams")
+	metricsAddr := fs.String("metrics", "", "serve the metrics JSON endpoint here (default: a loopback port when -mux)")
 	fs.Parse(args)
 	if *nodes < 2 {
 		return fmt.Errorf("cluster: -nodes %d < 2", *nodes)
@@ -57,6 +62,26 @@ func cmdCluster(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *deadline)
 	defer cancel()
 
+	// One shared metrics registry across every node and replicator,
+	// served on a debug listener so the smoke run (and anything else)
+	// can assert on live counters.
+	metrics := robustset.NewMetrics()
+	metricsURL := ""
+	if *metricsAddr != "" || *mux {
+		addr := *metricsAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		mln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("cluster: metrics listener: %w", err)
+		}
+		defer mln.Close()
+		go metrics.Serve(mln)
+		metricsURL = "http://" + mln.Addr().String() + "/metrics"
+		fmt.Printf("metrics endpoint: %s\n", metricsURL)
+	}
+
 	// Start the nodes: one Server each, all publishing dataset "demo".
 	type node struct {
 		srv  *robustset.Server
@@ -64,7 +89,7 @@ func cmdCluster(args []string) error {
 	}
 	all := make([]*node, *nodes)
 	for i := range all {
-		srv := robustset.NewServer()
+		srv := robustset.NewServer(robustset.WithServerMetrics(metrics))
 		pts := append(robustset.ClonePoints(common), extras[i]...)
 		if *shards > 1 {
 			if _, err := srv.PublishSharded("demo", params, pts, *shards); err != nil {
@@ -105,20 +130,30 @@ func cmdCluster(args []string) error {
 		default:
 			return fmt.Errorf("cluster: unknown -select %q (roundrobin|random)", *selection)
 		}
-		rep, err := robustset.NewReplicator(nd.srv, peers,
+		opts := []robustset.ReplicatorOption{
 			robustset.WithReplicatorStrategy(strat),
 			robustset.WithPeerSelector(sel),
 			robustset.WithReplicatorWorkers(*workers),
 			robustset.WithRoundTimeout(*deadline),
-		)
+			robustset.WithReplicatorMetrics(metrics),
+		}
+		if *mux {
+			opts = append(opts, robustset.WithReplicatorMux())
+		}
+		rep, err := robustset.NewReplicator(nd.srv, peers, opts...)
 		if err != nil {
 			return err
 		}
+		defer rep.Close()
 		reps[i] = rep
 	}
 
-	fmt.Printf("cluster: %d nodes, %d base + %d extra points each, %d shard(s), %s, %s selection\n",
-		*nodes, *n, *extra, *shards, strat.Name(), *selection)
+	transportMode := "connection-per-session"
+	if *mux {
+		transportMode = "multiplexed (one connection per peer)"
+	}
+	fmt.Printf("cluster: %d nodes, %d base + %d extra points each, %d shard(s), %s, %s selection, %s\n",
+		*nodes, *n, *extra, *shards, strat.Name(), *selection, transportMode)
 
 	snapshot := func(nd *node) []robustset.Point {
 		var out []robustset.Point
@@ -162,6 +197,52 @@ func cmdCluster(args []string) error {
 		sweeps, byteCount(totalBytes), got, want)
 	if got != want {
 		return fmt.Errorf("cluster: converged multiset has %d points, want %d", got, want)
+	}
+	if *mux {
+		// The mux soak contract, asserted against the live HTTP endpoint
+		// rather than in-process state: a converged -mux run must have
+		// carried every shard of a round over ONE connection per peer
+		// and decoded every frame.
+		return checkMuxMetrics(metricsURL, *shards)
+	}
+	return nil
+}
+
+// checkMuxMetrics polls the metrics endpoint and enforces the mux soak
+// assertions: zero decode failures, and at least `shards` streams
+// carried by a single connection.
+func checkMuxMetrics(url string, shards int) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("cluster: metrics endpoint: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: metrics endpoint: %w", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("cluster: metrics endpoint returned invalid JSON: %w", err)
+	}
+	num := func(name string) float64 {
+		v, _ := doc[name].(float64)
+		return v
+	}
+	muxConns := num("server_mux_conns_total")
+	streamsMax := num("server_mux_streams_per_conn_max")
+	decodeFailures := num("mux_decode_failures_total")
+	fmt.Printf("mux metrics: %.0f connections, %.0f streams total, %.0f max streams/conn, %.0f decode failures\n",
+		muxConns, num("server_mux_streams_total"), streamsMax, decodeFailures)
+	if decodeFailures != 0 {
+		return fmt.Errorf("cluster: %g mux decode failures, want 0", decodeFailures)
+	}
+	if muxConns < 1 {
+		return fmt.Errorf("cluster: no multiplexed connections established")
+	}
+	if int(streamsMax) < shards {
+		return fmt.Errorf("cluster: max %g streams on one connection, want >= %d (all shards on one conn)",
+			streamsMax, shards)
 	}
 	return nil
 }

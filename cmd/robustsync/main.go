@@ -8,15 +8,18 @@
 //	robustsync quantize -csv data.csv -cols 1,2 -out points.txt [-delta 16777216] [-min a,b -max c,d]
 //	robustsync local    -alice a.txt -bob b.txt [-k 16] [-proto adaptive] [-out sprime.txt]
 //	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16]
-//	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-out sprime.txt]
-//	robustsync cluster  -nodes 3 -n 500 -extra 8 -shards 4 [-proto exact] [-deadline 1m]
+//	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-mux] [-out sprime.txt]
+//	robustsync cluster  -nodes 3 -n 500 -extra 8 -shards 4 [-proto exact] [-mux] [-metrics 127.0.0.1:9090] [-deadline 1m]
 //
 // `serve` publishes each -data file as a named dataset (the file's base
 // name without extension) on a multi-dataset sync server; it serves every
-// protocol variant concurrently and shuts down gracefully on SIGINT.
+// protocol variant concurrently — multiplexed (MUX1) and legacy
+// connections alike — and shuts down gracefully on SIGINT.
 // `pull` opens a session naming one dataset and a protocol
 // (-proto oneshot|adaptive|exact|rateless|cpi|naive) and adopts the server's
-// reconciliation parameters automatically.
+// reconciliation parameters automatically; -mux rides a multiplexed
+// client connection. `cluster` with -mux gossips every shard over one
+// connection per peer and asserts the metrics endpoint afterwards.
 package main
 
 import (
@@ -315,6 +318,7 @@ func cmdPull(args []string) error {
 	proto := fs.String("proto", "", "protocol: oneshot|adaptive|exact|rateless|cpi|naive (default oneshot)")
 	adaptive := fs.Bool("adaptive", false, "shorthand for -proto adaptive")
 	timeout := fs.Duration("timeout", time.Minute, "overall session deadline (0 = none)")
+	mux := fs.Bool("mux", false, "open the session over a multiplexed client connection")
 	out := fs.String("out", "", "write the reconciled set here")
 	fs.Parse(args)
 	if *data == "" || *connect == "" {
@@ -335,24 +339,40 @@ func cmdPull(args []string) error {
 	if name == "" {
 		name = datasetName(*data)
 	}
-	sess, err := robustset.NewSession(strat, robustset.WithDataset(name))
-	if err != nil {
-		return err
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	conn, err := net.Dial("tcp", *connect)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	res, stats, err := sess.Fetch(ctx, conn, bob)
-	if err != nil {
-		return err
+	var res *robustset.SyncResult
+	var stats robustset.TransferStats
+	if *mux {
+		cl, err := robustset.DialClient(ctx, *connect)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		cs, err := cl.Session(name, strat)
+		if err != nil {
+			return err
+		}
+		if res, stats, err = cs.Fetch(ctx, bob); err != nil {
+			return err
+		}
+	} else {
+		sess, err := robustset.NewSession(strat, robustset.WithDataset(name))
+		if err != nil {
+			return err
+		}
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if res, stats, err = sess.Fetch(ctx, conn, bob); err != nil {
+			return err
+		}
 	}
 	// The handshake adopted the server's parameters; write the result
 	// under that universe (it may be wider than the local file's).

@@ -71,6 +71,10 @@ func main() {
 		}
 	}
 
+	// One shared metrics registry: every server and replicator below
+	// reports into it, and the summary at the end reads real counters.
+	metrics := robustset.NewMetrics()
+
 	// Start the nodes: a Server each, publishing the sharded dataset.
 	type node struct {
 		srv  *robustset.Server
@@ -78,7 +82,8 @@ func main() {
 	}
 	nodes := make([]*node, nNodes)
 	for i := range nodes {
-		srv := robustset.NewServer(robustset.WithServerLogger(log.Printf))
+		srv := robustset.NewServer(robustset.WithServerLogger(log.Printf),
+			robustset.WithServerMetrics(metrics))
 		pts := append(robustset.ClonePoints(base), extras[i]...)
 		if _, err := srv.PublishSharded("telemetry", params, pts, nShards); err != nil {
 			log.Fatal(err)
@@ -101,14 +106,20 @@ func main() {
 				peers = append(peers, robustset.Peer{Name: fmt.Sprintf("node%d", j), Addr: other.addr})
 			}
 		}
+		// WithReplicatorMux: each node keeps one multiplexed connection
+		// per peer and reconciles all 4 shards as parallel streams of it,
+		// instead of dialing per shard per round.
 		rep, err := robustset.NewReplicator(nd.srv, peers,
 			robustset.WithReplicatorStrategy(robustset.Robust{}),
 			robustset.WithPeerSelector(robustset.SelectRoundRobin(len(peers))),
 			robustset.WithRoundTimeout(30*time.Second),
+			robustset.WithReplicatorMux(),
+			robustset.WithReplicatorMetrics(metrics),
 		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer rep.Close()
 		reps[i] = rep
 	}
 
@@ -143,6 +154,15 @@ func main() {
 		sizes[i] = nd.srv.ShardedDataset("telemetry").Size()
 	}
 	fmt.Printf("final sizes: %v (expected %d each)\n", sizes, nBase+nNodes*nExtra)
+
+	// The registry saw every connection and session in the run: with
+	// mux on, the connection count stays at one per replicator-peer
+	// edge no matter how many sweeps and shards gossiped over it.
+	snap := metrics.Snapshot()
+	fmt.Printf("transport: %d mux connection(s), %d stream sessions, max %d streams on one connection, %d decode failures\n",
+		snap["server_mux_conns_total"], snap["server_mux_streams_total"],
+		snap["server_mux_streams_per_conn_max"], snap["mux_decode_failures_total"])
+
 	for _, nd := range nodes {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		nd.srv.Shutdown(ctx)

@@ -1,0 +1,268 @@
+// Package metrics is the module's lightweight observability registry:
+// named counters, gauges and latency histograms that servers, clients
+// and replicators increment on their hot paths (atomics, no allocation),
+// exported as an expvar-style JSON document on an optional debug
+// listener so smoke tests and dashboards can assert on real counters.
+//
+// Names are flat strings by convention "subsystem_quantity_unit", with
+// per-dataset variants appending ":" and the dataset name
+// (e.g. "server_sessions_total:sensors/a").
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 with a monotone-max helper.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// SetMax raises the gauge to n if n is larger — the "high-water mark"
+// update pattern (e.g. most streams ever carried by one connection).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets are the upper bounds (seconds) of the latency histogram:
+// powers of two from 1ms to ~65s plus +Inf, covering everything from a
+// loopback session to a stalled round.
+var histBuckets = func() []float64 {
+	var b []float64
+	for v := 0.001; v < 100; v *= 2 {
+		b = append(b, v)
+	}
+	return append(b, math.Inf(1))
+}()
+
+// Histogram accumulates duration observations into fixed exponential
+// buckets, plus count and sum, so percentile estimates survive the
+// JSON round trip.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets []atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(histBuckets))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	s := d.Seconds()
+	for i, ub := range histBuckets {
+		if s <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// snapshot renders the histogram for the JSON document.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(histBuckets))
+	for i := range histBuckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			key := "+inf"
+			if !math.IsInf(histBuckets[i], 1) {
+				key = fmt.Sprintf("%g", histBuckets[i])
+			}
+			buckets[key] = n
+		}
+	}
+	return map[string]any{
+		"count":      h.count.Load(),
+		"sum_ns":     h.sumNs.Load(),
+		"buckets_le": buckets,
+	}
+}
+
+// Registry is a concurrent name → metric map. The zero value is not
+// usable; construct with New. A nil *Registry is a valid no-op sink:
+// Counter/Gauge/Histogram return metrics that are never exported, so
+// instrumented code paths need no nil checks.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gaugs: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return newHistogram()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every counter and gauge as a flat name → value map
+// (histograms are summarized as name_count / name_sum_ns) — the form
+// assertions in tests and smoke runs consume.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gaugs {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = h.Count()
+		out[name+"_sum_ns"] = h.Sum().Nanoseconds()
+	}
+	return out
+}
+
+// WriteJSON renders the registry as one sorted-key JSON object:
+// counters and gauges as numbers, histograms as
+// {count, sum_ns, buckets_le}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]any)
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.ctrs {
+			doc[name] = c.Value()
+		}
+		for name, g := range r.gaugs {
+			doc[name] = g.Value()
+		}
+		for name, h := range r.hists {
+			doc[name] = h.snapshot()
+		}
+		r.mu.Unlock()
+	}
+	// Marshal through an ordered rendering so the document is diffable;
+	// encoding/json sorts map keys, which is exactly the stability we
+	// need.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler returns an http.Handler serving the JSON document on every
+// path — the debug endpoint CI smoke runs poll.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Serve serves the debug endpoint on ln until the listener closes.
+func (r *Registry) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(ln)
+}
+
+// sortedNames is kept for tests that want deterministic iteration.
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists))
+	for n := range r.ctrs {
+		names = append(names, n)
+	}
+	for n := range r.gaugs {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := New()
+	r.Counter("sessions_total").Inc()
+	r.Counter("sessions_total").Add(4)
+	if got := r.Counter("sessions_total").Value(); got != 5 {
+		t.Fatalf("counter: %d, want 5", got)
+	}
+	g := r.Gauge("streams_per_conn_max")
+	g.SetMax(3)
+	g.SetMax(9)
+	g.SetMax(7) // must not lower
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge max: %d, want 9", got)
+	}
+	h := r.Histogram("round_seconds")
+	h.Observe(2 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	h.Observe(3 * time.Second)
+	if h.Count() != 3 {
+		t.Fatalf("hist count: %d, want 3", h.Count())
+	}
+	if h.Sum() < 3*time.Second {
+		t.Fatalf("hist sum too small: %v", h.Sum())
+	}
+
+	snap := r.Snapshot()
+	if snap["sessions_total"] != 5 || snap["streams_per_conn_max"] != 9 || snap["round_seconds_count"] != 3 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if names := r.sortedNames(); len(names) != 3 {
+		t.Fatalf("sortedNames: %v", names)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").SetMax(7)
+	r.Histogram("z").Observe(time.Second)
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry exported values")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(j))
+				r.Histogram("h").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("concurrent counter: %d, want 8000", got)
+	}
+}
+
+func TestJSONEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("mux_decode_failures_total").Add(0)
+	r.Counter("server_sessions_total").Add(12)
+	r.Histogram("session_seconds").Observe(5 * time.Millisecond)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = r.Serve(ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("endpoint document is not JSON: %v\n%s", err, body)
+	}
+	if doc["server_sessions_total"].(float64) != 12 {
+		t.Fatalf("endpoint sessions: %v", doc["server_sessions_total"])
+	}
+	hist, ok := doc["session_seconds"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Fatalf("endpoint histogram: %v", doc["session_seconds"])
+	}
+}

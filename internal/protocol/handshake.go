@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 
 	"robustset/internal/core"
 	"robustset/internal/transport"
@@ -22,7 +23,24 @@ const (
 	// the core wire encoding. The client adopts these parameters, so both
 	// endpoints derive identical grids and hash functions.
 	MsgAccept byte = 0x11
+	// MsgMuxHello asks to multiplex this connection: "MUX1" magic, u8
+	// version, u32 per-stream receive window. A mux-capable server
+	// answers MsgMuxAccept and both endpoints switch the connection to
+	// MUX1 framing, each mux stream then carrying an ordinary
+	// MsgHello-opened session. A legacy server treats the tag as a bad
+	// handshake and closes the connection, which is the downgrade signal
+	// (see RunMuxHelloClient).
+	MsgMuxHello byte = 0x12
+	// MsgMuxAccept answers MsgMuxHello: u8 version, u32 per-stream
+	// receive window of the serving side.
+	MsgMuxAccept byte = 0x13
 )
+
+// MuxVersion is the multiplexing protocol version spoken by this build.
+const MuxVersion = 1
+
+// muxMagic guards MsgMuxHello against stray tag collisions.
+const muxMagic = "MUX1"
 
 // Strategy wire codes carried in MsgHello.
 const (
@@ -187,4 +205,129 @@ func SendError(ctx context.Context, t transport.Transport, err error) error {
 // their dataset lock and serve concurrent sessions from the blob.
 func RunPushBlobAlice(ctx context.Context, t transport.Transport, blob []byte) error {
 	return send(ctx, t, MsgSketch, blob)
+}
+
+// ---------------------------------------------------------------------
+// Connection multiplexing negotiation
+
+// MuxHello is the parsed form of a MsgMuxHello body.
+type MuxHello struct {
+	// Version is the mux protocol version the client speaks.
+	Version byte
+	// Window is the client's per-stream receive window in bytes.
+	Window uint32
+}
+
+func (h MuxHello) encode() []byte {
+	body := make([]byte, 0, len(muxMagic)+1+4)
+	body = append(body, muxMagic...)
+	body = append(body, h.Version)
+	return binary.LittleEndian.AppendUint32(body, h.Window)
+}
+
+// ParseMuxHello decodes a MsgMuxHello body.
+func ParseMuxHello(body []byte) (MuxHello, error) {
+	var h MuxHello
+	if len(body) != len(muxMagic)+1+4 || string(body[:len(muxMagic)]) != muxMagic {
+		return h, errors.New("protocol: malformed mux hello")
+	}
+	h.Version = body[len(muxMagic)]
+	h.Window = binary.LittleEndian.Uint32(body[len(muxMagic)+1:])
+	if h.Version == 0 {
+		return h, errors.New("protocol: mux hello version 0")
+	}
+	if h.Window == 0 {
+		return h, errors.New("protocol: mux hello window 0")
+	}
+	return h, nil
+}
+
+// ErrMuxUnsupported reports that the peer did not (or will not) accept
+// connection multiplexing; callers downgrade to connection-per-session.
+var ErrMuxUnsupported = errors.New("protocol: peer does not support multiplexing")
+
+// RunMuxHelloClient negotiates MUX1 framing on a fresh connection: it
+// sends the mux hello and blocks for the accept, returning the server's
+// per-stream receive window (the client's initial send window). A
+// deliberate refusal — the clean connection close a legacy server
+// answers the unknown tag with, a relayed MsgError, an unexpected reply
+// or a version mismatch — is reported as ErrMuxUnsupported so callers
+// fall back to connection-per-session. Transient failures (resets,
+// timeouts, torn frames) and context errors pass through unchanged: a
+// peer restarting mid-probe must not be mistaken for a legacy peer and
+// latch the caller into per-session dialing forever.
+func RunMuxHelloClient(ctx context.Context, t transport.Transport, window uint32) (uint32, error) {
+	h := MuxHello{Version: MuxVersion, Window: window}
+	if err := send(ctx, t, MsgMuxHello, h.encode()); err != nil {
+		return 0, err
+	}
+	body, err := recvExpect(ctx, t, MsgMuxAccept)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		var remote *RemoteError
+		if errors.Is(err, io.EOF) || errors.Is(err, ErrUnexpectedMessage) || errors.As(err, &remote) {
+			return 0, fmt.Errorf("%w: %v", ErrMuxUnsupported, err)
+		}
+		return 0, err
+	}
+	if len(body) != 1+4 {
+		return 0, fmt.Errorf("%w: malformed mux accept", ErrMuxUnsupported)
+	}
+	if v := body[0]; v != MuxVersion {
+		return 0, fmt.Errorf("%w: server speaks mux version %d", ErrMuxUnsupported, v)
+	}
+	serverWindow := binary.LittleEndian.Uint32(body[1:])
+	if serverWindow == 0 {
+		return 0, fmt.Errorf("%w: server announced window 0", ErrMuxUnsupported)
+	}
+	return serverWindow, nil
+}
+
+// SendMuxAccept acknowledges a mux hello, announcing the server's
+// per-stream receive window.
+func SendMuxAccept(ctx context.Context, t transport.Transport, window uint32) error {
+	body := make([]byte, 0, 1+4)
+	body = append(body, MuxVersion)
+	body = binary.LittleEndian.AppendUint32(body, window)
+	return send(ctx, t, MsgMuxAccept, body)
+}
+
+// Opening is the first message of an accepted connection: either a
+// legacy single-session hello or a mux negotiation. One connection, two
+// dialects — the server dispatches on which arrived.
+type Opening struct {
+	// Mux is true when the client asked to multiplex the connection.
+	Mux bool
+	// MuxHello is the parsed negotiation when Mux is true.
+	MuxHello MuxHello
+	// Hello is the parsed session hello when Mux is false.
+	Hello Hello
+}
+
+// RecvOpening reads and parses a connection's first message, accepting
+// either dialect. This is what lets a mux-capable listener serve legacy
+// clients untouched: a plain MsgHello routes to the single-session path.
+func RecvOpening(ctx context.Context, t transport.Transport) (Opening, error) {
+	typ, body, err := recv(ctx, t)
+	if err != nil {
+		return Opening{}, err
+	}
+	switch typ {
+	case MsgHello:
+		h, err := parseHello(body)
+		if err != nil {
+			return Opening{}, err
+		}
+		return Opening{Hello: h}, nil
+	case MsgMuxHello:
+		mh, err := ParseMuxHello(body)
+		if err != nil {
+			return Opening{}, err
+		}
+		return Opening{Mux: true, MuxHello: mh}, nil
+	default:
+		return Opening{}, fmt.Errorf("%w: got 0x%02x, want hello", ErrUnexpectedMessage, typ)
+	}
 }

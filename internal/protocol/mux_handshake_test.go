@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"robustset/internal/transport"
+)
+
+// TestMuxNegotiationRoundTrip drives both ends of the MUX1 negotiation
+// over an in-memory link.
+func TestMuxNegotiationRoundTrip(t *testing.T) {
+	at, bt := transport.Pair()
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		op, err := RecvOpening(ctx, bt)
+		if err != nil {
+			done <- err
+			return
+		}
+		if !op.Mux || op.MuxHello.Version != MuxVersion || op.MuxHello.Window != 1<<19 {
+			done <- errors.New("opening did not carry the mux hello")
+			return
+		}
+		done <- SendMuxAccept(ctx, bt, 1<<21)
+	}()
+	serverWindow, err := RunMuxHelloClient(ctx, at, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serverWindow != 1<<21 {
+		t.Fatalf("server window %d, want %d", serverWindow, 1<<21)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxHelloLegacyServer simulates the pre-mux server behavior —
+// close the connection on the unknown tag — and requires the typed
+// downgrade signal, not a raw EOF.
+func TestMuxHelloLegacyServer(t *testing.T) {
+	at, bt := transport.Pair()
+	ctx := context.Background()
+	go func() {
+		// A legacy server's RecvHello fails on the mux tag and the
+		// handler closes the connection without replying.
+		_, _ = RecvHello(ctx, bt)
+		bt.Close()
+	}()
+	if _, err := RunMuxHelloClient(ctx, at, 1<<20); !errors.Is(err, ErrMuxUnsupported) {
+		t.Fatalf("legacy server produced %v, want ErrMuxUnsupported", err)
+	}
+}
+
+// TestMuxHelloCancellation: a cancelled context must surface as the
+// context's error, never as a spurious legacy-server downgrade.
+func TestMuxHelloCancellation(t *testing.T) {
+	at, _ := transport.Pair()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := RunMuxHelloClient(ctx, at, 1<<20)
+		errCh <- err
+	}()
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled negotiation produced %v, want context.Canceled", err)
+	}
+}
+
+// TestParseMuxHelloRejectsMalformed covers the parse-side validation.
+func TestParseMuxHelloRejectsMalformed(t *testing.T) {
+	good := MuxHello{Version: MuxVersion, Window: 1 << 20}.encode()
+	if _, err := ParseMuxHello(good); err != nil {
+		t.Fatalf("well-formed hello rejected: %v", err)
+	}
+	bad := [][]byte{
+		nil,
+		[]byte("MUX"),
+		[]byte("MUXX\x01\x00\x00\x10\x00"),
+		good[:len(good)-1],
+		append(append([]byte(nil), good...), 0),
+		{'M', 'U', 'X', '1', 0, 0, 0, 16, 0}, // version 0
+		{'M', 'U', 'X', '1', 1, 0, 0, 0, 0},  // window 0
+	}
+	for i, b := range bad {
+		if _, err := ParseMuxHello(b); err == nil {
+			t.Errorf("malformed hello %d accepted", i)
+		}
+	}
+}
+
+// TestRecvOpeningDispatch pins the two-dialect dispatch: a plain hello
+// routes to the legacy single-session path, garbage is rejected, EOF
+// propagates.
+func TestRecvOpeningDispatch(t *testing.T) {
+	at, bt := transport.Pair()
+	ctx := context.Background()
+	go func() {
+		_ = SendError(ctx, at, errors.New("nope"))
+	}()
+	if _, err := RecvOpening(ctx, bt); err == nil {
+		t.Fatal("error frame accepted as opening")
+	}
+
+	at2, bt2 := transport.Pair()
+	go func() {
+		body, _ := Hello{Strategy: StrategyNaive, Dataset: "d"}.encode()
+		_ = send(ctx, at2, MsgHello, body)
+		at2.Close()
+	}()
+	op, err := RecvOpening(ctx, bt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Mux || op.Hello.Dataset != "d" || op.Hello.Strategy != StrategyNaive {
+		t.Fatalf("opening mis-dispatched: %+v", op)
+	}
+	if _, err := RecvOpening(ctx, bt2); !errors.Is(err, io.EOF) {
+		t.Fatalf("post-close opening: %v, want EOF", err)
+	}
+}

@@ -213,6 +213,24 @@ func NewConnLimit(c net.Conn, maxFrame int) Transport {
 	return &connTransport{conn: c, maxFrame: maxFrame}
 }
 
+// MuxFrameOverhead is the largest mux frame header (uvarint stream id +
+// type byte) a frame can carry on top of its payload.
+const MuxFrameOverhead = binary.MaxVarintLen64 + 1
+
+// NewMuxConnLimit is NewConnLimit for a connection that will carry MUX1
+// frames: the cap is raised by MuxFrameOverhead so a protocol message
+// exactly at the session's size limit still fits in one mux frame —
+// without the headroom, a maximal legal message would fail the carrier's
+// frame check and tear down every stream on the connection. The
+// handshake that precedes the mux upgrade rides the same transport; its
+// messages are tiny, so the extra headroom is immaterial there.
+func NewMuxConnLimit(c net.Conn, maxFrame int) Transport {
+	if maxFrame <= 0 || maxFrame > MaxFrameSize {
+		maxFrame = MaxFrameSize
+	}
+	return &connTransport{conn: c, maxFrame: maxFrame + MuxFrameOverhead}
+}
+
 // aLongTimeAgo is a non-zero time in the distant past, used to force a
 // blocked read or write to return immediately (the net package treats any
 // past deadline as "fail pending I/O now").

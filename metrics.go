@@ -1,0 +1,66 @@
+package robustset
+
+import (
+	"io"
+	"net"
+	"net/http"
+
+	"robustset/internal/metrics"
+)
+
+// Metrics is the module's observability registry: servers and
+// replicators handed one (WithServerMetrics, WithReplicatorMetrics)
+// increment named counters, gauges and latency
+// histograms on their hot paths, and the registry renders them as an
+// expvar-style JSON document — either programmatically (Snapshot,
+// WriteJSON) or on a debug listener (Serve, Handler) that smoke tests
+// and dashboards poll. One registry may be shared by any number of
+// components; their counters aggregate.
+//
+// Well-known names:
+//
+//	server_conns_total                 connections accepted
+//	server_sessions_total[:dataset]    sessions served, total and per dataset
+//	server_session_errors_total        sessions that ended in an error
+//	server_bytes_in_total              connection bytes received (framing included)
+//	server_bytes_out_total             connection bytes sent
+//	server_mux_conns_total             connections negotiated to MUX1 framing
+//	server_mux_streams_total           mux streams accepted
+//	server_mux_streams_per_conn_max    most streams ever carried by one connection
+//	mux_decode_failures_total          malformed mux frames observed
+//	server_session_seconds             session latency histogram
+//	replicator_rounds_total            anti-entropy rounds driven
+//	replicator_session_errors_total    failed peer sessions
+//	replicator_bytes_total             round wire traffic
+//	replicator_round_seconds           round latency histogram
+type Metrics struct{ reg *metrics.Registry }
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics { return &Metrics{reg: metrics.New()} }
+
+// registry unwraps m for internal plumbing; nil-safe (a nil *Metrics is
+// a valid no-op sink).
+func (m *Metrics) registry() *metrics.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Snapshot returns every counter and gauge as a flat name → value map;
+// histograms are summarized as name_count and name_sum_ns.
+func (m *Metrics) Snapshot() map[string]int64 { return m.registry().Snapshot() }
+
+// WriteJSON renders the registry as one JSON object with sorted keys.
+func (m *Metrics) WriteJSON(w io.Writer) error { return m.registry().WriteJSON(w) }
+
+// Handler returns an http.Handler serving the JSON document on every
+// path.
+func (m *Metrics) Handler() http.Handler { return m.registry().Handler() }
+
+// Serve serves the debug endpoint on ln until the listener closes —
+// typically on a loopback port, from its own goroutine:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:9090")
+//	go m.Serve(ln)
+func (m *Metrics) Serve(ln net.Listener) error { return m.registry().Serve(ln) }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"robustset/internal/cluster"
+	"robustset/internal/metrics"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
 	"robustset/internal/transport"
@@ -318,6 +319,9 @@ type Server struct {
 	logf           func(format string, args ...any)
 	maxMsg         int
 	sessionTimeout time.Duration
+	muxOff         bool
+	maxStreams     int
+	metrics        *metrics.Registry // nil-safe no-op when unset
 
 	mu         sync.Mutex
 	datasets   map[string]*Dataset
@@ -328,9 +332,13 @@ type Server struct {
 	wg         sync.WaitGroup
 
 	// baseCtx is cancelled when sessions must abort (Close, or Shutdown
-	// whose context expired).
-	baseCtx    context.Context
-	cancelBase context.CancelFunc
+	// whose context expired). drainCtx is cancelled earlier, when
+	// Shutdown begins: multiplexed connections stop accepting new
+	// streams but in-flight sessions keep their baseCtx lifetime.
+	baseCtx     context.Context
+	cancelBase  context.CancelFunc
+	drainCtx    context.Context
+	cancelDrain context.CancelFunc
 }
 
 // ServerOption configures a Server.
@@ -357,13 +365,41 @@ const DefaultSessionTimeout = 2 * time.Minute
 // WithServerSessionTimeout overrides the per-session deadline
 // (DefaultSessionTimeout). d <= 0 disables the timeout entirely; only do
 // that behind infrastructure that bounds connection lifetimes itself.
+// On a multiplexed connection the timeout bounds each stream's session,
+// not the connection: a pipelining client legitimately holds one
+// connection open across many rounds.
 func WithServerSessionTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.sessionTimeout = d }
+}
+
+// WithServerNoMux disables connection multiplexing: a MUX1 hello is
+// treated as a bad handshake and the connection closed, exactly like a
+// pre-mux server — which makes the option double as the legacy-peer
+// simulator in compatibility tests and as an operational off-switch.
+// Clients downgrade to connection-per-session automatically.
+func WithServerNoMux() ServerOption {
+	return func(s *Server) { s.muxOff = true }
+}
+
+// WithServerMaxStreamsPerConn bounds the sessions concurrently in
+// flight on one multiplexed connection; streams opened beyond the bound
+// are reset, which a well-behaved client surfaces as backpressure.
+// Default: transport.DefaultMuxMaxStreams (64).
+func WithServerMaxStreamsPerConn(n int) ServerOption {
+	return func(s *Server) { s.maxStreams = n }
+}
+
+// WithServerMetrics directs the server's instrumentation — per-dataset
+// session counts, connection bytes, mux stream counts, decode failures,
+// session latency histograms — into m (see Metrics for the names).
+func WithServerMetrics(m *Metrics) ServerOption {
+	return func(s *Server) { s.metrics = m.registry() }
 }
 
 // NewServer builds an empty server; Publish datasets, then Serve.
 func NewServer(opts ...ServerOption) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
+	drainCtx, cancelDrain := context.WithCancel(ctx)
 	s := &Server{
 		logf:           func(string, ...any) {},
 		sessionTimeout: DefaultSessionTimeout,
@@ -373,6 +409,8 @@ func NewServer(opts ...ServerOption) *Server {
 		conns:          make(map[net.Conn]struct{}),
 		baseCtx:        ctx,
 		cancelBase:     cancel,
+		drainCtx:       drainCtx,
+		cancelDrain:    cancelDrain,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -585,31 +623,128 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// handle runs one session: handshake, dispatch, protocol.
+// handle runs one connection: it reads the opening message and
+// dispatches to the single-session path (legacy clients) or the MUX1
+// multiplexed path (one connection, many concurrent sessions).
 func (s *Server) handle(conn net.Conn) {
+	s.metrics.Counter("server_conns_total").Inc()
+	// The mux variant of the limit: if the opening negotiates MUX1 the
+	// same transport becomes the frame carrier, and a maximal legal
+	// protocol message must still fit with its mux header.
+	t := transport.NewMuxConnLimit(conn, s.maxMsg)
+	defer func() {
+		st := t.Stats()
+		s.metrics.Counter("server_bytes_in_total").Add(st.BytesRecv)
+		s.metrics.Counter("server_bytes_out_total").Add(st.BytesSent)
+	}()
 	ctx := s.baseCtx
+	cancel := context.CancelFunc(func() {})
 	if s.sessionTimeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.sessionTimeout)
-		defer cancel()
 	}
-	t := transport.NewConnLimit(conn, s.maxMsg)
-	hello, err := protocol.RecvHello(ctx, t)
+	defer cancel()
+	op, err := protocol.RecvOpening(ctx, t)
 	if err != nil {
 		s.logf("robustset: server: %v: bad handshake: %v", conn.RemoteAddr(), err)
 		return
 	}
-	d := s.Dataset(hello.Dataset)
-	if d == nil {
-		_ = protocol.RejectHello(ctx, t, fmt.Errorf("%w: %q", ErrUnknownDataset, hello.Dataset))
-		s.logf("robustset: server: %v: unknown dataset %q", conn.RemoteAddr(), hello.Dataset)
+	if op.Mux {
+		if s.muxOff {
+			// Behave exactly like a pre-mux build: unknown opening, close.
+			s.logf("robustset: server: %v: mux hello refused (multiplexing disabled)", conn.RemoteAddr())
+			return
+		}
+		if err := protocol.SendMuxAccept(ctx, t, transport.DefaultMuxWindow); err != nil {
+			s.logf("robustset: server: %v: mux accept: %v", conn.RemoteAddr(), err)
+			return
+		}
+		// The handshake deadline must not outlive the negotiation: a
+		// multiplexed connection is long-lived by design.
+		cancel()
+		s.serveMux(conn, t, op.MuxHello)
 		return
 	}
+	s.serveSession(ctx, t, op.Hello, conn.RemoteAddr())
+}
+
+// serveMux drives one multiplexed connection: accept streams until the
+// server drains or the connection dies, one session per stream, each
+// with its own timeout.
+func (s *Server) serveMux(conn net.Conn, t transport.Transport, mh protocol.MuxHello) {
+	s.metrics.Counter("server_mux_conns_total").Inc()
+	m := transport.NewMux(t, false, transport.MuxConfig{
+		RecvWindow: transport.DefaultMuxWindow,
+		SendWindow: int(mh.Window),
+		MaxStreams: s.maxStreams,
+		OnDecodeFailure: func(error) {
+			s.metrics.Counter("mux_decode_failures_total").Inc()
+		},
+	})
+	defer m.Close()
+	var wg sync.WaitGroup
+	streams := int64(0)
+	for {
+		// drainCtx (not baseCtx): Shutdown stops new streams immediately
+		// while in-flight sessions drain on their own contexts.
+		st, err := m.Accept(s.drainCtx)
+		if err != nil {
+			break
+		}
+		streams++
+		s.metrics.Counter("server_mux_streams_total").Inc()
+		s.metrics.Gauge("server_mux_streams_per_conn_max").SetMax(streams)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer st.Close()
+			ctx := s.baseCtx
+			cancel := context.CancelFunc(func() {})
+			if s.sessionTimeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, s.sessionTimeout)
+			}
+			defer cancel()
+			hello, err := protocol.RecvHello(ctx, st)
+			if err != nil {
+				s.logf("robustset: server: %v: stream %d: bad handshake: %v", conn.RemoteAddr(), st.ID(), err)
+				return
+			}
+			s.serveSession(ctx, st, hello, conn.RemoteAddr())
+		}()
+	}
+	wg.Wait()
+}
+
+// serveSession answers one already-opened session hello over t — a
+// whole legacy connection or one mux stream, identically.
+func (s *Server) serveSession(ctx context.Context, t transport.Transport, hello protocol.Hello, remote net.Addr) {
+	start := time.Now()
+	s.metrics.Counter("server_sessions_total").Inc()
+	if err := s.runSession(ctx, t, hello, remote); err != nil {
+		s.metrics.Counter("server_session_errors_total").Inc()
+	}
+	s.metrics.Histogram("server_session_seconds").Observe(time.Since(start))
+}
+
+// runSession performs the dataset/strategy dispatch and the protocol
+// run, logging and returning the first failure.
+func (s *Server) runSession(ctx context.Context, t transport.Transport, hello protocol.Hello, remote net.Addr) error {
+	d := s.Dataset(hello.Dataset)
+	if d == nil {
+		err := fmt.Errorf("%w: %q", ErrUnknownDataset, hello.Dataset)
+		_ = protocol.RejectHello(ctx, t, err)
+		s.logf("robustset: server: %v: unknown dataset %q", remote, hello.Dataset)
+		return err
+	}
+	// The per-dataset counter is keyed only after the name resolved:
+	// registry labels must come from the published catalog, never from
+	// an untrusted hello (which could otherwise grow the registry
+	// without bound).
+	s.metrics.Counter("server_sessions_total:" + d.Name()).Inc()
 	strat, err := strategyFromCode(hello.Strategy, hello.Config)
 	if err != nil {
 		_ = protocol.RejectHello(ctx, t, err)
-		s.logf("robustset: server: %v: %v", conn.RemoteAddr(), err)
-		return
+		s.logf("robustset: server: %v: %v", remote, err)
+		return err
 	}
 	params := d.Params()
 	// Echo the features the negotiated strategy honors, so the client
@@ -620,8 +755,8 @@ func (s *Server) handle(conn net.Conn) {
 		feats = protocol.FeatureRateless
 	}
 	if err := protocol.SendAcceptFeatures(ctx, t, params, feats); err != nil {
-		s.logf("robustset: server: %v: accept: %v", conn.RemoteAddr(), err)
-		return
+		s.logf("robustset: server: %v: accept: %v", remote, err)
+		return err
 	}
 	// Robust one-shot sessions serve the maintained sketch directly —
 	// O(sketch size) per session instead of O(n·levels).
@@ -631,23 +766,26 @@ func (s *Server) handle(conn net.Conn) {
 			// The dataset was retired between the handshake and the push;
 			// relay the rejection so the client fails with a RemoteError.
 			_ = protocol.SendError(ctx, t, err)
-			s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
-			return
+			s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
+			return err
 		}
 		if err := protocol.RunPushBlobAlice(ctx, t, blob); err != nil {
-			s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
+			s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
+			return err
 		}
-		return
+		return nil
 	}
 	pts, err := d.servePoints()
 	if err != nil {
 		_ = protocol.SendError(ctx, t, err)
-		s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
-		return
+		s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
+		return err
 	}
 	if err := strat.serve(ctx, t, params, pts); err != nil {
-		s.logf("robustset: server: %v: dataset %q (%s): %v", conn.RemoteAddr(), d.Name(), strat.Name(), err)
+		s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
+		return err
 	}
+	return nil
 }
 
 func (s *Server) trackListener(ln net.Listener) bool {
@@ -709,6 +847,9 @@ func (s *Server) closeConns() {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.inShutdown.Store(true)
 	s.closeListeners()
+	// Stop multiplexed connections from accepting new streams; their
+	// in-flight sessions drain below like any other.
+	s.cancelDrain()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -729,6 +870,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Close() error {
 	s.inShutdown.Store(true)
 	s.closeListeners()
+	s.cancelDrain()
 	s.cancelBase()
 	s.closeConns()
 	s.wg.Wait()
