@@ -26,6 +26,15 @@
 // doubling bytes when the estimate undershoots, at most 1.1× when it is
 // accurate.
 //
+// A recovery scenario (mode "recovery" rows) measures the durable
+// storage engine. "replay" rows churn a write-ahead-logged dataset,
+// restart it, and record write amplification (the -check gate bounds
+// wal_bytes/logical_bytes at 4×) plus recovery time against the log
+// tail length the snapshot policy left behind. "rejoin" rows kill one
+// node of a converged 3-node durable cluster, let the survivors absorb
+// writes, restart it from disk and record the rejoin traffic, gated at
+// half a naive full-set transfer — delta-proportional recovery.
+//
 // Usage:
 //
 //	bench [-quick] [-out BENCH_core.json]
@@ -38,6 +47,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"os"
 	"runtime"
@@ -119,6 +129,25 @@ type Result struct {
 	// connection.
 	BaselineNS int64 `json:"baseline_ns,omitempty"`
 	MuxStreams int   `json:"mux_streams,omitempty"`
+
+	// Recovery-scenario rows (Mode == "recovery") come in two phases.
+	// "replay" rows measure the durable storage engine: records and
+	// bytes appended to the WAL during churn (write amplification =
+	// wal_bytes / logical_bytes), snapshot bytes, and the restart's
+	// recovery time (recovery_ns) against the log tail it replayed
+	// (replay_records — shorter with tighter snapshot_every). "rejoin"
+	// rows measure a recovered cluster replica catching up through
+	// ordinary rateless sessions: wire_bytes is the rejoin traffic,
+	// baseline_bytes the naive full-set transfer it must undercut, and
+	// rounds the sweeps to full re-convergence.
+	Phase         string `json:"phase,omitempty"`
+	SnapshotEvery int    `json:"snapshot_every,omitempty"`
+	WALRecords    int    `json:"wal_records,omitempty"`
+	WALBytes      int64  `json:"wal_bytes,omitempty"`
+	SnapshotBytes int64  `json:"snapshot_bytes,omitempty"`
+	LogicalBytes  int64  `json:"logical_bytes,omitempty"`
+	ReplayRecords int    `json:"replay_records,omitempty"`
+	RecoveryNS    int64  `json:"recovery_ns,omitempty"`
 }
 
 // cell is one matrix coordinate before execution.
@@ -919,6 +948,377 @@ func runMuxScenario(quick bool, logf func(format string, args ...any)) []Result 
 	return out
 }
 
+// recoveryReplayCell is one storage-engine measurement: a durable
+// dataset of n base points takes churn mutation batches through the
+// WAL, the server restarts, and recovery replays the log tail left by
+// the snapshot policy.
+type recoveryReplayCell struct {
+	n     int // base points
+	churn int // mutation batches (one WAL record each)
+	every int // snapshot interval in records; <0 never snapshots
+}
+
+// recoveryReplayMatrix pairs a snapshotting configuration against a
+// snapshot-never one on the same churn, so the report records recovery
+// time against both a short and a full-length log. Churn counts avoid
+// multiples of the snapshot interval so the snapshotting row still
+// replays a non-empty tail.
+func recoveryReplayMatrix(quick bool) []recoveryReplayCell {
+	if quick {
+		return []recoveryReplayCell{
+			{n: 2_000, churn: 300, every: 64},
+			{n: 2_000, churn: 300, every: -1},
+		}
+	}
+	return []recoveryReplayCell{
+		{n: 50_000, churn: 2_000, every: 512},
+		{n: 50_000, churn: 2_000, every: -1},
+	}
+}
+
+// runRecoveryReplayCell measures one replay cell end to end.
+func runRecoveryReplayCell(c recoveryReplayCell) Result {
+	res := Result{
+		Strategy: robustset.Robust{}.Name(), Mode: "recovery", Phase: "replay",
+		N: c.n, DiffRate: float64(c.churn) / float64(c.n),
+		Dim: 2, Delta: 1 << 20, Regime: "exact",
+		SnapshotEvery: c.every,
+	}
+	dir, err := os.MkdirTemp("", "bench-recovery-*")
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer os.RemoveAll(dir)
+	u := robustset.Universe{Dim: res.Dim, Delta: res.Delta}
+	params := robustset.Params{Universe: u, Seed: 501, DiffBudget: 64}
+	inst, err := workload.Generate(workload.Config{
+		N:        c.n,
+		Universe: points.Universe{Dim: u.Dim, Delta: u.Delta},
+		Seed:     uint64(c.n)*7 + uint64(c.churn),
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	m := robustset.NewMetrics()
+	srv := robustset.NewServer(
+		robustset.WithServerMetrics(m),
+		robustset.WithServerDataDir(dir),
+		robustset.WithServerSnapshotEvery(c.every),
+	)
+	buildStart := time.Now()
+	d, err := srv.PublishDurable("bench", params, inst.Bob)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.BuildNS = time.Since(buildStart).Nanoseconds()
+
+	// Churn: batches of 1–4 adds or removes, every batch one WAL record.
+	// Metrics are read as before/after deltas so the initial snapshot of
+	// the publish does not pollute the churn accounting.
+	pre := m.Snapshot()
+	encSize := int64(points.EncodedSize(u.Dim))
+	rng := rand.New(rand.NewPCG(uint64(c.churn), uint64(c.every)+3))
+	current := robustset.ClonePoints(inst.Bob)
+	var logical int64
+	for r := 0; r < c.churn; r++ {
+		if len(current) > 8 && rng.IntN(10) < 4 {
+			nb := 1 + rng.IntN(3)
+			batch := make([]robustset.Point, 0, nb)
+			for i := 0; i < nb && len(current) > 0; i++ {
+				j := rng.IntN(len(current))
+				batch = append(batch, current[j])
+				current[j] = current[len(current)-1]
+				current = current[:len(current)-1]
+			}
+			err = d.RemoveBatch(batch)
+			logical += int64(len(batch)) * encSize
+		} else {
+			nb := 1 + rng.IntN(4)
+			batch := make([]robustset.Point, 0, nb)
+			for i := 0; i < nb; i++ {
+				batch = append(batch, robustset.Point{rng.Int64N(u.Delta), rng.Int64N(u.Delta)})
+			}
+			err = d.AddBatch(batch)
+			logical += int64(len(batch)) * encSize
+			current = append(current, batch...)
+		}
+		if err != nil {
+			res.Err = fmt.Sprintf("churn record %d: %v", r, err)
+			return res
+		}
+	}
+	post := m.Snapshot()
+	res.WALRecords = int(post["store_wal_records_total"] - pre["store_wal_records_total"])
+	res.WALBytes = post["store_wal_bytes_total"] - pre["store_wal_bytes_total"]
+	res.SnapshotBytes = post["store_snapshot_bytes_total"] - pre["store_snapshot_bytes_total"]
+	res.LogicalBytes = logical
+	if err := srv.Close(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	// Restart: recovery = open + snapshot load + sketch adoption + tail
+	// replay, timed as one PublishDurable call.
+	m2 := robustset.NewMetrics()
+	srv2 := robustset.NewServer(
+		robustset.WithServerMetrics(m2),
+		robustset.WithServerDataDir(dir),
+		robustset.WithServerSnapshotEvery(c.every),
+	)
+	defer srv2.Close()
+	recStart := time.Now()
+	d2, err := srv2.PublishDurable("bench", params, nil)
+	res.RecoveryNS = time.Since(recStart).Nanoseconds()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.ReplayRecords = int(m2.Snapshot()["store_replay_records_total"])
+	if !robustset.EqualMultisets(d2.Snapshot(), current) {
+		res.Err = fmt.Sprintf("recovered multiset has %d points, churned state had %d", d2.Size(), len(current))
+		return res
+	}
+	res.ResultSize = d2.Size()
+	return res
+}
+
+// recoveryRejoinCell is one delta-proportional rejoin measurement: a
+// 3-node durable cluster converges, one node goes down, the survivors
+// absorb `missed` writes, and the restarted node must catch up in wire
+// bytes proportional to the miss, not to the dataset.
+type recoveryRejoinCell struct {
+	n      int // shared base points
+	extra  int // disjoint extras per node
+	missed int // writes the downed node misses
+}
+
+func recoveryRejoinMatrix(quick bool) []recoveryRejoinCell {
+	// The base set must be large enough that the gated ratio measures
+	// delta-proportionality, not the fixed per-session strata overhead.
+	if quick {
+		return []recoveryRejoinCell{{n: 8_000, extra: 12, missed: 48}}
+	}
+	return []recoveryRejoinCell{{n: 50_000, extra: 12, missed: 400}}
+}
+
+// runRecoveryRejoinCell measures one rejoin cell.
+func runRecoveryRejoinCell(c recoveryRejoinCell) Result {
+	const nodes = 3
+	res := Result{
+		Strategy: robustset.Rateless{}.Name(), Mode: "recovery", Phase: "rejoin",
+		N: c.n, DiffRate: float64(c.missed) / float64(c.n),
+		Dim: 2, Delta: 1 << 20, Regime: "exact", Nodes: nodes,
+	}
+	u := robustset.Universe{Dim: res.Dim, Delta: res.Delta}
+	params := robustset.Params{Universe: u, Seed: 733, DiffBudget: nodes*c.extra + c.missed + 8}
+	common, extras := clusterWorkload(u, c.n, nodes, c.extra, uint64(c.n)*41+uint64(c.missed))
+
+	dirs := make([]string, nodes)
+	for i := range dirs {
+		dir, err := os.MkdirTemp("", "bench-rejoin-*")
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		defer os.RemoveAll(dir)
+		dirs[i] = dir
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	srvs := make([]*robustset.Server, nodes)
+	addrs := make([]string, nodes)
+	start := func(i int, pts []robustset.Point) error {
+		srv := robustset.NewServer(robustset.WithServerDataDir(dirs[i]))
+		if _, err := srv.PublishDurable("bench", params, pts); err != nil {
+			return err
+		}
+		laddr := "127.0.0.1:0"
+		if addrs[i] != "" {
+			laddr = addrs[i]
+		}
+		ln, err := net.Listen("tcp", laddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		go srv.Serve(ln)
+		srvs[i], addrs[i] = srv, ln.Addr().String()
+		return nil
+	}
+	for i := range srvs {
+		pts := append(append([]robustset.Point{}, common...), extras[i]...)
+		if err := start(i, pts); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		defer func(i int) { srvs[i].Close() }(i)
+	}
+	reps := make([]*robustset.Replicator, nodes)
+	newRep := func(i int) (*robustset.Replicator, error) {
+		var peers []robustset.Peer
+		for j := range srvs {
+			if j != i {
+				peers = append(peers, robustset.Peer{Name: fmt.Sprintf("n%d", j), Addr: addrs[j]})
+			}
+		}
+		return robustset.NewReplicator(srvs[i], peers,
+			robustset.WithReplicatorStrategy(robustset.Rateless{}),
+			robustset.WithPeerSelector(robustset.SelectRoundRobin(nodes-1)),
+			robustset.WithRoundTimeout(5*time.Minute),
+		)
+	}
+	for i := range reps {
+		rep, err := newRep(i)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		defer func(i int) { reps[i].Close() }(i)
+		reps[i] = rep
+	}
+	converge := func(idx []int) (int, error) {
+		for sweep := 1; sweep <= 16; sweep++ {
+			for _, i := range idx {
+				if _, err := reps[i].RunRound(ctx); err != nil {
+					return 0, fmt.Errorf("node %d round: %w", i, err)
+				}
+			}
+			ref := srvs[idx[0]].Dataset("bench").Snapshot()
+			ok := true
+			for _, i := range idx[1:] {
+				if !robustset.EqualMultisets(ref, srvs[i].Dataset("bench").Snapshot()) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return sweep, nil
+			}
+		}
+		return 0, fmt.Errorf("no convergence after 16 sweeps")
+	}
+	if _, err := converge([]int{0, 1, 2}); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	// Node 2 goes down; the survivors absorb the missed delta — distinct
+	// points mined against the converged multiset so the expected counts
+	// stay exact — and re-converge without it.
+	reps[2].Close()
+	if err := srvs[2].Close(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	seen := make(map[string]bool, c.n+nodes*c.extra)
+	for _, pt := range srvs[0].Dataset("bench").Snapshot() {
+		seen[string(points.EncodeNew(pt))] = true
+	}
+	h := hashutil.NewHasher(hashutil.DeriveSeed(uint64(c.n), "bench/rejoin-delta"))
+	delta := make([]robustset.Point, 0, c.missed)
+	for attempt := uint64(0); len(delta) < c.missed; attempt++ {
+		p := robustset.Point{
+			int64(h.HashUint64(attempt) % uint64(u.Delta)),
+			int64(h.HashUint64(attempt^0x5bf03635) % uint64(u.Delta)),
+		}
+		enc := string(points.EncodeNew(p))
+		if seen[enc] {
+			continue
+		}
+		seen[enc] = true
+		delta = append(delta, p)
+	}
+	if err := srvs[0].Dataset("bench").AddBatch(delta); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if _, err := converge([]int{0, 1}); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	downSize := srvs[0].Dataset("bench").Size() - c.missed
+
+	// Restart node 2 from its directory and rejoin: the first round's
+	// traffic is the recovery cost on the wire.
+	recStart := time.Now()
+	if err := start(2, nil); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.RecoveryNS = time.Since(recStart).Nanoseconds()
+	if got := srvs[2].Dataset("bench").Size(); got != downSize {
+		res.Err = fmt.Sprintf("recovered node holds %d points, held %d at shutdown", got, downSize)
+		return res
+	}
+	rep, err := newRep(2)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	reps[2] = rep
+	rejoinStart := time.Now()
+	st, err := reps[2].RunRound(ctx)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.WireBytes = st.Bytes
+	sweeps, err := converge([]int{0, 1, 2})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.SyncNS = time.Since(rejoinStart).Nanoseconds()
+	res.Rounds = 1 + sweeps
+	res.ResultSize = srvs[0].Dataset("bench").Size()
+	// The contracted baseline: a naive full-set transfer of the dataset
+	// the node already held on disk.
+	res.BaselineBytes = int64(len(points.EncodeSet(srvs[0].Dataset("bench").Snapshot(), u.Dim)))
+	if want := c.n + nodes*c.extra + c.missed; res.ResultSize != want {
+		res.Err = fmt.Sprintf("converged to %d points, want %d", res.ResultSize, want)
+	}
+	return res
+}
+
+// runRecoveryScenario executes the durability matrix: storage-engine
+// replay cells, then the cluster rejoin cells.
+func runRecoveryScenario(quick bool, logf func(format string, args ...any)) []Result {
+	var out []Result
+	replay := recoveryReplayMatrix(quick)
+	for i, c := range replay {
+		r := runRecoveryReplayCell(c)
+		out = append(out, r)
+		if r.Err != "" {
+			logf("[recovery %d/%d] replay n=%-8d every=%-5d ERROR: %s",
+				i+1, len(replay)+1, r.N, c.every, r.Err)
+			continue
+		}
+		logf("[recovery %d/%d] replay n=%-8d every=%-5d records=%d wal=%dB (amp ×%.2f) replayed=%d recovery=%-12s",
+			i+1, len(replay)+1, r.N, c.every, r.WALRecords, r.WALBytes,
+			float64(r.WALBytes)/float64(r.LogicalBytes), r.ReplayRecords, time.Duration(r.RecoveryNS))
+	}
+	rejoin := recoveryRejoinMatrix(quick)
+	for i, c := range rejoin {
+		r := runRecoveryRejoinCell(c)
+		out = append(out, r)
+		if r.Err != "" {
+			logf("[recovery %d/%d] rejoin n=%-8d missed=%-5d ERROR: %s",
+				len(replay)+i+1, len(replay)+len(rejoin), r.N, c.missed, r.Err)
+			continue
+		}
+		logf("[recovery %d/%d] rejoin n=%-8d missed=%-5d recovery=%-12s wire=%dB full=%dB (×%.3f) rounds=%d",
+			len(replay)+i+1, len(replay)+len(rejoin), r.N, c.missed,
+			time.Duration(r.RecoveryNS), r.WireBytes, r.BaselineBytes,
+			float64(r.WireBytes)/float64(r.BaselineBytes), r.Rounds)
+	}
+	return out
+}
+
 // runMatrix executes every cell and assembles the report.
 func runMatrix(cells []cell, quick bool, logf func(format string, args ...any)) Report {
 	rep := Report{
@@ -972,6 +1372,7 @@ func checkReport(data []byte) error {
 	clusterRows := 0
 	muxRows := 0
 	ratelessRows := map[string]int{}
+	recoveryRows := map[string]int{}
 	for i, r := range rep.Results {
 		if _, known := want[r.Strategy]; !known {
 			return fmt.Errorf("bench: result %d names unknown strategy %q", i, r.Strategy)
@@ -988,7 +1389,9 @@ func checkReport(data []byte) error {
 		if r.Err != "" {
 			return fmt.Errorf("bench: result %d (%s n=%d) failed: %s", i, r.Strategy, r.N, r.Err)
 		}
-		if r.SyncNS <= 0 || r.WireBytes <= 0 {
+		// Recovery replay rows measure the storage engine, not a wire
+		// exchange; they carry their own measurement gates below.
+		if r.Mode != "recovery" && (r.SyncNS <= 0 || r.WireBytes <= 0) {
 			return fmt.Errorf("bench: result %d (%s n=%d) carries no measurements", i, r.Strategy, r.N)
 		}
 		if r.Mode == "cluster" {
@@ -1048,6 +1451,37 @@ func checkReport(data []byte) error {
 			}
 			ratelessRows[r.Estimate]++
 		}
+		if r.Mode == "recovery" {
+			switch r.Phase {
+			case "replay":
+				if r.RecoveryNS <= 0 || r.WALRecords < 1 || r.WALBytes <= 0 || r.LogicalBytes <= 0 {
+					return fmt.Errorf("bench: recovery result %d carries no storage measurements", i)
+				}
+				if r.ReplayRecords < 1 {
+					return fmt.Errorf("bench: recovery result %d replayed no log records", i)
+				}
+				// The durability contract on the log itself: framing and
+				// batching overhead must stay modest. Snapshot bytes are
+				// recorded, not gated — they are the knob snapshot_every
+				// exists to trade.
+				if amp := float64(r.WALBytes) / float64(r.LogicalBytes); amp > 4 {
+					return fmt.Errorf("bench: recovery result %d: write amplification %.2f exceeds 4", i, amp)
+				}
+			case "rejoin":
+				if r.RecoveryNS <= 0 || r.BaselineBytes <= 0 || r.Rounds < 1 {
+					return fmt.Errorf("bench: recovery result %d carries no rejoin measurements", i)
+				}
+				// The rejoin contract: a recovered replica catches up in
+				// wire bytes proportional to what it missed — far below a
+				// full transfer of the state it already holds on disk.
+				if ratio := float64(r.WireBytes) / float64(r.BaselineBytes); ratio > 0.5 {
+					return fmt.Errorf("bench: recovery result %d (n=%d): rejoin wire ratio %.2f exceeds 0.5", i, r.N, ratio)
+				}
+			default:
+				return fmt.Errorf("bench: recovery result %d carries phase %q", i, r.Phase)
+			}
+			recoveryRows[r.Phase]++
+		}
 		want[r.Strategy] = true
 	}
 	for name, seen := range want {
@@ -1064,6 +1498,10 @@ func checkReport(data []byte) error {
 	}
 	if muxRows == 0 {
 		return fmt.Errorf("bench: no successful multiplexed-serving comparison result")
+	}
+	if recoveryRows["replay"] == 0 || recoveryRows["rejoin"] == 0 {
+		return fmt.Errorf("bench: recovery scenario incomplete: %d replay / %d rejoin rows",
+			recoveryRows["replay"], recoveryRows["rejoin"])
 	}
 	return nil
 }
@@ -1095,6 +1533,7 @@ func main() {
 	rep.Results = append(rep.Results, runClusterScenario(*quick, logf)...)
 	rep.Results = append(rep.Results, runRatelessScenario(*quick, logf)...)
 	rep.Results = append(rep.Results, runMuxScenario(*quick, logf)...)
+	rep.Results = append(rep.Results, runRecoveryScenario(*quick, logf)...)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

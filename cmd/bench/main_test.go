@@ -41,6 +41,16 @@ func tinyRatelessCells() []ratelessCell {
 	}
 }
 
+// tinyRecoveryCells is a minimal crash-recovery pair for in-process
+// testing: one replay cell (churn deliberately not a multiple of the
+// snapshot interval so a non-empty tail is replayed) and one rejoin
+// cell sized so the gated wire ratio measures delta-proportionality
+// rather than the fixed per-session strata overhead.
+func tinyRecoveryCells() (recoveryReplayCell, recoveryRejoinCell) {
+	return recoveryReplayCell{n: 2_000, churn: 300, every: 64},
+		recoveryRejoinCell{n: 8_000, extra: 12, missed: 48}
+}
+
 // tinyMuxCell is a minimal multiplexed-serving comparison for
 // in-process testing. The byte contract (connection overhead amortized
 // once) holds at this scale; the wall-clock contract is only gated on
@@ -62,6 +72,9 @@ func TestRunMatrixAndCheck(t *testing.T) {
 		rep.Results = append(rep.Results, runRatelessCell(c))
 	}
 	rep.Results = append(rep.Results, runMuxCell(tinyMuxCell()))
+	replayCell, rejoinCell := tinyRecoveryCells()
+	rep.Results = append(rep.Results, runRecoveryReplayCell(replayCell))
+	rep.Results = append(rep.Results, runRecoveryRejoinCell(rejoinCell))
 	for _, r := range rep.Results {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Strategy, r.Err)
@@ -126,6 +139,9 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 		rep.Results = append(rep.Results, runRatelessCell(c))
 	}
 	rep.Results = append(rep.Results, runMuxCell(tinyMuxCell()))
+	replayCell, rejoinCell := tinyRecoveryCells()
+	rep.Results = append(rep.Results, runRecoveryReplayCell(replayCell))
+	rep.Results = append(rep.Results, runRecoveryRejoinCell(rejoinCell))
 	good, _ := json.Marshal(rep)
 
 	cases := []struct {
@@ -157,6 +173,10 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 			r.Quick = true
 			r.Results[9].SyncNS = r.Results[9].BaselineNS
 		}, "wall-clock ratio"},
+		{"norecovery", func(r *Report) { r.Results = r.Results[:10] }, "recovery scenario incomplete"},
+		{"noreplay", func(r *Report) { r.Results[10].ReplayRecords = 0 }, "replayed no log records"},
+		{"writeamp", func(r *Report) { r.Results[10].WALBytes = 100 * r.Results[10].LogicalBytes }, "write amplification"},
+		{"rejoinratio", func(r *Report) { r.Results[11].WireBytes = r.Results[11].BaselineBytes }, "rejoin wire ratio"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"robustset"
@@ -20,6 +21,14 @@ import (
 // multiset, and the command reports rounds- and bytes-to-convergence.
 // It exits non-zero if the deadline passes without convergence, so CI
 // can run it as a smoke test.
+//
+// With -data the nodes are durable: each keeps its datasets in a
+// WAL+snapshot directory under the given root and survives restarts.
+// -kill-restart turns the demo into a crash-recovery smoke: after the
+// cluster converges, churn writes land on node 0, one node is killed
+// mid-churn, the survivors re-converge, and the killed node restarts
+// from its data directory — its recovery is verified byte-identical
+// against a fresh sketch build — and must catch up and re-converge.
 func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	nodes := fs.Int("nodes", 3, "number of nodes")
@@ -37,6 +46,10 @@ func cmdCluster(args []string) error {
 	deadline := fs.Duration("deadline", time.Minute, "overall demo deadline")
 	mux := fs.Bool("mux", false, "multiplex: one connection per peer, shards as parallel streams")
 	metricsAddr := fs.String("metrics", "", "serve the metrics JSON endpoint here (default: a loopback port when -mux)")
+	dataDir := fs.String("data", "", "durable storage root: one WAL+snapshot directory per node")
+	fsyncMode := fs.String("fsync", "always", "durable log fsync policy: always|none")
+	killRestart := fs.Bool("kill-restart", false, "kill one node mid-churn, restart it from its data directory, require re-convergence (needs -data)")
+	churn := fs.Int("churn", 120, "churn points written to node 0 around the kill (with -kill-restart)")
 	fs.Parse(args)
 	if *nodes < 2 {
 		return fmt.Errorf("cluster: -nodes %d < 2", *nodes)
@@ -48,14 +61,29 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	if *delta/2 < int64(*nodes) {
+	durable := *dataDir != ""
+	if *killRestart {
+		if !durable {
+			return fmt.Errorf("cluster: -kill-restart needs -data (the restarted node recovers from its directory)")
+		}
+		if *churn < 2 {
+			return fmt.Errorf("cluster: -churn %d < 2", *churn)
+		}
+	}
+	fsync, err := fsyncPolicyFor(*fsyncMode)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	// One stripe per node's extras, plus a reserved stripe for churn.
+	if *delta/2 < int64(*nodes+1) {
 		return fmt.Errorf("cluster: -delta %d too small for %d disjoint extra stripes", *delta, *nodes)
 	}
 
 	u := robustset.Universe{Dim: *dim, Delta: *delta}
 	// DiffBudget must cover the worst per-shard decode: with union
-	// application a session's diff is at most all nodes' extras.
-	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *nodes**extra + 8}
+	// application a session's diff is at most all nodes' extras plus any
+	// churn a downed node missed.
+	params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *nodes**extra + *churn + 8}
 
 	common, extras := clusterPoints(u, *n, *nodes, *extra, *seed)
 
@@ -83,34 +111,62 @@ func cmdCluster(args []string) error {
 	}
 
 	// Start the nodes: one Server each, all publishing dataset "demo".
+	// startNode also restarts: a node with a recorded address re-listens
+	// on it, so peers reconnect without reconfiguration, and a durable
+	// node recovers its datasets from disk (pts is ignored then).
 	type node struct {
 		srv  *robustset.Server
 		addr string
 	}
 	all := make([]*node, *nodes)
-	for i := range all {
-		srv := robustset.NewServer(robustset.WithServerMetrics(metrics))
-		pts := append(robustset.ClonePoints(common), extras[i]...)
-		if *shards > 1 {
-			if _, err := srv.PublishSharded("demo", params, pts, *shards); err != nil {
-				return err
-			}
-		} else {
-			if _, err := srv.Publish("demo", params, pts); err != nil {
-				return err
-			}
+	startNode := func(i int, pts []robustset.Point) error {
+		opts := []robustset.ServerOption{robustset.WithServerMetrics(metrics)}
+		if durable {
+			opts = append(opts,
+				robustset.WithServerDataDir(filepath.Join(*dataDir, fmt.Sprintf("node%d", i))),
+				robustset.WithServerFsync(fsync),
+				robustset.WithServerRecoveryVerify(),
+			)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		srv := robustset.NewServer(opts...)
+		var err error
+		switch {
+		case *shards > 1 && durable:
+			_, err = srv.PublishShardedDurable("demo", params, pts, *shards)
+		case *shards > 1:
+			_, err = srv.PublishSharded("demo", params, pts, *shards)
+		case durable:
+			_, err = srv.PublishDurable("demo", params, pts)
+		default:
+			_, err = srv.Publish("demo", params, pts)
+		}
 		if err != nil {
+			srv.Close()
+			return err
+		}
+		laddr := "127.0.0.1:0"
+		if all[i] != nil {
+			laddr = all[i].addr
+		}
+		ln, err := net.Listen("tcp", laddr)
+		if err != nil {
+			srv.Close()
 			return err
 		}
 		go srv.Serve(ln)
-		defer srv.Close()
 		all[i] = &node{srv: srv, addr: ln.Addr().String()}
+		return nil
+	}
+	for i := range all {
+		pts := append(robustset.ClonePoints(common), extras[i]...)
+		if err := startNode(i, pts); err != nil {
+			return err
+		}
+		defer func(i int) { all[i].srv.Close() }(i)
 	}
 
 	reps := make([]*robustset.Replicator, *nodes)
-	for i, nd := range all {
+	newRep := func(i int) (*robustset.Replicator, error) {
 		var peers []robustset.Peer
 		for j, other := range all {
 			if j != i {
@@ -128,7 +184,7 @@ func cmdCluster(args []string) error {
 		case "random":
 			sel = robustset.SelectRandomK(k, *seed+uint64(i))
 		default:
-			return fmt.Errorf("cluster: unknown -select %q (roundrobin|random)", *selection)
+			return nil, fmt.Errorf("cluster: unknown -select %q (roundrobin|random)", *selection)
 		}
 		opts := []robustset.ReplicatorOption{
 			robustset.WithReplicatorStrategy(strat),
@@ -140,11 +196,14 @@ func cmdCluster(args []string) error {
 		if *mux {
 			opts = append(opts, robustset.WithReplicatorMux())
 		}
-		rep, err := robustset.NewReplicator(nd.srv, peers, opts...)
+		return robustset.NewReplicator(all[i].srv, peers, opts...)
+	}
+	for i := range reps {
+		rep, err := newRep(i)
 		if err != nil {
 			return err
 		}
-		defer rep.Close()
+		defer func(i int) { reps[i].Close() }(i)
 		reps[i] = rep
 	}
 
@@ -152,8 +211,12 @@ func cmdCluster(args []string) error {
 	if *mux {
 		transportMode = "multiplexed (one connection per peer)"
 	}
-	fmt.Printf("cluster: %d nodes, %d base + %d extra points each, %d shard(s), %s, %s selection, %s\n",
-		*nodes, *n, *extra, *shards, strat.Name(), *selection, transportMode)
+	durability := "in-memory"
+	if durable {
+		durability = fmt.Sprintf("durable under %s (fsync %s)", *dataDir, *fsyncMode)
+	}
+	fmt.Printf("cluster: %d nodes, %d base + %d extra points each, %d shard(s), %s, %s selection, %s, %s\n",
+		*nodes, *n, *extra, *shards, strat.Name(), *selection, transportMode, durability)
 
 	snapshot := func(nd *node) []robustset.Point {
 		var out []robustset.Point
@@ -163,38 +226,82 @@ func cmdCluster(args []string) error {
 		return out
 	}
 	var totalBytes int64
-	converged := false
-	sweeps := 0
-	for sweep := 1; sweep <= *maxSweeps && !converged; sweep++ {
-		sweeps = sweep
-		var added, errs int
-		for i, rep := range reps {
-			st, err := rep.RunRound(ctx)
-			if err != nil {
-				return fmt.Errorf("cluster: node %d round: %w", i, err)
+	totalSweeps := 0
+	// converge sweeps rounds over the given nodes until they all hold
+	// the identical multiset.
+	converge := func(idx []int, label string) error {
+		for sweep := 1; sweep <= *maxSweeps; sweep++ {
+			totalSweeps++
+			var added, errs int
+			for _, i := range idx {
+				st, err := reps[i].RunRound(ctx)
+				if err != nil {
+					return fmt.Errorf("cluster: node %d round: %w", i, err)
+				}
+				totalBytes += st.Bytes
+				added += st.Added
+				errs += st.Errors
 			}
-			totalBytes += st.Bytes
-			added += st.Added
-			errs += st.Errors
-		}
-		fmt.Printf("  sweep %2d: +%d points, %d errors, %s total on the wire\n",
-			sweep, added, errs, byteCount(totalBytes))
-		ref := snapshot(all[0])
-		converged = true
-		for _, nd := range all[1:] {
-			if !robustset.EqualMultisets(ref, snapshot(nd)) {
-				converged = false
-				break
+			fmt.Printf("  [%s] sweep %2d: +%d points, %d errors, %s total on the wire\n",
+				label, sweep, added, errs, byteCount(totalBytes))
+			ref := snapshot(all[idx[0]])
+			converged := true
+			for _, i := range idx[1:] {
+				if !robustset.EqualMultisets(ref, snapshot(all[i])) {
+					converged = false
+					break
+				}
+			}
+			if converged {
+				return nil
 			}
 		}
+		return fmt.Errorf("cluster: %s: no convergence after %d sweeps", label, *maxSweeps)
 	}
-	if !converged {
-		return fmt.Errorf("cluster: no convergence after %d sweeps", *maxSweeps)
+	allIdx := make([]int, *nodes)
+	for i := range allIdx {
+		allIdx[i] = i
 	}
+	if err := converge(allIdx, "initial"); err != nil {
+		return err
+	}
+
 	want := *n + *nodes**extra
+	if *killRestart {
+		applied, err := runKillRestart(killRestartEnv{
+			churn:   churnPoints(u, *nodes, *churn, *seed),
+			victim:  *nodes - 1,
+			shards:  *shards,
+			dataset: "demo",
+			srv0:    all[0].srv,
+			close: func(i int) error {
+				reps[i].Close()
+				return all[i].srv.Close()
+			},
+			restart: func(i int) error {
+				if err := startNode(i, nil); err != nil {
+					return err
+				}
+				rep, err := newRep(i)
+				if err != nil {
+					return err
+				}
+				reps[i] = rep
+				return nil
+			},
+			converge: converge,
+			allIdx:   allIdx,
+			metrics:  metrics,
+		})
+		if err != nil {
+			return err
+		}
+		want += applied
+	}
+
 	got := len(snapshot(all[0]))
 	fmt.Printf("converged: %d sweeps, %s on the wire, every node holds %d points (expected %d)\n",
-		sweeps, byteCount(totalBytes), got, want)
+		totalSweeps, byteCount(totalBytes), got, want)
 	if got != want {
 		return fmt.Errorf("cluster: converged multiset has %d points, want %d", got, want)
 	}
@@ -206,6 +313,83 @@ func cmdCluster(args []string) error {
 		return checkMuxMetrics(metricsURL, *shards)
 	}
 	return nil
+}
+
+// killRestartEnv carries the cluster hooks the crash-recovery smoke
+// drives: mutate node 0, kill and restart a victim, re-converge subsets.
+type killRestartEnv struct {
+	churn    []robustset.Point
+	victim   int
+	shards   int
+	dataset  string
+	srv0     *robustset.Server
+	close    func(i int) error
+	restart  func(i int) error
+	converge func(idx []int, label string) error
+	allIdx   []int
+	metrics  *robustset.Metrics
+}
+
+// runKillRestart is the -kill-restart choreography: half the churn
+// lands, the victim dies mid-stream, the rest lands, the survivors
+// re-converge, and the victim restarts from disk and catches up. It
+// returns the number of churn points applied and fails if recovery or
+// re-convergence does not hold up.
+func runKillRestart(env killRestartEnv) (int, error) {
+	addChurn := func(pts []robustset.Point) error {
+		if env.shards > 1 {
+			return env.srv0.ShardedDataset(env.dataset).AddBatch(pts)
+		}
+		return env.srv0.Dataset(env.dataset).AddBatch(pts)
+	}
+	half := len(env.churn) / 2
+	if err := addChurn(env.churn[:half]); err != nil {
+		return 0, fmt.Errorf("cluster: churn: %w", err)
+	}
+	fmt.Printf("kill: node %d going down after %d/%d churn points\n", env.victim, half, len(env.churn))
+	if err := env.close(env.victim); err != nil {
+		return 0, fmt.Errorf("cluster: stopping node %d: %w", env.victim, err)
+	}
+	if err := addChurn(env.churn[half:]); err != nil {
+		return 0, fmt.Errorf("cluster: churn: %w", err)
+	}
+	survivors := make([]int, 0, len(env.allIdx)-1)
+	for _, i := range env.allIdx {
+		if i != env.victim {
+			survivors = append(survivors, i)
+		}
+	}
+	if err := env.converge(survivors, "survivors"); err != nil {
+		return 0, err
+	}
+
+	restartStart := time.Now()
+	if err := env.restart(env.victim); err != nil {
+		return 0, fmt.Errorf("cluster: restarting node %d: %w", env.victim, err)
+	}
+	fmt.Printf("restart: node %d recovered from its data directory in %s\n",
+		env.victim, time.Since(restartStart).Round(time.Millisecond))
+	if err := env.converge(env.allIdx, "rejoined"); err != nil {
+		return 0, err
+	}
+
+	// Recovery must actually have happened (one recovered dataset per
+	// shard of the victim), and the mux decode path must be clean.
+	snap := env.metrics.Snapshot()
+	wantRecovered := int64(1)
+	if env.shards > 1 {
+		wantRecovered = int64(env.shards)
+	}
+	if got := snap["server_recovered_datasets_total"]; got < wantRecovered {
+		return 0, fmt.Errorf("cluster: %d datasets recovered from disk, want >= %d", got, wantRecovered)
+	}
+	if f := snap["mux_decode_failures_total"]; f != 0 {
+		return 0, fmt.Errorf("cluster: %d mux decode failures during kill-restart, want 0", f)
+	}
+	fmt.Printf("recovery: %d datasets recovered, %d log records replayed, %d torn bytes truncated\n",
+		snap["server_recovered_datasets_total"], snap["store_replay_records_total"],
+		snap["store_torn_truncations_total"])
+	return len(env.churn), nil
 }
 
 // checkMuxMetrics polls the metrics endpoint and enforces the mux soak
@@ -249,7 +433,9 @@ func checkMuxMetrics(url string, shards int) error {
 
 // clusterPoints builds the demo workload: a common base multiset plus
 // per-node extras drawn from disjoint coordinate stripes so the expected
-// union size is exact.
+// union size is exact. The upper coordinate half is cut into nodes+1
+// stripes; the last is reserved for kill-restart churn (churnPoints), so
+// churn never collides with any node's extras.
 func clusterPoints(u robustset.Universe, n, nodes, extra int, seed uint64) ([]robustset.Point, [][]robustset.Point) {
 	rng := rand.New(rand.NewPCG(seed, ^seed))
 	// Base points live in the lower half of the first coordinate; extras
@@ -264,7 +450,7 @@ func clusterPoints(u robustset.Universe, n, nodes, extra int, seed uint64) ([]ro
 		common[i] = p
 	}
 	extras := make([][]robustset.Point, nodes)
-	stripe := u.Delta / 2 / int64(nodes)
+	stripe := u.Delta / 2 / int64(nodes+1)
 	for nd := range extras {
 		base := u.Delta/2 + int64(nd)*stripe
 		for j := 0; j < extra; j++ {
@@ -277,6 +463,31 @@ func clusterPoints(u robustset.Universe, n, nodes, extra int, seed uint64) ([]ro
 		}
 	}
 	return common, extras
+}
+
+// churnPoints draws `count` distinct points from the churn stripe — the
+// reserved slice of the upper coordinate half no node's extras touch —
+// so the converged multiset size stays exactly predictable.
+func churnPoints(u robustset.Universe, nodes, count int, seed uint64) []robustset.Point {
+	rng := rand.New(rand.NewPCG(seed^0x9e3779b97f4a7c15, seed))
+	stripe := u.Delta / 2 / int64(nodes+1)
+	base := u.Delta/2 + int64(nodes)*stripe
+	seen := make(map[string]bool, count)
+	pts := make([]robustset.Point, 0, count)
+	for len(pts) < count {
+		p := make(robustset.Point, u.Dim)
+		p[0] = base + rng.Int64N(stripe)
+		for j := 1; j < u.Dim; j++ {
+			p[j] = rng.Int64N(u.Delta)
+		}
+		key := fmt.Sprint(p)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pts = append(pts, p)
+	}
+	return pts
 }
 
 // byteCount renders a byte total human-readably.

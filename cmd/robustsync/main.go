@@ -7,19 +7,25 @@
 //	robustsync gen      -out points.txt -n 1000 -dim 2 -delta 1048576 [-from base.txt -noise 4 -outliers 10]
 //	robustsync quantize -csv data.csv -cols 1,2 -out points.txt [-delta 16777216] [-min a,b -max c,d]
 //	robustsync local    -alice a.txt -bob b.txt [-k 16] [-proto adaptive] [-out sprime.txt]
-//	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16]
+//	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16] [-data-dir ./state]
 //	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-mux] [-out sprime.txt]
 //	robustsync cluster  -nodes 3 -n 500 -extra 8 -shards 4 [-proto exact] [-mux] [-metrics 127.0.0.1:9090] [-deadline 1m]
 //
 // `serve` publishes each -data file as a named dataset (the file's base
 // name without extension) on a multi-dataset sync server; it serves every
 // protocol variant concurrently — multiplexed (MUX1) and legacy
-// connections alike — and shuts down gracefully on SIGINT.
+// connections alike — and shuts down gracefully on SIGINT. With
+// -data-dir the datasets are durable: every mutation is write-ahead
+// logged under the directory, and a restarted server recovers each
+// dataset from its snapshot plus log tail (the -data files then only
+// name the datasets; disk state wins).
 // `pull` opens a session naming one dataset and a protocol
 // (-proto oneshot|adaptive|exact|rateless|cpi|naive) and adopts the server's
 // reconciliation parameters automatically; -mux rides a multiplexed
 // client connection. `cluster` with -mux gossips every shard over one
-// connection per peer and asserts the metrics endpoint afterwards.
+// connection per peer and asserts the metrics endpoint afterwards; with
+// -data the nodes are durable, and -kill-restart runs the crash-recovery
+// smoke on top.
 package main
 
 import (
@@ -78,6 +84,18 @@ func usage() {
   cluster   run an N-node anti-entropy replication demo to convergence
 run "robustsync <cmd> -h" for flags`)
 	os.Exit(2)
+}
+
+// fsyncPolicyFor maps a -fsync flag value to the store policy.
+func fsyncPolicyFor(mode string) (robustset.FsyncPolicy, error) {
+	switch mode {
+	case "", "always":
+		return robustset.SyncAlways, nil
+	case "none":
+		return robustset.SyncNone, nil
+	default:
+		return robustset.SyncAlways, fmt.Errorf("unknown -fsync %q (always|none)", mode)
+	}
 }
 
 // strategyFor maps a -proto flag value to a Strategy.
@@ -265,13 +283,29 @@ func cmdServe(args []string) error {
 	k := fs.Int("k", 16, "difference budget")
 	seed := fs.Uint64("seed", 42, "shared protocol seed")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight sessions")
+	dataDir := fs.String("data-dir", "", "durable storage root: WAL+snapshot per dataset, recovered on restart")
+	fsyncMode := fs.String("fsync", "always", "durable log fsync policy: always|none")
+	snapEvery := fs.Int("snapshot-every", 0, "snapshot after this many log records (0 = store default, <0 = never)")
 	fs.Parse(args)
 	if len(data) == 0 {
 		return fmt.Errorf("serve: at least one -data is required")
 	}
-	srv := robustset.NewServer(robustset.WithServerLogger(func(format string, args ...any) {
+	fsync, err := fsyncPolicyFor(*fsyncMode)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	opts := []robustset.ServerOption{robustset.WithServerLogger(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
-	}))
+	})}
+	durable := *dataDir != ""
+	if durable {
+		opts = append(opts,
+			robustset.WithServerDataDir(*dataDir),
+			robustset.WithServerFsync(fsync),
+			robustset.WithServerSnapshotEvery(*snapEvery),
+		)
+	}
+	srv := robustset.NewServer(opts...)
 	for _, path := range data {
 		u, pts, err := readFile(path)
 		if err != nil {
@@ -279,10 +313,22 @@ func cmdServe(args []string) error {
 		}
 		params := robustset.Params{Universe: u, Seed: *seed, DiffBudget: *k}
 		name := datasetName(path)
-		if _, err := srv.Publish(name, params, pts); err != nil {
+		var d *robustset.Dataset
+		if durable {
+			// On a fresh directory the file seeds the dataset; on restart
+			// the recovered disk state wins and the file only names it.
+			d, err = srv.PublishDurable(name, params, pts)
+		} else {
+			d, err = srv.Publish(name, params, pts)
+		}
+		if err != nil {
 			return err
 		}
-		fmt.Printf("published dataset %q: %d points (dim=%d delta=%d)\n", name, len(pts), u.Dim, u.Delta)
+		mode := ""
+		if durable {
+			mode = ", durable"
+		}
+		fmt.Printf("published dataset %q: %d points (dim=%d delta=%d%s)\n", name, d.Size(), u.Dim, u.Delta, mode)
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

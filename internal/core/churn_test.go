@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -39,22 +38,11 @@ func TestMaintainerRemoveHeavyChurn(t *testing.T) {
 			current = append(current, dup)
 		}
 
+		// VerifyFreshBuild is the byte-identity oracle this test pins;
+		// recovery reuses it against snapshot+replay state (recover_test.go).
 		checkpoint := func(step int) {
-			got, err := m.Sketch().MarshalBinary()
-			if err != nil {
-				t.Fatalf("seed %d step %d: marshal: %v", seed, step, err)
-			}
-			rebuilt, err := BuildSketch(p, current)
-			if err != nil {
-				t.Fatalf("seed %d step %d: rebuild: %v", seed, step, err)
-			}
-			want, err := rebuilt.MarshalBinary()
-			if err != nil {
-				t.Fatalf("seed %d step %d: marshal rebuilt: %v", seed, step, err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Fatalf("seed %d step %d: maintained sketch diverged from fresh build of the %d survivors",
-					seed, step, len(current))
+			if err := m.VerifyFreshBuild(current); err != nil {
+				t.Fatalf("seed %d step %d (%d survivors): %v", seed, step, len(current), err)
 			}
 		}
 

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"robustset/internal/grid"
+	"robustset/internal/points"
+)
+
+// NewMaintainerFromSketch rebuilds a Maintainer from a recovered point
+// multiset and its previously serialized sketch, adopting the sketch's
+// tables instead of re-inserting every (cell, occurrence) key. Only the
+// per-level occupancy maps are recomputed — cell hashing without any
+// IBLT work — so recovery costs a fraction of a fresh build and the
+// adopted tables are bit-for-bit the ones that were persisted.
+//
+// The sketch must actually describe pts: its parameters must equal p
+// (compared on the normalized wire encoding) and its count must match.
+// Table contents are trusted — the caller's snapshot CRC vouches for
+// them; VerifyFreshBuild offers a full cross-check where paranoia is
+// warranted.
+func NewMaintainerFromSketch(p Params, pts []points.Point, sk *Sketch) (*Maintainer, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	pw, err := p.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	sw, err := sk.Params.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: recover: sketch params: %w", err)
+	}
+	if !bytes.Equal(pw, sw) {
+		return nil, fmt.Errorf("core: recover: sketch parameters differ from the dataset's")
+	}
+	if sk.Count != len(pts) {
+		return nil, fmt.Errorf("core: recover: sketch summarizes %d points, recovered state has %d", sk.Count, len(pts))
+	}
+	if got, want := len(sk.Tables), p.MaxLevel-p.MinLevel+1; got != want {
+		return nil, fmt.Errorf("core: recover: sketch has %d tables for level range [%d,%d]", got, p.MinLevel, p.MaxLevel)
+	}
+	if err := p.Universe.CheckSet(pts); err != nil {
+		return nil, err
+	}
+	g, err := gridFor(p)
+	if err != nil {
+		return nil, err
+	}
+	occs := buildOccupancies(p, g, pts, 0)
+	return &Maintainer{
+		params: p,
+		g:      g,
+		sketch: &Sketch{Params: p, Count: len(pts), Tables: sk.Tables},
+		occ:    occs,
+		count:  len(pts),
+		keyBuf: make([]byte, 0, KeyLen(p.Universe.Dim)),
+	}, nil
+}
+
+// buildOccupancies computes the per-level cell occupancy maps of pts —
+// the state buildTables produces alongside the tables, minus every IBLT
+// insert. Levels fan out over a bounded worker pool like buildTables.
+func buildOccupancies(p Params, g *grid.Grid, pts []points.Point, workers int) []occupancy {
+	levels := p.MaxLevel - p.MinLevel + 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > levels {
+		workers = levels
+	}
+	occs := make([]occupancy, levels)
+	order := newMortonOrder(g, pts)
+	fillOne := func(idx int) {
+		occ := make(occupancy, len(pts))
+		occs[idx] = occ
+		level := p.MinLevel + idx
+		if order != nil {
+			// Code-order scan: one map insert per distinct cell, counters
+			// bumped per point (see fillLevelSorted, minus the inserts).
+			d := g.Universe().Dim
+			cellShift := uint(d * (g.Levels() - level))
+			coordShift := uint(g.Levels() - level)
+			buf := make([]byte, 8*d)
+			var prev uint64
+			var cnt *uint32
+			for i, code := range order.codes {
+				cell := code >> cellShift
+				if i == 0 || cell != prev {
+					prev = cell
+					for j := 0; j < d; j++ {
+						binary.LittleEndian.PutUint64(buf[8*j:], uint64(order.coords[i*d+j]>>coordShift))
+					}
+					cnt = new(uint32)
+					occ[string(buf)] = cnt
+				}
+				*cnt++
+			}
+			return
+		}
+		buf := make([]byte, 0, KeyLen(p.Universe.Dim))
+		for _, pt := range pts {
+			buf = g.AppendCell(buf[:0], level, pt)
+			c := occ[string(buf)]
+			if c == nil {
+				c = new(uint32)
+				occ[string(buf)] = c
+			}
+			*c++
+		}
+	}
+	if workers == 1 {
+		for idx := 0; idx < levels; idx++ {
+			fillOne(idx)
+		}
+		return occs
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= levels {
+					return
+				}
+				fillOne(idx)
+			}
+		}()
+	}
+	wg.Wait()
+	return occs
+}
+
+// VerifyFreshBuild checks the maintainer's live sketch against a fresh
+// BuildSketch of pts on the wire encoding — the byte-identity invariant
+// the churn tests pin, promoted to a runtime oracle recovery can invoke.
+// pts must be the maintainer's current multiset.
+func (m *Maintainer) VerifyFreshBuild(pts []points.Point) error {
+	fresh, err := BuildSketch(m.params, pts)
+	if err != nil {
+		return fmt.Errorf("core: verify: fresh build: %w", err)
+	}
+	want, err := fresh.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: verify: %w", err)
+	}
+	got, err := m.Sketch().MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: verify: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("core: verify: maintained sketch (%d bytes) differs from fresh build (%d bytes) on %d points", len(got), len(want), len(pts))
+	}
+	return nil
+}

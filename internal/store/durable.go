@@ -1,0 +1,295 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Durable is the crash-safe storage engine: every mutation batch is
+// appended to a CRC-framed WAL (wal.log) before it applies, and every
+// SnapshotEvery records the caller's full state is written as an atomic
+// snapshot (snapshot.rsnap via rename), after which the log is truncated.
+// Recovery loads the snapshot, truncates a torn final WAL record if the
+// last append was cut mid-write, and returns the intact log tail for the
+// caller to replay — work proportional to the mutations since the last
+// snapshot, not to dataset size.
+//
+// One Durable owns one directory; running two engines (or two processes)
+// on the same directory corrupts it. All methods are safe for concurrent
+// use.
+type Durable struct {
+	dir       string
+	pointSize int
+	opts      Options
+
+	mu            sync.Mutex
+	f             *os.File
+	seq           uint64 // last sequence appended
+	snapSeq       uint64 // sequence covered by the current snapshot
+	recsSinceSnap int
+	buf           []byte // append scratch, reused
+	closed        bool
+}
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.rsnap"
+	tmpName  = "snapshot.rsnap.tmp"
+)
+
+// ErrStoreClosed is returned by operations on a closed engine.
+var ErrStoreClosed = errors.New("store: closed")
+
+// Recovered is what Open found on disk: the latest snapshot (nil on a
+// fresh directory), the intact WAL tail past it, and how many bytes of a
+// torn final record were truncated.
+type Recovered struct {
+	Snapshot *Snapshot
+	Tail     []Record
+	// TornBytes counts WAL bytes dropped because the final record was
+	// torn (cut mid-write by a crash) or corrupt.
+	TornBytes int
+}
+
+// Open opens (or creates) the engine's directory, recovers the on-disk
+// state and positions the WAL for appending. pointSize is the fixed
+// width of one encoded point and must match the directory's history.
+func Open(dir string, pointSize int, opts Options) (*Durable, *Recovered, error) {
+	if pointSize < 1 {
+		return nil, nil, fmt.Errorf("store: open %s: point size %d < 1", dir, pointSize)
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: open: %w", err)
+	}
+	// A leftover temporary is a snapshot whose write never completed;
+	// the rename never happened, so it is garbage.
+	_ = os.Remove(filepath.Join(dir, tmpName))
+
+	rec := &Recovered{}
+	if data, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		snap, err := ParseSnapshot(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		if snap.PointSize != pointSize {
+			return nil, nil, fmt.Errorf("store: open %s: snapshot point size %d, caller expects %d (parameters changed?)", dir, snap.PointSize, pointSize)
+		}
+		rec.Snapshot = snap
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("store: open: %w", err)
+	}
+
+	d := &Durable{dir: dir, pointSize: pointSize, opts: opts}
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open: %w", err)
+	}
+	d.f = f
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: open: %w", err)
+	}
+	if len(data) == 0 {
+		// Fresh log: write the header now so the file is never ambiguous.
+		if _, err := f.Write(appendWALHeader(nil, pointSize)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: open: %w", err)
+		}
+	} else {
+		ps, err := parseWALHeader(data)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		if ps != pointSize {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: open %s: WAL point size %d, caller expects %d (parameters changed?)", dir, ps, pointSize)
+		}
+		var skip uint64
+		if rec.Snapshot != nil {
+			skip = rec.Snapshot.Seq
+		}
+		tail, intact, lastSeq, torn := scanWAL(data[walHeaderSize:], pointSize, skip)
+		rec.Tail, d.seq = tail, lastSeq
+		if torn {
+			rec.TornBytes = len(data) - walHeaderSize - intact
+			if err := f.Truncate(int64(walHeaderSize + intact)); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("store: open: truncating torn tail: %w", err)
+			}
+			opts.Metrics.Counter("store_torn_truncations_total").Inc()
+		}
+		if _, err := f.Seek(int64(walHeaderSize+intact), 0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	if rec.Snapshot != nil {
+		d.snapSeq = rec.Snapshot.Seq
+	}
+	d.recsSinceSnap = len(rec.Tail)
+	opts.Metrics.Counter("store_recoveries_total").Inc()
+	opts.Metrics.Counter("store_replay_records_total").Add(int64(len(rec.Tail)))
+	return d, rec, nil
+}
+
+// Dir returns the engine's directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Seq returns the last appended WAL sequence number.
+func (d *Durable) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// Append implements Store: frame the batch, write it, fsync per policy.
+func (d *Durable) Append(op Op, pts [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrStoreClosed
+	}
+	buf, err := AppendWALRecord(d.buf[:0], d.seq+1, op, pts, d.pointSize)
+	if err != nil {
+		return err
+	}
+	d.buf = buf
+	if _, err := d.f.Write(buf); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := d.syncLocked(); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	d.seq++
+	d.recsSinceSnap++
+	d.opts.Metrics.Counter("store_wal_records_total").Inc()
+	d.opts.Metrics.Counter("store_wal_bytes_total").Add(int64(len(buf)))
+	return nil
+}
+
+// syncLocked fsyncs the WAL per policy, observing the latency.
+func (d *Durable) syncLocked() error {
+	if d.opts.Fsync != SyncAlways {
+		return nil
+	}
+	start := time.Now()
+	err := d.f.Sync()
+	d.opts.Metrics.Histogram("store_fsync_seconds").Observe(time.Since(start))
+	return err
+}
+
+// ShouldSnapshot implements Store.
+func (d *Durable) ShouldSnapshot() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.opts.SnapshotEvery > 0 && d.recsSinceSnap >= d.opts.SnapshotEvery
+}
+
+// WriteSnapshot implements Store: serialize the state, write it to a
+// temporary file, fsync, rename into place, then drop the covered log.
+// A crash at any point leaves either the old snapshot with its full log
+// or the new snapshot (whose seq makes any surviving log prefix a
+// harmless no-op on replay).
+func (d *Durable) WriteSnapshot(pts [][]byte, sketch []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrStoreClosed
+	}
+	start := time.Now()
+	err := d.writeSnapshotLocked(pts, sketch)
+	d.opts.Metrics.Histogram("store_snapshot_seconds").Observe(time.Since(start))
+	if err != nil {
+		d.opts.Metrics.Counter("store_snapshot_errors_total").Inc()
+		return err
+	}
+	d.opts.Metrics.Counter("store_snapshots_total").Inc()
+	return nil
+}
+
+func (d *Durable) writeSnapshotLocked(pts [][]byte, sketch []byte) error {
+	data, err := AppendSnapshot(nil, d.seq, d.pointSize, pts, sketch)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(d.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	syncDir(d.dir)
+	// The snapshot covers every appended record; the log restarts empty.
+	// A crash before the truncate is covered by the seq filter on replay.
+	if err := d.f.Truncate(walHeaderSize); err != nil {
+		return fmt.Errorf("store: snapshot: truncating log: %w", err)
+	}
+	if _, err := d.f.Seek(walHeaderSize, 0); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	d.snapSeq = d.seq
+	d.recsSinceSnap = 0
+	d.opts.Metrics.Counter("store_snapshot_bytes_total").Add(int64(len(data)))
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Failures
+// are ignored: not every filesystem supports it, and the rename itself
+// is already atomic.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// Close flushes and closes the WAL. Idempotent.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.f.Sync()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon closes the WAL file descriptor without flushing — the
+// crash-simulation hook kill/restart tests use to model a process dying
+// mid-run. On-disk state is exactly what the policy already persisted.
+func (d *Durable) Abandon() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	_ = d.f.Close()
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"robustset/internal/metrics"
+)
+
+const testPS = 16
+
+func openT(t *testing.T, dir string, o Options) (*Durable, *Recovered) {
+	t.Helper()
+	d, rec, err := Open(dir, testPS, o)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return d, rec
+}
+
+func TestDurableFreshOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, rec := openT(t, dir, Options{})
+	defer d.Close()
+	if rec.Snapshot != nil || len(rec.Tail) != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	if d.Seq() != 0 {
+		t.Fatalf("fresh seq = %d", d.Seq())
+	}
+	// The WAL header must exist on disk immediately.
+	data, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil || len(data) != walHeaderSize {
+		t.Fatalf("fresh WAL: %d bytes, err=%v", len(data), err)
+	}
+}
+
+func TestDurableAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openT(t, dir, Options{})
+	if err := d.Append(OpAdd, mkPts(testPS, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(OpRemove, mkPts(testPS, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := d.Append(OpAdd, nil); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	d2, rec := openT(t, dir, Options{})
+	defer d2.Close()
+	if rec.Snapshot != nil {
+		t.Fatal("unexpected snapshot")
+	}
+	if len(rec.Tail) != 2 || rec.Tail[0].Op != OpAdd || len(rec.Tail[0].Points) != 3 ||
+		rec.Tail[1].Op != OpRemove || rec.Tail[1].Seq != 2 {
+		t.Fatalf("tail: %+v", rec.Tail)
+	}
+	if d2.Seq() != 2 {
+		t.Fatalf("seq after reopen = %d", d2.Seq())
+	}
+	// Appends continue the sequence.
+	if err := d2.Append(OpAdd, mkPts(testPS, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Seq() != 3 {
+		t.Fatalf("seq after append = %d", d2.Seq())
+	}
+}
+
+func TestDurableSnapshotCoversLog(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openT(t, dir, Options{SnapshotEvery: 2})
+	if d.ShouldSnapshot() {
+		t.Fatal("fresh store wants a snapshot")
+	}
+	d.Append(OpAdd, mkPts(testPS, 2, 1))
+	d.Append(OpAdd, mkPts(testPS, 2, 2))
+	if !d.ShouldSnapshot() {
+		t.Fatal("2 records at interval 2: no snapshot wanted")
+	}
+	state := mkPts(testPS, 4, 9)
+	sketch := []byte("sketch-state")
+	if err := d.WriteSnapshot(state, sketch); err != nil {
+		t.Fatal(err)
+	}
+	if d.ShouldSnapshot() {
+		t.Fatal("snapshot did not reset the interval")
+	}
+	// The log is truncated to its header.
+	if data, _ := os.ReadFile(filepath.Join(dir, walName)); len(data) != walHeaderSize {
+		t.Fatalf("post-snapshot WAL is %d bytes", len(data))
+	}
+	// One more record after the snapshot.
+	d.Append(OpRemove, mkPts(testPS, 1, 9))
+	d.Close()
+
+	d2, rec := openT(t, dir, Options{SnapshotEvery: 2})
+	defer d2.Close()
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 2 || len(rec.Snapshot.Points) != 4 ||
+		string(rec.Snapshot.Sketch) != "sketch-state" {
+		t.Fatalf("snapshot: %+v", rec.Snapshot)
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0].Seq != 3 || rec.Tail[0].Op != OpRemove {
+		t.Fatalf("tail: %+v", rec.Tail)
+	}
+	if d2.Seq() != 3 {
+		t.Fatalf("seq = %d", d2.Seq())
+	}
+}
+
+// TestDurableCrashBetweenSnapshotAndTruncate models the one crash window
+// the seq filter exists for: the snapshot rename landed but the log
+// truncation never ran. Replay must skip every covered record.
+func TestDurableCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openT(t, dir, Options{})
+	d.Append(OpAdd, mkPts(testPS, 2, 1))
+	d.Append(OpAdd, mkPts(testPS, 2, 2))
+	// Write the snapshot file directly, bypassing the engine's truncate —
+	// exactly the on-disk state after a crash in that window.
+	data, err := AppendSnapshot(nil, d.Seq(), testPS, mkPts(testPS, 4, 7), []byte("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d.Abandon()
+
+	d2, rec := openT(t, dir, Options{})
+	defer d2.Close()
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 2 {
+		t.Fatalf("snapshot: %+v", rec.Snapshot)
+	}
+	if len(rec.Tail) != 0 {
+		t.Fatalf("covered records replayed: %+v", rec.Tail)
+	}
+	if d2.Seq() != 2 {
+		t.Fatalf("seq = %d", d2.Seq())
+	}
+}
+
+// TestDurableTornTailTruncated cuts the WAL at every byte offset of its
+// final record and verifies recovery keeps the intact prefix, truncates
+// the torn bytes on disk, and accepts new appends afterwards.
+func TestDurableTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openT(t, dir, Options{})
+	d.Append(OpAdd, mkPts(testPS, 2, 1))
+	d.Append(OpAdd, mkPts(testPS, 2, 2))
+	d.Append(OpRemove, mkPts(testPS, 3, 3))
+	d.Close()
+	full, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End of record 2 = full minus record 3's frame.
+	rec3 := recHeaderSize + recMetaSize + 3*testPS
+	prefix := len(full) - rec3
+
+	for cut := prefix + 1; cut < len(full); cut++ {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, walName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.New()
+		d2, rec := openT(t, dir2, Options{Metrics: reg})
+		if len(rec.Tail) != 2 || rec.TornBytes != cut-prefix {
+			t.Fatalf("cut=%d: tail=%d torn=%d (want 2, %d)", cut, len(rec.Tail), rec.TornBytes, cut-prefix)
+		}
+		if got, _ := os.ReadFile(filepath.Join(dir2, walName)); len(got) != prefix {
+			t.Fatalf("cut=%d: on-disk WAL %d bytes after truncate, want %d", cut, len(got), prefix)
+		}
+		// The engine keeps working past the truncation.
+		if err := d2.Append(OpAdd, mkPts(testPS, 1, 4)); err != nil {
+			t.Fatalf("cut=%d: append after truncate: %v", cut, err)
+		}
+		if d2.Seq() != 3 {
+			t.Fatalf("cut=%d: seq=%d, want 3 (torn record's seq reused)", cut, d2.Seq())
+		}
+		d2.Close()
+		d3, rec3v := openT(t, dir2, Options{})
+		if len(rec3v.Tail) != 3 || rec3v.TornBytes != 0 {
+			t.Fatalf("cut=%d: reopen tail=%d torn=%d", cut, len(rec3v.Tail), rec3v.TornBytes)
+		}
+		d3.Close()
+	}
+}
+
+func TestDurableStaleTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, tmpName)
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, rec := openT(t, dir, Options{})
+	defer d.Close()
+	if rec.Snapshot != nil {
+		t.Fatal("tmp file treated as a snapshot")
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale tmp survived open: %v", err)
+	}
+}
+
+func TestDurableRejectsMismatchedPointSize(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := openT(t, dir, Options{})
+	d.Append(OpAdd, mkPts(testPS, 1, 1))
+	d.WriteSnapshot(mkPts(testPS, 1, 1), nil)
+	d.Close()
+	if _, _, err := Open(dir, testPS+8, Options{}); err == nil {
+		t.Fatal("open with different point size succeeded")
+	}
+}
+
+func TestDurableMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	d, _ := openT(t, dir, Options{Metrics: reg, SnapshotEvery: -1})
+	d.Append(OpAdd, mkPts(testPS, 2, 1))
+	d.Append(OpRemove, mkPts(testPS, 1, 1))
+	d.WriteSnapshot(mkPts(testPS, 1, 1), []byte("s"))
+	d.Close()
+	snap := reg.Snapshot()
+	if snap["store_wal_records_total"] != 2 {
+		t.Fatalf("wal_records = %d", snap["store_wal_records_total"])
+	}
+	if snap["store_wal_bytes_total"] == 0 {
+		t.Fatal("wal_bytes = 0")
+	}
+	if snap["store_snapshots_total"] != 1 {
+		t.Fatalf("snapshots = %d", snap["store_snapshots_total"])
+	}
+	if snap["store_recoveries_total"] != 1 {
+		t.Fatalf("recoveries = %d", snap["store_recoveries_total"])
+	}
+	if snap["store_fsync_seconds_count"] != 2 {
+		t.Fatalf("fsync observations = %d", snap["store_fsync_seconds_count"])
+	}
+}
+
+func TestMemStoreIsInert(t *testing.T) {
+	m := Mem()
+	if err := m.Append(OpAdd, mkPts(8, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.ShouldSnapshot() {
+		t.Fatal("mem store wants a snapshot")
+	}
+	if err := m.WriteSnapshot(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

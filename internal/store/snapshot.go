@@ -1,0 +1,97 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Snapshot file layout:
+//
+//	"RSN1" | u64 seq | u16 pointSize | u32 npoints |
+//	npoints × pointSize bytes | u32 sketchLen | sketch blob |
+//	u32 crc32c(everything before)
+//
+// seq is the WAL sequence number the snapshot covers: recovery replays
+// only records with a higher sequence. The sketch blob is the dataset's
+// serialized multi-level sketch (core.Sketch wire encoding), stored so
+// recovery adopts the tables instead of rebuilding them from raw points.
+// The file is written to a temporary name and atomically renamed into
+// place, so a crash mid-write leaves the previous snapshot untouched.
+const (
+	snapMagic      = "RSN1"
+	snapHeaderSize = 4 + 8 + 2 + 4
+	// maxSnapshotPoints bounds the declared point count so a corrupt
+	// header cannot drive a pathological allocation during parse.
+	maxSnapshotPoints = 1 << 30
+)
+
+// Snapshot is one decoded snapshot file.
+type Snapshot struct {
+	// Seq is the WAL sequence number the snapshot covers.
+	Seq uint64
+	// PointSize is the fixed encoded-point width.
+	PointSize int
+	// Points holds every point occurrence, aliasing the parsed buffer.
+	Points [][]byte
+	// Sketch is the opaque serialized sketch state (empty if none was
+	// stored).
+	Sketch []byte
+}
+
+// AppendSnapshot appends the full snapshot encoding, CRC included.
+func AppendSnapshot(dst []byte, seq uint64, pointSize int, pts [][]byte, sketch []byte) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, snapMagic...)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(pointSize))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pts)))
+	for _, p := range pts {
+		if len(p) != pointSize {
+			return nil, fmt.Errorf("store: snapshot: point encoding is %d bytes, store expects %d", len(p), pointSize)
+		}
+		dst = append(dst, p...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sketch)))
+	dst = append(dst, sketch...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[start:], crcTable)), nil
+}
+
+// ParseSnapshot decodes and fully validates a snapshot file. Unlike a
+// torn WAL tail, a snapshot that fails validation is real corruption —
+// the rename that published it was atomic — so every error here is
+// fatal to recovery. The returned points and sketch alias b.
+func ParseSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < snapHeaderSize+4+4 || string(b[:4]) != snapMagic {
+		return nil, errors.New("store: snapshot: bad magic or short header")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, errors.New("store: snapshot: crc mismatch")
+	}
+	s := &Snapshot{
+		Seq:       binary.LittleEndian.Uint64(b[4:]),
+		PointSize: int(binary.LittleEndian.Uint16(b[12:])),
+	}
+	if s.PointSize < 1 {
+		return nil, errors.New("store: snapshot: zero point size")
+	}
+	n := int(binary.LittleEndian.Uint32(b[14:]))
+	if n < 0 || n > maxSnapshotPoints || snapHeaderSize+n*s.PointSize+4 > len(body) {
+		return nil, fmt.Errorf("store: snapshot: %d points do not fit %d bytes", n, len(b))
+	}
+	off := snapHeaderSize
+	s.Points = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		s.Points[i] = b[off : off+s.PointSize]
+		off += s.PointSize
+	}
+	skLen := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if skLen < 0 || off+skLen != len(body) {
+		return nil, fmt.Errorf("store: snapshot: sketch length %d does not fill the file", skLen)
+	}
+	s.Sketch = b[off : off+skLen]
+	return s, nil
+}

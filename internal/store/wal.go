@@ -1,0 +1,145 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL file layout:
+//
+//	header: "RWL1" | u16 pointSize
+//	record: u32 payloadLen | u32 crc32c(payload) | payload
+//	payload: u64 seq | u8 op | u32 count | count × pointSize bytes
+//
+// Records are length-prefixed and CRC-framed so a torn final write — the
+// normal aftermath of a crash mid-append — is detectable and truncatable
+// rather than fatal. Sequence numbers are monotone per store and let
+// recovery skip records a snapshot already covers (the crash window
+// between a snapshot rename and the log truncation that follows it).
+const (
+	walMagic      = "RWL1"
+	walHeaderSize = 4 + 2
+	recHeaderSize = 4 + 4     // payloadLen + crc
+	recMetaSize   = 8 + 1 + 4 // seq + op + count
+	// maxWALPayload bounds one record's payload so a corrupt length
+	// field can never drive a pathological allocation: parsing validates
+	// the length before touching the payload.
+	maxWALPayload = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTornRecord reports a record that does not parse — short, oversized,
+// CRC-mismatched or self-inconsistent. During recovery it marks the
+// truncation point of the log; everything before it is intact.
+var ErrTornRecord = errors.New("store: torn or corrupt WAL record")
+
+// appendWALHeader appends the WAL file header.
+func appendWALHeader(dst []byte, pointSize int) []byte {
+	dst = append(dst, walMagic...)
+	return binary.LittleEndian.AppendUint16(dst, uint16(pointSize))
+}
+
+// parseWALHeader validates the file header and returns the point size.
+func parseWALHeader(b []byte) (int, error) {
+	if len(b) < walHeaderSize || string(b[:4]) != walMagic {
+		return 0, errors.New("store: bad WAL magic or short header")
+	}
+	ps := int(binary.LittleEndian.Uint16(b[4:]))
+	if ps < 1 {
+		return 0, errors.New("store: WAL header has zero point size")
+	}
+	return ps, nil
+}
+
+// AppendWALRecord appends the framed encoding of one mutation batch.
+// Every point must be exactly pointSize bytes.
+func AppendWALRecord(dst []byte, seq uint64, op Op, pts [][]byte, pointSize int) ([]byte, error) {
+	if op != OpAdd && op != OpRemove {
+		return nil, fmt.Errorf("store: append: unknown op %d", op)
+	}
+	payloadLen := recMetaSize + len(pts)*pointSize
+	if payloadLen > maxWALPayload {
+		return nil, fmt.Errorf("store: append: batch of %d points exceeds the %d-byte record bound", len(pts), maxWALPayload)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	dst = append(dst, 0, 0, 0, 0) // crc placeholder
+	payloadStart := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = append(dst, byte(op))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pts)))
+	for _, p := range pts {
+		if len(p) != pointSize {
+			return nil, fmt.Errorf("store: append: point encoding is %d bytes, store expects %d", len(p), pointSize)
+		}
+		dst = append(dst, p...)
+	}
+	crc := crc32.Checksum(dst[payloadStart:], crcTable)
+	binary.LittleEndian.PutUint32(dst[payloadStart-4:], crc)
+	return dst, nil
+}
+
+// ParseWALRecord parses one record from the front of b. It returns the
+// record and the number of bytes consumed. Any framing violation —
+// truncated header, payload longer than the remaining bytes, CRC
+// mismatch, or a payload inconsistent with its own length — returns
+// ErrTornRecord (wrapped with detail): recovery truncates the log there.
+// The returned points alias b.
+func ParseWALRecord(b []byte, pointSize int) (Record, int, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, 0, fmt.Errorf("%w: %d header bytes", ErrTornRecord, len(b))
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b))
+	if payloadLen < recMetaSize || payloadLen > maxWALPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrTornRecord, payloadLen)
+	}
+	if len(b) < recHeaderSize+payloadLen {
+		return Record{}, 0, fmt.Errorf("%w: %d of %d payload bytes", ErrTornRecord, len(b)-recHeaderSize, payloadLen)
+	}
+	payload := b[recHeaderSize : recHeaderSize+payloadLen]
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(b[4:]) {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch", ErrTornRecord)
+	}
+	rec := Record{
+		Seq: binary.LittleEndian.Uint64(payload),
+		Op:  Op(payload[8]),
+	}
+	if rec.Op != OpAdd && rec.Op != OpRemove {
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrTornRecord, payload[8])
+	}
+	count := int(binary.LittleEndian.Uint32(payload[9:]))
+	if recMetaSize+count*pointSize != payloadLen {
+		return Record{}, 0, fmt.Errorf("%w: %d points do not fill %d payload bytes", ErrTornRecord, count, payloadLen)
+	}
+	rec.Points = make([][]byte, count)
+	body := payload[recMetaSize:]
+	for i := 0; i < count; i++ {
+		rec.Points[i] = body[i*pointSize : (i+1)*pointSize]
+	}
+	return rec, recHeaderSize + payloadLen, nil
+}
+
+// scanWAL parses every record of a WAL body (the file after its header).
+// It stops at the first torn record and reports how many bytes of the
+// body are intact; the caller truncates the rest. Records covered by
+// seq <= skipSeq (already in the snapshot) are dropped.
+func scanWAL(body []byte, pointSize int, skipSeq uint64) (tail []Record, intact int, lastSeq uint64, torn bool) {
+	lastSeq = skipSeq
+	for len(body[intact:]) > 0 {
+		rec, n, err := ParseWALRecord(body[intact:], pointSize)
+		if err != nil {
+			return tail, intact, lastSeq, true
+		}
+		intact += n
+		if rec.Seq > lastSeq {
+			lastSeq = rec.Seq
+		}
+		if rec.Seq <= skipSeq {
+			continue
+		}
+		tail = append(tail, rec)
+	}
+	return tail, intact, lastSeq, false
+}

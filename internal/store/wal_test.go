@@ -1,0 +1,243 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func mkPts(ps, n, salt int) [][]byte {
+	pts := make([][]byte, n)
+	for i := range pts {
+		p := make([]byte, ps)
+		binary.LittleEndian.PutUint32(p, uint32(salt*1000+i))
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestWALRecordRoundtrip(t *testing.T) {
+	const ps = 16
+	var buf []byte
+	var err error
+	want := []struct {
+		seq uint64
+		op  Op
+		n   int
+	}{{1, OpAdd, 3}, {2, OpRemove, 1}, {3, OpAdd, 0}, {4, OpRemove, 7}}
+	for _, w := range want {
+		buf, err = AppendWALRecord(buf, w.seq, w.op, mkPts(ps, w.n, int(w.seq)), ps)
+		if err != nil {
+			t.Fatalf("append seq %d: %v", w.seq, err)
+		}
+	}
+	off := 0
+	for i, w := range want {
+		rec, n, err := ParseWALRecord(buf[off:], ps)
+		if err != nil {
+			t.Fatalf("parse record %d: %v", i, err)
+		}
+		if rec.Seq != w.seq || rec.Op != w.op || len(rec.Points) != w.n {
+			t.Fatalf("record %d: got seq=%d op=%d n=%d, want %+v", i, rec.Seq, rec.Op, len(rec.Points), w)
+		}
+		for j, p := range rec.Points {
+			wantP := mkPts(ps, w.n, int(w.seq))[j]
+			if string(p) != string(wantP) {
+				t.Fatalf("record %d point %d mismatch", i, j)
+			}
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("parsed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestWALRecordRejectsBadInput(t *testing.T) {
+	const ps = 8
+	if _, err := AppendWALRecord(nil, 1, Op(9), mkPts(ps, 1, 0), ps); err == nil {
+		t.Fatal("append accepted unknown op")
+	}
+	if _, err := AppendWALRecord(nil, 1, OpAdd, [][]byte{make([]byte, ps-1)}, ps); err == nil {
+		t.Fatal("append accepted wrong-width point")
+	}
+	good, err := AppendWALRecord(nil, 1, OpAdd, mkPts(ps, 2, 0), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the op byte inside the payload: CRC must catch it.
+	bad := append([]byte(nil), good...)
+	bad[recHeaderSize+8] ^= 0xff
+	if _, _, err := ParseWALRecord(bad, ps); !errors.Is(err, ErrTornRecord) {
+		t.Fatalf("corrupted payload: got %v, want ErrTornRecord", err)
+	}
+	// An op value that passes CRC but is unknown (re-framed record).
+	payload := append([]byte(nil), good[recHeaderSize:]...)
+	payload[8] = 7
+	reframed := reframe(payload)
+	if _, _, err := ParseWALRecord(reframed, ps); !errors.Is(err, ErrTornRecord) {
+		t.Fatalf("unknown op: got %v, want ErrTornRecord", err)
+	}
+	// A count that disagrees with the payload length.
+	payload = append([]byte(nil), good[recHeaderSize:]...)
+	binary.LittleEndian.PutUint32(payload[9:], 99)
+	if _, _, err := ParseWALRecord(reframe(payload), ps); !errors.Is(err, ErrTornRecord) {
+		t.Fatalf("bad count: got %v, want ErrTornRecord", err)
+	}
+}
+
+// reframe wraps a raw payload in a fresh length+CRC frame.
+func reframe(payload []byte) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
+	return append(b, payload...)
+}
+
+func TestScanWALSkipsCoveredSeqs(t *testing.T) {
+	const ps = 8
+	var body []byte
+	for seq := uint64(1); seq <= 6; seq++ {
+		var err error
+		body, err = AppendWALRecord(body, seq, OpAdd, mkPts(ps, 1, int(seq)), ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail, intact, lastSeq, torn := scanWAL(body, ps, 4)
+	if torn || intact != len(body) {
+		t.Fatalf("clean log reported torn=%v intact=%d/%d", torn, intact, len(body))
+	}
+	if lastSeq != 6 || len(tail) != 2 || tail[0].Seq != 5 || tail[1].Seq != 6 {
+		t.Fatalf("skip=4: got lastSeq=%d tail=%v", lastSeq, tail)
+	}
+	// skipSeq beyond the log: empty tail, lastSeq stays at skipSeq.
+	tail, _, lastSeq, _ = scanWAL(body, ps, 10)
+	if len(tail) != 0 || lastSeq != 10 {
+		t.Fatalf("skip=10: got tail=%d lastSeq=%d", len(tail), lastSeq)
+	}
+}
+
+// TestScanWALTornAtEveryOffset is the satellite's crash-cut test: a log
+// of several records is cut at every byte offset of its final record,
+// and recovery must keep exactly the intact prefix every time.
+func TestScanWALTornAtEveryOffset(t *testing.T) {
+	const ps = 8
+	var body []byte
+	var err error
+	recEnds := make([]int, 0, 4)
+	for seq := uint64(1); seq <= 4; seq++ {
+		body, err = AppendWALRecord(body, seq, OpAdd, mkPts(ps, 3, int(seq)), ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recEnds = append(recEnds, len(body))
+	}
+	prefix := recEnds[len(recEnds)-2] // end of record 3
+	for cut := prefix; cut < len(body); cut++ {
+		tail, intact, lastSeq, torn := scanWAL(body[:cut], ps, 0)
+		if cut == prefix {
+			if torn {
+				t.Fatalf("cut at exact record boundary %d reported torn", cut)
+			}
+		} else if !torn {
+			t.Fatalf("cut=%d: partial final record not reported torn", cut)
+		}
+		if intact != prefix {
+			t.Fatalf("cut=%d: intact=%d, want %d", cut, intact, prefix)
+		}
+		if len(tail) != 3 || lastSeq != 3 {
+			t.Fatalf("cut=%d: tail=%d lastSeq=%d, want 3 records through seq 3", cut, len(tail), lastSeq)
+		}
+	}
+}
+
+// TestScanWALTornMidLog: corruption before the end stops the scan there —
+// nothing after a bad record can be trusted.
+func TestScanWALTornMidLog(t *testing.T) {
+	const ps = 8
+	var body []byte
+	var err error
+	var firstEnd int
+	for seq := uint64(1); seq <= 3; seq++ {
+		body, err = AppendWALRecord(body, seq, OpAdd, mkPts(ps, 2, int(seq)), ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq == 1 {
+			firstEnd = len(body)
+		}
+	}
+	body[firstEnd+recHeaderSize] ^= 0xff // corrupt record 2's payload
+	tail, intact, lastSeq, torn := scanWAL(body, ps, 0)
+	if !torn || intact != firstEnd || len(tail) != 1 || lastSeq != 1 {
+		t.Fatalf("mid-log corruption: torn=%v intact=%d tail=%d lastSeq=%d", torn, intact, len(tail), lastSeq)
+	}
+}
+
+func TestWALHeaderRoundtrip(t *testing.T) {
+	h := appendWALHeader(nil, 24)
+	if len(h) != walHeaderSize {
+		t.Fatalf("header is %d bytes, want %d", len(h), walHeaderSize)
+	}
+	ps, err := parseWALHeader(h)
+	if err != nil || ps != 24 {
+		t.Fatalf("got ps=%d err=%v", ps, err)
+	}
+	for _, bad := range [][]byte{nil, []byte("RWL"), []byte("XXXX\x08\x00"), appendWALHeader(nil, 0)[:6]} {
+		if _, err := parseWALHeader(bad); err == nil {
+			t.Fatalf("header %q accepted", bad)
+		}
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	const ps = 16
+	pts := mkPts(ps, 5, 42)
+	sketch := []byte("RSK1-pretend-sketch-bytes")
+	data, err := AppendSnapshot(nil, 77, ps, pts, sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq != 77 || s.PointSize != ps || len(s.Points) != 5 || string(s.Sketch) != string(sketch) {
+		t.Fatalf("roundtrip mismatch: %+v", s)
+	}
+	for i, p := range s.Points {
+		if string(p) != string(pts[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+	// Empty set, empty sketch.
+	data, err = AppendSnapshot(nil, 0, ps, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = ParseSnapshot(data)
+	if err != nil || len(s.Points) != 0 || len(s.Sketch) != 0 {
+		t.Fatalf("empty snapshot: %+v err=%v", s, err)
+	}
+}
+
+func TestParseSnapshotRejectsCorruption(t *testing.T) {
+	const ps = 8
+	data, err := AppendSnapshot(nil, 9, ps, mkPts(ps, 3, 1), []byte("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ParseSnapshot(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x01
+		if _, err := ParseSnapshot(bad); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}

@@ -33,6 +33,20 @@ import (
 //	replicator_session_errors_total    failed peer sessions
 //	replicator_bytes_total             round wire traffic
 //	replicator_round_seconds           round latency histogram
+//
+// Durable datasets (PublishDurable) add the storage-engine names:
+//
+//	store_wal_records_total            mutation batches appended to the log
+//	store_wal_bytes_total              bytes appended to the log
+//	store_fsync_seconds                log fsync latency histogram
+//	store_snapshots_total              snapshots written
+//	store_snapshot_seconds             snapshot write latency histogram
+//	store_snapshot_bytes_total         snapshot bytes written
+//	store_snapshot_errors_total        failed snapshot writes
+//	store_recoveries_total             storage directories opened
+//	store_replay_records_total         log records replayed at recovery
+//	store_torn_truncations_total       torn log tails truncated at recovery
+//	server_recovered_datasets_total    datasets rebuilt from disk state
 type Metrics struct{ reg *metrics.Registry }
 
 // NewMetrics builds an empty registry.

@@ -14,6 +14,7 @@ import (
 	"robustset/internal/metrics"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
+	"robustset/internal/store"
 	"robustset/internal/transport"
 )
 
@@ -32,6 +33,13 @@ var ErrUnknownDataset = errors.New("robustset: unknown dataset")
 // Remove cost O(levels) maintainer updates plus an O(1) map operation —
 // no linear scans on high-churn datasets. All methods are safe for
 // concurrent use with each other and with serving sessions.
+//
+// Every mutation writes through the dataset's storage engine before it
+// applies ("append before apply"): a batch is validated up front, logged
+// as one WAL record, then applied — so mutations are all-or-nothing and
+// the log never holds a batch that fails to apply. Datasets published
+// with Publish use the no-op in-memory engine (zero overhead); see
+// Server.PublishDurable for the WAL+snapshot engine.
 type Dataset struct {
 	name string
 
@@ -39,7 +47,8 @@ type Dataset struct {
 	maintainer *Maintainer
 	counts     map[string]int // encoded point → multiplicity
 	size       int
-	retired    bool // set by Server.Unpublish; mutations and serving reject
+	retired    bool        // set by Server.Unpublish; mutations and serving reject
+	store      store.Store // write-ahead engine; store.Mem() unless durable
 }
 
 // Name returns the dataset's published name.
@@ -74,30 +83,102 @@ func (d *Dataset) retire() {
 	d.mu.Unlock()
 }
 
-// addLocked inserts one point with d.mu held.
-func (d *Dataset) addLocked(pt Point) error {
-	if err := d.maintainer.Add(pt); err != nil {
-		return err
+// mutateLocked is the single write path behind Add/Remove/AddBatch/
+// RemoveBatch, with d.mu held: validate the whole batch, append it to
+// the storage engine as one record, then apply. Validation precedes the
+// append so the WAL never holds a batch that fails to apply, which makes
+// every mutation all-or-nothing: on error nothing was applied.
+func (d *Dataset) mutateLocked(op store.Op, pts []Point) error {
+	if d.retired {
+		return d.errRetired()
 	}
-	d.counts[string(points.EncodeNew(pt))]++
-	d.size++
+	u := d.maintainer.Params().Universe
+	encs := make([][]byte, len(pts))
+	if op == store.OpAdd {
+		for i, pt := range pts {
+			if !u.Contains(pt) {
+				return fmt.Errorf("robustset: add batch to %q: point %d of %d: %v outside universe (nothing applied)",
+					d.name, i, len(pts), pt)
+			}
+			encs[i] = points.EncodeNew(pt)
+		}
+	} else {
+		// Multiset-aware tally: the batch may remove several occurrences
+		// of one point, but never more than the dataset holds.
+		need := make(map[string]int, len(pts))
+		for i, pt := range pts {
+			encs[i] = points.EncodeNew(pt)
+			enc := string(encs[i])
+			if need[enc]++; need[enc] > d.counts[enc] {
+				return fmt.Errorf("robustset: remove batch from %q: point %d of %d: %w: %v not in dataset (nothing applied)",
+					d.name, i, len(pts), ErrNotPresent, pt)
+			}
+		}
+	}
+	if err := d.store.Append(op, encs); err != nil {
+		return fmt.Errorf("robustset: %q: log append: %w (nothing applied)", d.name, err)
+	}
+	// The batch validated and is on disk; application cannot fail short
+	// of internal state corruption, which must not pass silently.
+	for i, pt := range pts {
+		if op == store.OpAdd {
+			if err := d.maintainer.Add(pt); err != nil {
+				panic("robustset: validated add failed: " + err.Error())
+			}
+			d.counts[string(encs[i])]++
+			d.size++
+		} else {
+			if err := d.maintainer.Remove(pt); err != nil {
+				panic("robustset: validated remove failed: " + err.Error())
+			}
+			enc := string(encs[i])
+			if d.counts[enc]--; d.counts[enc] == 0 {
+				delete(d.counts, enc)
+			}
+			d.size--
+		}
+	}
+	d.maybeSnapshotLocked()
 	return nil
 }
 
-// removeLocked deletes one occurrence of pt with d.mu held.
-func (d *Dataset) removeLocked(pt Point) error {
-	enc := string(points.EncodeNew(pt))
-	if d.counts[enc] == 0 {
-		return fmt.Errorf("%w: %v not in dataset %q", ErrNotPresent, pt, d.name)
+// encodedStateLocked expands the occurrence counts into the flat list of
+// encoded points a snapshot stores, with d.mu held.
+func (d *Dataset) encodedStateLocked() [][]byte {
+	out := make([][]byte, 0, d.size)
+	for enc, c := range d.counts {
+		for i := 0; i < c; i++ {
+			out = append(out, []byte(enc))
+		}
 	}
-	if err := d.maintainer.Remove(pt); err != nil {
+	return out
+}
+
+// writeSnapshotLocked offers the engine the full state: every encoded
+// point occurrence plus the serialized sketch, with d.mu held.
+func (d *Dataset) writeSnapshotLocked() error {
+	blob, err := d.maintainer.Sketch().MarshalBinary()
+	if err != nil {
 		return err
 	}
-	if d.counts[enc]--; d.counts[enc] == 0 {
-		delete(d.counts, enc)
+	return d.store.WriteSnapshot(d.encodedStateLocked(), blob)
+}
+
+// maybeSnapshotLocked snapshots when the engine's log has grown past its
+// interval. A failed snapshot is not fatal — the log still holds every
+// record, and the next mutation retries; the engine counts the failure.
+func (d *Dataset) maybeSnapshotLocked() {
+	if d.store.ShouldSnapshot() {
+		_ = d.writeSnapshotLocked()
 	}
-	d.size--
-	return nil
+}
+
+// closeStore flushes and closes the dataset's storage engine. Later
+// mutations on a durable dataset fail; the in-memory engine is inert.
+func (d *Dataset) closeStore() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store.Close()
 }
 
 // Add inserts one point into the dataset, updating the maintained sketch
@@ -105,10 +186,7 @@ func (d *Dataset) removeLocked(pt Point) error {
 func (d *Dataset) Add(pt Point) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.retired {
-		return d.errRetired()
-	}
-	return d.addLocked(pt)
+	return d.mutateLocked(store.OpAdd, []Point{pt})
 }
 
 // Remove deletes one occurrence of pt from the dataset. It returns
@@ -116,48 +194,28 @@ func (d *Dataset) Add(pt Point) error {
 func (d *Dataset) Remove(pt Point) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.retired {
-		return d.errRetired()
-	}
-	return d.removeLocked(pt)
+	return d.mutateLocked(store.OpRemove, []Point{pt})
 }
 
 // AddBatch inserts every point in pts, taking the dataset lock once for
 // the whole batch — the bulk-apply path replication rounds use, where a
 // per-point lock round-trip would dominate the O(levels) sketch update.
-// On error the points before the failing one remain applied; the error
-// reports how many.
+// The batch is all-or-nothing: on error (any point outside the universe)
+// nothing was applied.
 func (d *Dataset) AddBatch(pts []Point) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.retired {
-		return d.errRetired()
-	}
-	for i, pt := range pts {
-		if err := d.addLocked(pt); err != nil {
-			return fmt.Errorf("robustset: add batch to %q: point %d of %d: %w (first %d applied)",
-				d.name, i, len(pts), err, i)
-		}
-	}
-	return nil
+	return d.mutateLocked(store.OpAdd, pts)
 }
 
 // RemoveBatch deletes one occurrence of every point in pts under a single
-// acquisition of the dataset lock. On error the removals before the
-// failing point remain applied; the error reports how many.
+// acquisition of the dataset lock. The batch is all-or-nothing: on error
+// (any point, counting batch-internal repeats, not present) nothing was
+// applied.
 func (d *Dataset) RemoveBatch(pts []Point) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.retired {
-		return d.errRetired()
-	}
-	for i, pt := range pts {
-		if err := d.removeLocked(pt); err != nil {
-			return fmt.Errorf("robustset: remove batch from %q: point %d of %d: %w (first %d applied)",
-				d.name, i, len(pts), err, i)
-		}
-	}
-	return nil
+	return d.mutateLocked(store.OpRemove, pts)
 }
 
 // snapshotLocked copies the current points with d.mu held.
@@ -322,6 +380,10 @@ type Server struct {
 	muxOff         bool
 	maxStreams     int
 	metrics        *metrics.Registry // nil-safe no-op when unset
+	dataDir        string            // root of durable dataset storage ("" = none)
+	fsync          FsyncPolicy
+	snapshotEvery  int
+	recoveryVerify bool
 
 	mu         sync.Mutex
 	datasets   map[string]*Dataset
@@ -428,7 +490,7 @@ func newDataset(name string, p Params, pts []Point) (*Dataset, error) {
 	for _, pt := range pts {
 		counts[string(points.EncodeNew(pt))]++
 	}
-	return &Dataset{name: name, maintainer: m, counts: counts, size: len(pts)}, nil
+	return &Dataset{name: name, maintainer: m, counts: counts, size: len(pts), store: store.Mem()}, nil
 }
 
 // validDatasetName rejects names the wire handshake cannot carry.
@@ -554,6 +616,9 @@ func (s *Server) Unpublish(name string) error {
 	}
 	for _, d := range retire {
 		d.retire()
+		if err := d.closeStore(); err != nil {
+			s.logf("robustset: server: unpublish %q: closing store: %v", d.Name(), err)
+		}
 	}
 	return nil
 }
@@ -840,10 +905,28 @@ func (s *Server) closeConns() {
 	}
 }
 
-// Shutdown gracefully stops the server: it closes the listeners, then
-// waits for in-flight sessions to finish. If ctx expires first, the
-// remaining sessions are aborted (their context is cancelled and their
-// connections closed) and ctx's error is returned.
+// closeStores flushes and closes every published dataset's storage
+// engine — the final fsync of a durable server's life. Mutations on
+// durable datasets fail afterwards; in-memory datasets are unaffected.
+func (s *Server) closeStores() {
+	s.mu.Lock()
+	ds := make([]*Dataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		ds = append(ds, d)
+	}
+	s.mu.Unlock()
+	for _, d := range ds {
+		if err := d.closeStore(); err != nil {
+			s.logf("robustset: server: closing store of %q: %v", d.Name(), err)
+		}
+	}
+}
+
+// Shutdown gracefully stops the server: it closes the listeners, waits
+// for in-flight sessions to finish, then closes the dataset storage
+// engines. If ctx expires first, the remaining sessions are aborted
+// (their context is cancelled and their connections closed) and ctx's
+// error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.inShutdown.Store(true)
 	s.closeListeners()
@@ -857,16 +940,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeStores()
 		return nil
 	case <-ctx.Done():
 		s.cancelBase()
 		s.closeConns()
 		<-done
+		s.closeStores()
 		return ctx.Err()
 	}
 }
 
-// Close immediately stops the server, aborting in-flight sessions.
+// Close immediately stops the server, aborting in-flight sessions and
+// closing the dataset storage engines.
 func (s *Server) Close() error {
 	s.inShutdown.Store(true)
 	s.closeListeners()
@@ -874,5 +960,6 @@ func (s *Server) Close() error {
 	s.cancelBase()
 	s.closeConns()
 	s.wg.Wait()
+	s.closeStores()
 	return nil
 }

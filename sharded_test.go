@@ -92,8 +92,9 @@ func TestDatasetBatchSemantics(t *testing.T) {
 	if d.Size() != len(alice)+3 {
 		t.Fatalf("size %d after AddBatch", d.Size())
 	}
-	// RemoveBatch with a missing point mid-batch: the points before it
-	// stay removed, the error names ErrNotPresent and the position.
+	// RemoveBatch with a missing point mid-batch is all-or-nothing: the
+	// error names ErrNotPresent and the position, and nothing is removed —
+	// the batch validates before it is logged and applied.
 	err = d.RemoveBatch([]robustset.Point{{1, 2}, {999, 999}, {5, 6}})
 	if !errors.Is(err, robustset.ErrNotPresent) {
 		t.Fatalf("RemoveBatch error = %v, want ErrNotPresent", err)
@@ -101,16 +102,34 @@ func TestDatasetBatchSemantics(t *testing.T) {
 	if !strings.Contains(err.Error(), "point 1 of 3") {
 		t.Errorf("batch error does not locate the failure: %v", err)
 	}
-	if d.Size() != len(alice)+2 {
-		t.Errorf("size %d after partial RemoveBatch, want %d", d.Size(), len(alice)+2)
+	if d.Size() != len(alice)+3 {
+		t.Errorf("size %d after rejected RemoveBatch, want %d (nothing applied)", d.Size(), len(alice)+3)
 	}
-	// AddBatch with an out-of-universe point behaves the same way.
+	// A batch removing more occurrences than the dataset holds is caught
+	// by the multiset-aware tally, even when each point exists.
+	if err := d.RemoveBatch([]robustset.Point{{1, 2}, {1, 2}}); !errors.Is(err, robustset.ErrNotPresent) {
+		t.Fatalf("over-removal of a present point = %v, want ErrNotPresent", err)
+	}
+	if d.Size() != len(alice)+3 {
+		t.Errorf("size %d after rejected over-removal, want %d", d.Size(), len(alice)+3)
+	}
+	// AddBatch with an out-of-universe point rejects the whole batch too.
 	err = d.AddBatch([]robustset.Point{{7, 8}, {-1, 0}})
 	if err == nil {
 		t.Fatal("AddBatch accepted an out-of-universe point")
 	}
-	if !strings.Contains(err.Error(), "first 1 applied") {
-		t.Errorf("batch error does not report applied count: %v", err)
+	if !strings.Contains(err.Error(), "nothing applied") {
+		t.Errorf("batch error does not state all-or-nothing: %v", err)
+	}
+	if d.Size() != len(alice)+3 {
+		t.Errorf("size %d after rejected AddBatch, want %d", d.Size(), len(alice)+3)
+	}
+	// The valid prefix of a rejected batch can be applied on its own.
+	if err := d.RemoveBatch([]robustset.Point{{1, 2}, {5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != len(alice)+1 {
+		t.Errorf("size %d after valid RemoveBatch, want %d", d.Size(), len(alice)+1)
 	}
 }
 
