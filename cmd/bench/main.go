@@ -51,6 +51,8 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -70,14 +72,22 @@ const SchemaVersion = 1
 
 // Report is the top-level BENCH_core.json document.
 type Report struct {
-	SchemaVersion int      `json:"schema_version"`
-	GoVersion     string   `json:"go_version"`
-	GOOS          string   `json:"goos"`
-	GOARCH        string   `json:"goarch"`
-	CPUs          int      `json:"cpus"`
-	Quick         bool     `json:"quick"`
-	Results       []Result `json:"results"`
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	CPUs          int    `json:"cpus"`
+	Quick         bool   `json:"quick"`
+	// Modes lists the scenarios this report ran when -mode selected a
+	// subset; empty (or absent, as in every full report) means all of
+	// them. The -check gates only demand coverage for listed scenarios,
+	// so a -mode load smoke report validates without core rows.
+	Modes   []string `json:"modes,omitempty"`
+	Results []Result `json:"results"`
 }
+
+// allModes enumerates the scenarios -mode can select, in run order.
+var allModes = []string{"core", "cluster", "rateless", "mux", "recovery", "load"}
 
 // Result is one matrix cell.
 type Result struct {
@@ -148,6 +158,20 @@ type Result struct {
 	LogicalBytes  int64  `json:"logical_bytes,omitempty"`
 	ReplayRecords int    `json:"replay_records,omitempty"`
 	RecoveryNS    int64  `json:"recovery_ns,omitempty"`
+
+	// Load-scenario rows (Mode == "load", see load.go) reuse Phase for
+	// the pooling setting ("baseline" / "pooled") and carry the closed
+	// loop's shape and its three measurements: throughput, the server's
+	// session-latency quantiles, and per-session heap allocations
+	// (process-wide MemStats deltas — both ends of every connection).
+	Conns           int     `json:"conns,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	Sessions        int64   `json:"sessions,omitempty"`
+	SessionsPerSec  float64 `json:"sessions_per_sec,omitempty"`
+	P50NS           int64   `json:"p50_ns,omitempty"`
+	P99NS           int64   `json:"p99_ns,omitempty"`
+	AllocsPerOp     int64   `json:"allocs_per_op,omitempty"`
+	AllocBytesPerOp int64   `json:"alloc_bytes_per_op,omitempty"`
 }
 
 // cell is one matrix coordinate before execution.
@@ -1365,6 +1389,20 @@ func checkReport(data []byte) error {
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("bench: empty results")
 	}
+	known := map[string]bool{}
+	for _, m := range allModes {
+		known[m] = true
+	}
+	sel := map[string]bool{}
+	for _, m := range rep.Modes {
+		if !known[m] {
+			return fmt.Errorf("bench: report names unknown mode %q", m)
+		}
+		sel[m] = true
+	}
+	// has reports whether the scenario's coverage gates apply: an empty
+	// mode list is a full report and owes every scenario.
+	has := func(m string) bool { return len(rep.Modes) == 0 || sel[m] }
 	want := map[string]bool{}
 	for _, s := range robustset.Strategies() {
 		want[s.Name()] = false
@@ -1373,6 +1411,14 @@ func checkReport(data []byte) error {
 	muxRows := 0
 	ratelessRows := map[string]int{}
 	recoveryRows := map[string]int{}
+	loadRows := map[string]int{}
+	// Baseline- and pooled-phase rows by cell coordinates, for the
+	// relative allocation-elimination gates on each cell.
+	loadBaseline := map[string]Result{}
+	loadPooled := map[string]Result{}
+	loadKey := func(r Result) string {
+		return fmt.Sprintf("n=%d conns=%d workers=%d", r.N, r.Conns, r.Workers)
+	}
 	for i, r := range rep.Results {
 		if _, known := want[r.Strategy]; !known {
 			return fmt.Errorf("bench: result %d names unknown strategy %q", i, r.Strategy)
@@ -1482,34 +1528,146 @@ func checkReport(data []byte) error {
 			}
 			recoveryRows[r.Phase]++
 		}
+		if r.Mode == "load" {
+			if r.Phase != "baseline" && r.Phase != "pooled" {
+				return fmt.Errorf("bench: load result %d carries phase %q", i, r.Phase)
+			}
+			if r.Conns < 1 || r.Workers < 1 || r.Sessions < 1 {
+				return fmt.Errorf("bench: load result %d carries no closed-loop shape", i)
+			}
+			if r.P50NS <= 0 || r.P99NS < r.P50NS {
+				return fmt.Errorf("bench: load result %d carries no latency quantiles (p50=%d p99=%d)", i, r.P50NS, r.P99NS)
+			}
+			if r.AllocsPerOp < 1 || r.AllocBytesPerOp < 1 {
+				return fmt.Errorf("bench: load result %d carries no allocation measurements", i)
+			}
+			// The throughput floor guards against a serializing regression,
+			// not machine speed: even one-session-at-a-time over loopback
+			// clears it hundreds of times over.
+			if r.SessionsPerSec < loadMinSessionsPerSec {
+				return fmt.Errorf("bench: load result %d (%s): %.1f sessions/sec under the %d floor",
+					i, r.Phase, r.SessionsPerSec, loadMinSessionsPerSec)
+			}
+			switch r.Phase {
+			case "baseline":
+				loadBaseline[loadKey(r)] = r
+			case "pooled":
+				if r.AllocsPerOp > loadMaxAllocsPerOp {
+					return fmt.Errorf("bench: load result %d: pooled %d allocs/op exceeds the %d ceiling",
+						i, r.AllocsPerOp, loadMaxAllocsPerOp)
+				}
+				loadPooled[loadKey(r)] = r
+			}
+			loadRows[r.Phase]++
+		}
 		want[r.Strategy] = true
 	}
-	for name, seen := range want {
-		if !seen {
-			return fmt.Errorf("bench: no successful result for strategy %q", name)
+	if has("core") {
+		for name, seen := range want {
+			if !seen {
+				return fmt.Errorf("bench: no successful result for strategy %q", name)
+			}
 		}
 	}
-	if clusterRows == 0 {
+	if has("cluster") && clusterRows == 0 {
 		return fmt.Errorf("bench: no successful cluster-convergence result")
 	}
-	if ratelessRows["accurate"] == 0 || ratelessRows["undershoot"] == 0 {
+	if has("rateless") && (ratelessRows["accurate"] == 0 || ratelessRows["undershoot"] == 0) {
 		return fmt.Errorf("bench: rateless scenario incomplete: %d accurate / %d undershoot rows",
 			ratelessRows["accurate"], ratelessRows["undershoot"])
 	}
-	if muxRows == 0 {
+	if has("mux") && muxRows == 0 {
 		return fmt.Errorf("bench: no successful multiplexed-serving comparison result")
 	}
-	if recoveryRows["replay"] == 0 || recoveryRows["rejoin"] == 0 {
+	if has("recovery") && (recoveryRows["replay"] == 0 || recoveryRows["rejoin"] == 0) {
 		return fmt.Errorf("bench: recovery scenario incomplete: %d replay / %d rejoin rows",
 			recoveryRows["replay"], recoveryRows["rejoin"])
 	}
+	if has("load") {
+		if loadRows["baseline"] == 0 || loadRows["pooled"] == 0 {
+			return fmt.Errorf("bench: load scenario incomplete: %d baseline / %d pooled rows",
+				loadRows["baseline"], loadRows["pooled"])
+		}
+		// The allocation-elimination contract: on the identical closed
+		// loop, the pooled serving path must allocate decisively less per
+		// session than the fresh-allocation baseline.
+		for key, pooled := range loadPooled {
+			base, ok := loadBaseline[key]
+			if !ok {
+				return fmt.Errorf("bench: load cell %s has a pooled row but no baseline row", key)
+			}
+			// Buffer recycling's win is in bytes — the frames it pools are
+			// the big allocations — so the decisive relative gate is on
+			// alloc bytes; the count ratio is a sanity bound that pooling
+			// never adds allocations.
+			if ratio := float64(pooled.AllocBytesPerOp) / float64(base.AllocBytesPerOp); ratio > loadAllocBytesRatio {
+				return fmt.Errorf("bench: load cell %s: pooled/baseline alloc-bytes ratio %.2f exceeds %.2f",
+					key, ratio, loadAllocBytesRatio)
+			}
+			if ratio := float64(pooled.AllocsPerOp) / float64(base.AllocsPerOp); ratio > loadAllocRatio {
+				return fmt.Errorf("bench: load cell %s: pooled/baseline allocation ratio %.2f exceeds %.2f",
+					key, ratio, loadAllocRatio)
+			}
+		}
+	}
 	return nil
+}
+
+// parseModes resolves the -mode flag into the scenario set to run and
+// the Modes list to stamp into the report (nil for a full run, so full
+// reports keep their historical shape).
+func parseModes(s string) (map[string]bool, []string, error) {
+	known := map[string]bool{}
+	for _, m := range allModes {
+		known[m] = true
+	}
+	sel := map[string]bool{}
+	var list []string
+	for _, m := range strings.Split(s, ",") {
+		m = strings.TrimSpace(m)
+		switch {
+		case m == "":
+		case m == "all":
+			for _, k := range allModes {
+				sel[k] = true
+			}
+		case known[m]:
+			if !sel[m] {
+				sel[m] = true
+				list = append(list, m)
+			}
+		default:
+			return nil, nil, fmt.Errorf("bench: unknown mode %q (have %s, or all)", m, strings.Join(allModes, ","))
+		}
+	}
+	if len(sel) == 0 {
+		return nil, nil, fmt.Errorf("bench: -mode selected no scenarios")
+	}
+	if len(sel) == len(allModes) {
+		list = nil // a full run; omit the field like every historical report
+	}
+	return sel, list, nil
+}
+
+// writeHeapProfile collects a post-GC heap profile at path — the
+// artifact the CI load-smoke job uploads when an allocation gate fails,
+// so the regression arrives with its own pprof evidence attached.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "trimmed matrix for CI smoke runs")
 	out := flag.String("out", "BENCH_core.json", "output path")
 	check := flag.String("check", "", "validate an existing report instead of running")
+	mode := flag.String("mode", "all", "comma-separated scenarios to run: "+strings.Join(allModes, ",")+", or all")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile (pprof) to this path")
 	flag.Parse()
 
 	if *check != "" {
@@ -1526,14 +1684,47 @@ func main() {
 		return
 	}
 
+	sel, modeList, err := parseModes(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	rep := runMatrix(matrix(*quick), *quick, logf)
-	rep.Results = append(rep.Results, runClusterScenario(*quick, logf)...)
-	rep.Results = append(rep.Results, runRatelessScenario(*quick, logf)...)
-	rep.Results = append(rep.Results, runMuxScenario(*quick, logf)...)
-	rep.Results = append(rep.Results, runRecoveryScenario(*quick, logf)...)
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Quick:         *quick,
+		Modes:         modeList,
+	}
+	if sel["core"] {
+		rep.Results = append(rep.Results, runMatrix(matrix(*quick), *quick, logf).Results...)
+	}
+	if sel["cluster"] {
+		rep.Results = append(rep.Results, runClusterScenario(*quick, logf)...)
+	}
+	if sel["rateless"] {
+		rep.Results = append(rep.Results, runRatelessScenario(*quick, logf)...)
+	}
+	if sel["mux"] {
+		rep.Results = append(rep.Results, runMuxScenario(*quick, logf)...)
+	}
+	if sel["recovery"] {
+		rep.Results = append(rep.Results, runRecoveryScenario(*quick, logf)...)
+	}
+	if sel["load"] {
+		rep.Results = append(rep.Results, runLoadScenario(*quick, logf)...)
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -60,6 +60,16 @@ func tinyMuxCell() muxCell {
 	return muxCell{shards: 4, perShard: 60, diff: 16, budget: 12}
 }
 
+// tinyLoadCell is a minimal closed-loop load scenario for in-process
+// testing: enough concurrent sessions to exercise the worker fan-out
+// and the MemStats accounting, small enough for a unit-test budget —
+// including under -race, where each robust session costs an order of
+// magnitude more wall clock (the shallow universe keeps the per-level
+// work down so the liveness floor holds on instrumented runners).
+func tinyLoadCell() loadCell {
+	return loadCell{datasets: 4, conns: 2, workers: 4, iters: 8, n: 300, diff: 4, delta: 1 << 12}
+}
+
 // TestRunMatrixAndCheck runs the harness end to end on a tiny matrix and
 // validates the produced report with the same checker CI uses.
 func TestRunMatrixAndCheck(t *testing.T) {
@@ -75,6 +85,7 @@ func TestRunMatrixAndCheck(t *testing.T) {
 	replayCell, rejoinCell := tinyRecoveryCells()
 	rep.Results = append(rep.Results, runRecoveryReplayCell(replayCell))
 	rep.Results = append(rep.Results, runRecoveryRejoinCell(rejoinCell))
+	rep.Results = append(rep.Results, runLoadCell(tinyLoadCell())...)
 	for _, r := range rep.Results {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Strategy, r.Err)
@@ -142,6 +153,7 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 	replayCell, rejoinCell := tinyRecoveryCells()
 	rep.Results = append(rep.Results, runRecoveryReplayCell(replayCell))
 	rep.Results = append(rep.Results, runRecoveryRejoinCell(rejoinCell))
+	rep.Results = append(rep.Results, runLoadCell(tinyLoadCell())...)
 	good, _ := json.Marshal(rep)
 
 	cases := []struct {
@@ -177,6 +189,12 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 		{"noreplay", func(r *Report) { r.Results[10].ReplayRecords = 0 }, "replayed no log records"},
 		{"writeamp", func(r *Report) { r.Results[10].WALBytes = 100 * r.Results[10].LogicalBytes }, "write amplification"},
 		{"rejoinratio", func(r *Report) { r.Results[11].WireBytes = r.Results[11].BaselineBytes }, "rejoin wire ratio"},
+		{"noload", func(r *Report) { r.Results = r.Results[:12] }, "load scenario incomplete"},
+		{"loadrate", func(r *Report) { r.Results[12].SessionsPerSec = 1 }, "sessions/sec under"},
+		{"loadceiling", func(r *Report) { r.Results[13].AllocsPerOp = loadMaxAllocsPerOp + 1 }, "allocs/op exceeds"},
+		{"loadbytesratio", func(r *Report) { r.Results[13].AllocBytesPerOp = 2 * r.Results[12].AllocBytesPerOp }, "alloc-bytes ratio"},
+		{"loadallocratio", func(r *Report) { r.Results[13].AllocsPerOp = r.Results[12].AllocsPerOp + 1 }, "allocation ratio"},
+		{"loadorphan", func(r *Report) { r.Results[12].Conns++ }, "no baseline row"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -28,12 +28,14 @@
 package core
 
 import (
+	"bytes"
 	"cmp"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
 	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -143,12 +145,19 @@ func gridFor(p Params) (*grid.Grid, error) {
 
 // levelTable constructs the empty IBLT for one level under p.
 func levelTable(p Params, level, capacity int) (*iblt.Table, error) {
-	return iblt.New(iblt.Config{
+	return iblt.New(levelConfig(p, level, capacity))
+}
+
+// levelConfig is the (normalized) table configuration levelTable builds
+// with — computable without constructing a table, which the sketch
+// decoder uses to validate deserialized tables allocation-free.
+func levelConfig(p Params, level, capacity int) iblt.Config {
+	return iblt.Config{
 		Cells:     iblt.RecommendedCells(capacity, p.HashCount),
 		HashCount: p.HashCount,
 		KeyLen:    KeyLen(p.Universe.Dim),
 		Seed:      hashutil.DeriveSeedN(p.Seed, "core/level", level),
-	})
+	}.Normalized()
 }
 
 // appendKey encodes the (cell, occurrence) IBLT key.
@@ -519,13 +528,22 @@ func Reconcile(s *Sketch, bobPts []points.Point) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Params: p}
+	// One scratch table cycles through the level scan: every level has
+	// the same shape, so each attempt is a storage-reusing copy, an
+	// in-place subtraction and a destructive decode — no per-level table
+	// allocations on this per-session path.
+	var scratch *iblt.Table
 	for l := p.MaxLevel; l >= p.MinLevel; l-- {
 		idx := l - p.MinLevel
-		t := s.Tables[idx].Clone()
-		if err := t.Sub(mine.Tables[idx]); err != nil {
+		if scratch == nil {
+			scratch = s.Tables[idx].Clone()
+		} else if err := scratch.CopyFrom(s.Tables[idx]); err != nil {
 			return nil, fmt.Errorf("core: level %d: %w", l, err)
 		}
-		diff, derr := t.Decode()
+		if err := scratch.Sub(mine.Tables[idx]); err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", l, err)
+		}
+		diff, derr := scratch.DecodeMut()
 		if derr != nil {
 			res.Outcomes = append(res.Outcomes, LevelOutcome{Level: l})
 			continue
@@ -540,17 +558,37 @@ func Reconcile(s *Sketch, bobPts []points.Point) (*Result, error) {
 }
 
 // repair applies a decoded level difference to Bob's multiset.
+//
+// Per-point work here is the dominant allocation site of the whole
+// fetch path (it runs once per session over all of |S_B|), so the
+// occupancy grouping and the result clone both work out of single flat
+// buffers: a sorted index over one encoded-cells buffer instead of a
+// map of per-cell slices, and one backing array carved into the S'_B
+// points instead of a clone per point.
 func repair(res *Result, g *grid.Grid, level int, diff *iblt.Diff, bobPts []points.Point) error {
 	res.Level = level
 	res.CellWidth = g.CellWidth(level)
 	// Recompute Bob's occupancy at this level so Bob-only keys (cell,occ)
-	// resolve to concrete points of his.
-	occupants := make(map[string][]int, len(bobPts)) // cell key → point indices, in slice order
-	cellBuf := make([]byte, 0, g.EncodedCellSize())
-	for i, p := range bobPts {
-		cellBuf = g.AppendCell(cellBuf[:0], level, p)
-		occupants[string(cellBuf)] = append(occupants[string(cellBuf)], i)
+	// resolve to concrete points of his. Sorting the point indices by
+	// (encoded cell, index) groups each cell's occupants contiguously in
+	// slice order, so occurrence j of a cell is the j-th entry of its run.
+	cs := g.EncodedCellSize()
+	cells := make([]byte, 0, len(bobPts)*cs)
+	for _, p := range bobPts {
+		cells = g.AppendCell(cells, level, p)
 	}
+	cellAt := func(i int32) []byte { return cells[int(i)*cs : (int(i)+1)*cs] }
+	order := make([]int32, len(bobPts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := bytes.Compare(cellAt(a), cellAt(b)); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	cellBuf := make([]byte, 0, cs)
 	remove := make(map[int]bool, len(diff.Neg))
 	for _, key := range diff.Neg {
 		cell, occ, err := splitKey(g, key)
@@ -558,11 +596,17 @@ func repair(res *Result, g *grid.Grid, level int, diff *iblt.Diff, bobPts []poin
 			return fmt.Errorf("%w: %v", ErrInconsistentSketch, err)
 		}
 		cellBuf = g.EncodeCell(cellBuf[:0], cell)
-		ids := occupants[string(cellBuf)]
-		if int(occ) >= len(ids) {
-			return fmt.Errorf("%w: bob-only key names occurrence %d of a cell with %d local points", ErrInconsistentSketch, occ, len(ids))
+		first := sort.Search(len(order), func(j int) bool {
+			return bytes.Compare(cellAt(order[j]), cellBuf) >= 0
+		})
+		run := 0
+		for first+run < len(order) && bytes.Equal(cellAt(order[first+run]), cellBuf) {
+			run++
 		}
-		idx := ids[occ]
+		if int(occ) >= run {
+			return fmt.Errorf("%w: bob-only key names occurrence %d of a cell with %d local points", ErrInconsistentSketch, occ, run)
+		}
+		idx := int(order[first+int(occ)])
 		if remove[idx] {
 			return fmt.Errorf("%w: point %d removed twice", ErrInconsistentSketch, idx)
 		}
@@ -570,9 +614,15 @@ func repair(res *Result, g *grid.Grid, level int, diff *iblt.Diff, bobPts []poin
 		res.Removed = append(res.Removed, bobPts[idx])
 	}
 	res.SPrime = make([]points.Point, 0, len(bobPts)-len(remove)+len(diff.Pos))
+	backing := make([]int64, 0, (len(bobPts)-len(remove))*g.Dim())
 	for i, p := range bobPts {
 		if !remove[i] {
-			res.SPrime = append(res.SPrime, p.Clone())
+			// Full-slice expressions keep each point's capacity at its own
+			// length, so appending to one returned point cannot clobber its
+			// neighbor in the shared backing array.
+			start := len(backing)
+			backing = append(backing, p...)
+			res.SPrime = append(res.SPrime, points.Point(backing[start:len(backing):len(backing)]))
 		}
 	}
 	for _, key := range diff.Pos {

@@ -138,18 +138,14 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		if off+l > len(data) {
 			return errors.New("core: sketch: truncated table body")
 		}
-		t, err := levelTable(p, p.MinLevel+i, p.TableCapacity)
-		if err != nil {
-			return err
-		}
-		got := t.Clone() // placeholder replaced below by unmarshal
+		got := new(iblt.Table) // UnmarshalBinary builds the table itself
 		if err := got.UnmarshalBinary(data[off : off+l]); err != nil {
 			return fmt.Errorf("core: sketch: level %d: %w", p.MinLevel+i, err)
 		}
 		// The embedded table must match the config implied by the sketch
 		// parameters, or Bob's locally built tables would not subtract.
-		if got.Config() != t.Config() {
-			return fmt.Errorf("core: sketch: level %d table config %+v does not match parameters (%+v)", p.MinLevel+i, got.Config(), t.Config())
+		if want := levelConfig(p, p.MinLevel+i, p.TableCapacity); got.Config() != want {
+			return fmt.Errorf("core: sketch: level %d table config %+v does not match parameters (%+v)", p.MinLevel+i, got.Config(), want)
 		}
 		off += l
 		ns.Tables = append(ns.Tables, got)

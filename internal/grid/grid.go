@@ -158,6 +158,9 @@ func (g *Grid) AppendCell(dst []byte, level int, p points.Point) []byte {
 	return dst
 }
 
+// Dim returns the dimensionality of the grid's universe.
+func (g *Grid) Dim() int { return g.u.Dim }
+
 // EncodedCellSize returns the byte length of EncodeCell output for this
 // grid: 8 bytes per dimension.
 func (g *Grid) EncodedCellSize() int { return 8 * g.u.Dim }

@@ -107,6 +107,29 @@ func newCellBlock(start, n, keyLen int) *CellBlock {
 	}
 }
 
+// grown returns s resized to n elements, zeroed, reusing its backing
+// array when capacity allows.
+func grown[T int64 | uint64 | byte](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}
+
+// resetTo re-shapes the block to cover n cells starting at start,
+// reusing its slices when they are big enough — the in-place form of
+// newCellBlock that lets long-lived serving loops emit and parse
+// blocks without per-block allocations.
+func (b *CellBlock) resetTo(start, n, keyLen int) {
+	b.Start = start
+	b.KeyLen = keyLen
+	b.Counts = grown(b.Counts, n)
+	b.KeySums = grown(b.KeySums, n*keyLen)
+	b.Checks = grown(b.Checks, n)
+}
+
 // apply folds one key occurrence into cell i of the block.
 func (b *CellBlock) apply(i int, key []byte, chk uint64, sign int64) {
 	b.Counts[i] += sign
@@ -133,7 +156,13 @@ func BlockWireSize(n, keyLen int) int {
 //	"IBX1" | start u32 | count u32 | keyLen u16 |
 //	count × ( count i32 | keySum keyLen bytes | checksum u64 )
 func (b *CellBlock) MarshalBinary() ([]byte, error) {
-	out := make([]byte, 0, BlockWireSize(b.Len(), b.KeyLen))
+	return b.AppendBinary(make([]byte, 0, BlockWireSize(b.Len(), b.KeyLen)))
+}
+
+// AppendBinary appends the wire encoding to dst and returns the
+// extended slice — MarshalBinary into a caller-reused buffer.
+func (b *CellBlock) AppendBinary(dst []byte) ([]byte, error) {
+	out := dst
 	out = append(out, blockMagic...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(b.Start))
 	out = binary.LittleEndian.AppendUint32(out, uint32(b.Len()))
@@ -151,7 +180,9 @@ func (b *CellBlock) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary parses MarshalBinary output. The declared cell count is
 // validated against the buffer length before any allocation, so a hostile
-// header cannot drive an oversized allocation.
+// header cannot drive an oversized allocation. The receiver's slices are
+// reused when big enough, so parsing successive blocks into one
+// CellBlock is allocation-free at steady state.
 func (b *CellBlock) UnmarshalBinary(data []byte) error {
 	if len(data) < blockHeaderSize || string(data[:4]) != blockMagic {
 		return errors.New("iblt: block unmarshal: bad magic or short header")
@@ -169,17 +200,18 @@ func (b *CellBlock) UnmarshalBinary(data []byte) error {
 	if uint64(len(data)) != want {
 		return fmt.Errorf("iblt: block unmarshal: have %d bytes, want %d", len(data), want)
 	}
-	nb := newCellBlock(start, n, keyLen)
+	// All validation is done; the fill loop below cannot fail, so the
+	// receiver can be re-shaped in place.
+	b.resetTo(start, n, keyLen)
 	off := blockHeaderSize
 	for i := 0; i < n; i++ {
-		nb.Counts[i] = int64(int32(binary.LittleEndian.Uint32(data[off:])))
+		b.Counts[i] = int64(int32(binary.LittleEndian.Uint32(data[off:])))
 		off += 4
-		copy(nb.KeySums[i*keyLen:(i+1)*keyLen], data[off:off+keyLen])
+		copy(b.KeySums[i*keyLen:(i+1)*keyLen], data[off:off+keyLen])
 		off += keyLen
-		nb.Checks[i] = binary.LittleEndian.Uint64(data[off:])
+		b.Checks[i] = binary.LittleEndian.Uint64(data[off:])
 		off += 8
 	}
-	*b = *nb
 	return nil
 }
 
@@ -244,20 +276,29 @@ func (s *CellStream) Frontier() int { return s.frontier }
 // so the amortized cost of streaming M cells is O(keys · log M) sequence
 // steps plus the participations themselves.
 func (s *CellStream) Emit(n int) *CellBlock {
+	b := new(CellBlock)
+	s.EmitInto(b, n)
+	return b
+}
+
+// EmitInto is Emit writing into a caller-reused block: blk is re-shaped
+// to cover [Frontier, Frontier+n) reusing its storage, so a serving
+// loop answering many "more cells" requests emits without per-block
+// allocations.
+func (s *CellStream) EmitInto(blk *CellBlock, n int) {
 	if n < 0 {
 		n = 0
 	}
-	b := newCellBlock(s.frontier, n, s.cfg.KeyLen)
+	blk.resetTo(s.frontier, n, s.cfg.KeyLen)
 	hi := int64(s.frontier + n)
 	for i := range s.keys {
 		k := &s.keys[i]
 		for k.seq.idx < hi {
-			b.apply(int(k.seq.idx)-s.frontier, k.key, k.chk, +1)
+			blk.apply(int(k.seq.idx)-s.frontier, k.key, k.chk, +1)
 			k.seq.next()
 		}
 	}
 	s.frontier += n
-	return b
 }
 
 // recKey is one recovered difference key inside a CellDecoder, with its
@@ -288,6 +329,10 @@ type CellDecoder struct {
 	keySums   []byte
 	checks    []uint64
 	recovered []recKey
+	// lb is the scratch block the local stream emits into on every
+	// AddBlock — reused so folding in a block allocates nothing beyond
+	// the decoder's own growth.
+	lb CellBlock
 }
 
 // NewCellDecoder builds a decoder subtracting the local keys (copied).
@@ -327,7 +372,8 @@ func (d *CellDecoder) AddBlock(b *CellBlock) error {
 	d.checks = append(d.checks, b.Checks...)
 	// Subtract the local keys' cells for the same range: the residual
 	// sketches the symmetric difference (+1 peer-only, −1 local-only).
-	lb := d.local.Emit(n)
+	d.local.EmitInto(&d.lb, n)
+	lb := &d.lb
 	for i := 0; i < n; i++ {
 		d.counts[lo+i] -= lb.Counts[i]
 		d.checks[lo+i] ^= lb.Checks[i]

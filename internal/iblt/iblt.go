@@ -122,15 +122,27 @@ type Table struct {
 	balance   int64           // inserts − deletes, diagnostic only
 }
 
+// Normalized returns the configuration as New would adopt it: the cell
+// count rounded up to a multiple of HashCount. It lets protocol code
+// predict the Config of a table it has not built — e.g. to validate a
+// deserialized table against parameters without constructing a
+// reference table first.
+func (c Config) Normalized() Config {
+	if c.HashCount > 0 {
+		if rem := c.Cells % c.HashCount; rem != 0 {
+			c.Cells += c.HashCount - rem
+		}
+	}
+	return c
+}
+
 // New constructs an empty table. The cell count is rounded up to a multiple
 // of HashCount.
 func New(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if rem := cfg.Cells % cfg.HashCount; rem != 0 {
-		cfg.Cells += cfg.HashCount - rem
-	}
+	cfg = cfg.Normalized()
 	t := &Table{
 		cfg:       cfg,
 		counts:    make([]int64, cfg.Cells),
@@ -247,6 +259,27 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// CopyFrom overwrites t with other's contents, reusing t's cell storage
+// — the allocation-free alternative to Clone when one scratch table
+// serves many sources in turn (level scans reconcile this way). The two
+// tables must have the same shape (cells, hash count, key length);
+// differing seeds are fine, the derived hash state is copied along.
+func (t *Table) CopyFrom(other *Table) error {
+	if t.cfg.Cells != other.cfg.Cells || t.cfg.HashCount != other.cfg.HashCount || t.cfg.KeyLen != other.cfg.KeyLen {
+		return fmt.Errorf("%w: %+v vs %+v", ErrConfigMismatch, t.cfg, other.cfg)
+	}
+	t.cfg = other.cfg
+	copy(t.counts, other.counts)
+	copy(t.keySums, other.keySums)
+	copy(t.checks, other.checks)
+	t.hasher = other.hasher
+	t.salts = other.salts // immutable after New; sharing is what Clone does too
+	t.checkSalt = other.checkSalt
+	t.partSize = other.partSize
+	t.balance = other.balance
+	return nil
+}
+
 // ErrConfigMismatch is returned when combining tables with different
 // configurations.
 var ErrConfigMismatch = errors.New("iblt: table configurations differ")
@@ -301,7 +334,16 @@ func (e *DecodeError) Error() string {
 // Decode is safe to call on any table, including corrupted ones: progress
 // is bounded, and a stall or residue yields an error rather than looping.
 func (t *Table) Decode() (*Diff, error) {
-	w := t.Clone()
+	return t.Clone().DecodeMut()
+}
+
+// DecodeMut is Decode without the protective copy: peeling consumes the
+// receiver, whose cell contents are unspecified afterwards. It exists
+// for callers that decode throwaway tables (a scratch table cycling
+// through a level scan) and would otherwise pay a full table clone per
+// attempt.
+func (t *Table) DecodeMut() (*Diff, error) {
+	w := t
 	diff := &Diff{}
 	// Seed the work queue with every cell; cells are re-validated when
 	// popped, so stale entries are harmless.

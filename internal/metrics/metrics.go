@@ -100,6 +100,53 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the total observed duration.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
 
+// Quantile estimates the q-th quantile (q in [0,1]) of the observed
+// durations by locating the bucket holding the target rank and
+// interpolating linearly inside it. The buckets are exponential, so the
+// estimate is coarse but monotone and cheap — good enough for the p50
+// and p99 the load harness and debug endpoint report. Observations that
+// overflowed every finite bucket are credited the largest finite bound.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range histBuckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			hi := histBuckets[i]
+			lo := 0.0
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			if math.IsInf(hi, 1) {
+				// No upper bound to interpolate toward; report the last
+				// finite boundary rather than inventing a value.
+				return secondsToDuration(lo)
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return secondsToDuration(lo + (hi-lo)*frac)
+		}
+		cum += n
+	}
+	return secondsToDuration(histBuckets[len(histBuckets)-2])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
 // snapshot renders the histogram for the JSON document.
 func (h *Histogram) snapshot() map[string]any {
 	buckets := make(map[string]int64, len(histBuckets))
@@ -115,6 +162,8 @@ func (h *Histogram) snapshot() map[string]any {
 	return map[string]any{
 		"count":      h.count.Load(),
 		"sum_ns":     h.sumNs.Load(),
+		"p50_ns":     h.Quantile(0.50).Nanoseconds(),
+		"p99_ns":     h.Quantile(0.99).Nanoseconds(),
 		"buckets_le": buckets,
 	}
 }
@@ -139,10 +188,20 @@ func New() *Registry {
 	}
 }
 
+// Shared no-op sinks handed out by nil-Registry accessors. They absorb
+// writes (harmless atomic bumps nobody reads) so the metrics-disabled
+// serving path costs zero allocations per observation instead of a
+// fresh object per accessor call.
+var (
+	noopCounter   = &Counter{}
+	noopGauge     = &Gauge{}
+	noopHistogram = newHistogram()
+)
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
-		return &Counter{}
+		return noopCounter
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -157,7 +216,7 @@ func (r *Registry) Counter(name string) *Counter {
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
-		return &Gauge{}
+		return noopGauge
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -173,7 +232,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 // use.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
-		return newHistogram()
+		return noopHistogram
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -186,8 +245,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot returns every counter and gauge as a flat name → value map
-// (histograms are summarized as name_count / name_sum_ns) — the form
-// assertions in tests and smoke runs consume.
+// (histograms are summarized as name_count / name_sum_ns /
+// name_p50_ns / name_p99_ns) — the form assertions in tests and smoke
+// runs consume.
 func (r *Registry) Snapshot() map[string]int64 {
 	out := make(map[string]int64)
 	if r == nil {
@@ -204,6 +264,8 @@ func (r *Registry) Snapshot() map[string]int64 {
 	for name, h := range r.hists {
 		out[name+"_count"] = h.Count()
 		out[name+"_sum_ns"] = h.Sum().Nanoseconds()
+		out[name+"_p50_ns"] = h.Quantile(0.50).Nanoseconds()
+		out[name+"_p99_ns"] = h.Quantile(0.99).Nanoseconds()
 	}
 	return out
 }
@@ -244,9 +306,16 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Serve serves the debug endpoint on ln until the listener closes.
+// Closing the listener is a complete shutdown: accepted keep-alive
+// connections and their handler goroutines are reaped before Serve
+// returns, so callers that `defer ln.Close()` leak nothing.
 func (r *Registry) Serve(ln net.Listener) error {
 	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	return srv.Serve(ln)
+	err := srv.Serve(ln)
+	// Serve returns once ln closes, but the http.Server still holds any
+	// keep-alive connections a poller left open; Close reaps them.
+	_ = srv.Close()
+	return err
 }
 
 // sortedNames is kept for tests that want deterministic iteration.

@@ -59,6 +59,96 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 	}
 }
 
+func TestNilRegistryAccessorsDoNotAllocate(t *testing.T) {
+	var r *Registry
+	if got := testing.AllocsPerRun(100, func() {
+		r.Counter("c").Inc()
+		r.Gauge("g").Set(1)
+		r.Histogram("h").Observe(time.Millisecond)
+	}); got != 0 {
+		t.Fatalf("nil-registry accessors allocate %v objects per op, want 0", got)
+	}
+	// The accessors hand out shared singletons, not fresh objects.
+	if r.Counter("a") != r.Counter("b") {
+		t.Fatal("nil-registry counters are not shared")
+	}
+	if r.Gauge("a") != r.Gauge("b") {
+		t.Fatal("nil-registry gauges are not shared")
+	}
+	if r.Histogram("a") != r.Histogram("b") {
+		t.Fatal("nil-registry histograms are not shared")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 100 observations at ~3ms land in the (2ms, 4ms] bucket; the median
+	// must interpolate inside it and the extremes must clamp to its
+	// bounds.
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2*time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want within (2ms, 4ms]", p50)
+	}
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo < 2*time.Millisecond || hi > 4*time.Millisecond {
+		t.Fatalf("clamped quantiles escaped the bucket: %v %v", lo, hi)
+	}
+	// A bimodal distribution: p50 stays in the low mode, p99 reaches the
+	// high mode, and the estimate is monotone in q.
+	h2 := newHistogram()
+	for i := 0; i < 90; i++ {
+		h2.Observe(3 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(3 * time.Second)
+	}
+	if p := h2.Quantile(0.5); p > 4*time.Millisecond {
+		t.Fatalf("bimodal p50 = %v, want <= 4ms", p)
+	}
+	if p := h2.Quantile(0.99); p < 2*time.Second {
+		t.Fatalf("bimodal p99 = %v, want >= 2s", p)
+	}
+	if h2.Quantile(0.5) > h2.Quantile(0.9) || h2.Quantile(0.9) > h2.Quantile(0.99) {
+		t.Fatal("quantile estimate is not monotone in q")
+	}
+	// Overflow observations (past the last finite bucket) are credited
+	// the largest finite bound, not +Inf.
+	h3 := newHistogram()
+	h3.Observe(10 * time.Minute)
+	if p := h3.Quantile(0.99); p <= 0 || time.Duration(p) > 2*time.Minute {
+		t.Fatalf("overflow quantile = %v, want the largest finite bound", p)
+	}
+}
+
+func TestSnapshotExportsQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("round_seconds")
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if snap["round_seconds_p50_ns"] <= 0 || snap["round_seconds_p99_ns"] <= 0 {
+		t.Fatalf("flat snapshot missing quantile keys: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	hist := doc["round_seconds"]
+	if hist["p50_ns"].(float64) <= 0 || hist["p99_ns"].(float64) <= 0 {
+		t.Fatalf("JSON document missing p50_ns/p99_ns: %v", hist)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	r := New()
 	var wg sync.WaitGroup

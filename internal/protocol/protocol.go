@@ -67,12 +67,17 @@ func (e *RemoteError) Error() string { return "protocol: peer error: " + e.Reaso
 // ErrUnexpectedMessage reports a protocol-state violation.
 var ErrUnexpectedMessage = errors.New("protocol: unexpected message type")
 
-// send transmits a typed message.
+// send transmits a typed message. The tag-plus-body encoding is built
+// in a recycled buffer: Transport.Send does not retain the slice, so it
+// goes straight back to the pool and the per-message allocation on the
+// send path disappears.
 func send(ctx context.Context, t transport.Transport, typ byte, body []byte) error {
-	msg := make([]byte, 1+len(body))
+	msg := transport.GetBuf(1 + len(body))
 	msg[0] = typ
 	copy(msg[1:], body)
-	return t.Send(ctx, msg)
+	err := t.Send(ctx, msg)
+	transport.PutBuf(msg)
+	return err
 }
 
 // sendErr best-effort-notifies the peer and returns the original error.

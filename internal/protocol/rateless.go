@@ -153,6 +153,11 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 		return err
 	}
 	var stream *iblt.CellStream // built lazily on the first request
+	// One block and one encode buffer serve every cell request of the
+	// session: EmitInto and AppendBinary reuse their storage, so the
+	// steady-state serve loop allocates nothing per increment.
+	var blk iblt.CellBlock
+	var cellBuf []byte
 	for {
 		typ, body, err := recv(ctx, t)
 		if err != nil {
@@ -177,11 +182,12 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 			if stream.Frontier()+n > iblt.MaxStreamCells {
 				return sendErr(ctx, t, fmt.Errorf("protocol: cell stream beyond %d cells", iblt.MaxStreamCells))
 			}
-			bb, err := stream.Emit(n).MarshalBinary()
+			stream.EmitInto(&blk, n)
+			cellBuf, err = blk.AppendBinary(cellBuf[:0])
 			if err != nil {
 				return sendErr(ctx, t, err)
 			}
-			if err := send(ctx, t, MsgCells, bb); err != nil {
+			if err := send(ctx, t, MsgCells, cellBuf); err != nil {
 				return err
 			}
 		case MsgIBLTRequest:
@@ -250,6 +256,9 @@ func RunRatelessBob(ctx context.Context, t transport.Transport, cfg RatelessConf
 		est = float64(maxChunk) / cfg.InitialFactor
 	}
 	chunk := int(est*cfg.InitialFactor) + minChunkCells
+	// One reusable block parses every received increment (AddBlock
+	// copies what it keeps), mirroring the serving side's reuse.
+	block := new(iblt.CellBlock)
 	for {
 		if remaining := budgetCells - int64(dec.Frontier()); int64(chunk) > remaining {
 			if remaining < minChunkCells {
@@ -270,8 +279,7 @@ func RunRatelessBob(ctx context.Context, t transport.Transport, cfg RatelessConf
 		if err != nil {
 			return nil, err
 		}
-		block, err := parseCells(body)
-		if err != nil {
+		if err := block.UnmarshalBinary(body); err != nil {
 			return nil, abort(ctx, t, err)
 		}
 		if block.Len() != chunk {

@@ -191,6 +191,10 @@ type Mux struct {
 	epoch time.Time
 
 	wmu sync.Mutex // serializes all frame writes on t
+	// wscratch is the frame-encoding buffer reused by every write on
+	// this mux — all writes serialize under wmu, so one buffer suffices
+	// and the per-frame header allocation disappears. Guarded by wmu.
+	wscratch []byte
 
 	mu        sync.Mutex
 	streams   map[uint64]*Stream
@@ -413,8 +417,20 @@ func (m *Mux) writeFrame(f MuxFrame) error {
 // shared connection mid-frame — so a stall is broken by the watchdog
 // (or Close) closing the transport under it.
 func (m *Mux) writeFrameLocked(f MuxFrame) error {
-	buf := make([]byte, 0, binary.MaxVarintLen64+1+len(f.Payload))
-	buf = AppendMuxFrame(buf, f)
+	// Encode into the mux's scratch buffer: Send does not retain the
+	// slice, and wmu is held, so reuse is safe and the steady-state
+	// write path allocates nothing. A jumbo frame's scratch is dropped
+	// after use rather than pinned.
+	var buf []byte
+	if BufferPoolingEnabled() {
+		m.wscratch = AppendMuxFrame(m.wscratch[:0], f)
+		buf = m.wscratch
+		if cap(m.wscratch) > maxRetainedFrame {
+			m.wscratch = nil
+		}
+	} else {
+		buf = AppendMuxFrame(make([]byte, 0, binary.MaxVarintLen64+1+len(f.Payload)), f)
+	}
 	start := int64(time.Since(m.epoch))
 	if start == 0 {
 		start = 1 // 0 is the "no write in flight" sentinel
@@ -508,6 +524,7 @@ type Stream struct {
 
 	mu        sync.Mutex
 	recvQ     [][]byte
+	lastRecv  []byte // buffer returned by the previous Recv, recycled on the next
 	recvDone  bool   // peer sent CLOSE
 	reset     string // non-empty after RESET either way
 	failErr   error  // mux-level failure
@@ -545,9 +562,10 @@ func signal(ch chan struct{}) {
 }
 
 // deliver queues one incoming message (demux goroutine). The payload
-// aliases the buffer the underlying Recv returned, which both Transport
-// implementations allocate fresh per message — so the queue owns it
-// without a copy.
+// aliases the underlying Recv's receive buffer, which is valid only
+// until the demux loop's next Recv — so it is copied into a recycled
+// buffer here. The stream returns the buffer to the pool once its
+// consumer moves past it (see Recv), closing the recycle loop.
 //
 // The advertised window is enforced here, not just trusted: a
 // conforming sender's un-credited debt never exceeds the full window
@@ -570,7 +588,9 @@ func (s *Stream) deliver(msg []byte) {
 		s.mux.shutdown(fmt.Errorf("transport: mux: peer overflowed stream %d's receive window", s.id))
 		return
 	}
-	s.recvQ = append(s.recvQ, msg)
+	cp := GetBuf(len(msg))
+	copy(cp, msg)
+	s.recvQ = append(s.recvQ, cp)
 	s.mu.Unlock()
 	signal(s.recvCh)
 }
@@ -588,13 +608,24 @@ func (s *Stream) peerClosed() {
 	}
 }
 
+// recycleQueueLocked returns undelivered queued buffers to the pool
+// when a stream aborts — never the lastRecv buffer, which the consumer
+// may still be reading. Caller holds s.mu.
+func (s *Stream) recycleQueueLocked() {
+	for i, b := range s.recvQ {
+		PutBuf(b)
+		s.recvQ[i] = nil
+	}
+	s.recvQ = nil
+}
+
 // peerReset aborts the stream from the peer's RESET.
 func (s *Stream) peerReset(reason string) {
 	s.mu.Lock()
 	if s.reset == "" {
 		s.reset = reason
 	}
-	s.recvQ = nil
+	s.recycleQueueLocked()
 	s.mu.Unlock()
 	s.doneOnce.Do(func() { close(s.done) })
 	signal(s.recvCh)
@@ -677,12 +708,23 @@ func (s *Stream) Send(ctx context.Context, msg []byte) error {
 
 // Recv blocks for the next message. After the peer half-closes, queued
 // messages drain and then Recv returns io.EOF.
+//
+// Per the Transport contract the returned slice is valid only until the
+// next Recv on this stream: the previous message's buffer is recycled
+// here, which is what lets a steady-state session run allocation-free.
 func (s *Stream) Recv(ctx context.Context) ([]byte, error) {
 	for {
 		s.mu.Lock()
+		// The caller calling Recv again is the signal it is done with the
+		// previously returned buffer.
+		if s.lastRecv != nil {
+			PutBuf(s.lastRecv)
+			s.lastRecv = nil
+		}
 		if len(s.recvQ) > 0 {
 			msg := s.recvQ[0]
 			s.recvQ = s.recvQ[1:]
+			s.lastRecv = msg
 			s.consumed += len(msg)
 			credit := 0
 			if s.consumed >= s.mux.cfg.RecvWindow/2 {
@@ -753,7 +795,7 @@ func (s *Stream) Reset(reason error) {
 		return
 	}
 	s.reset = msg
-	s.recvQ = nil
+	s.recycleQueueLocked()
 	s.mu.Unlock()
 	s.doneOnce.Do(func() { close(s.done) })
 	signal(s.recvCh)

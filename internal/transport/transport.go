@@ -29,10 +29,17 @@ import (
 // receiver (the pattern every protocol here uses).
 type Transport interface {
 	// Send transmits one message. Cancelling ctx aborts a blocked send.
+	// Implementations do not retain msg after Send returns, so callers
+	// may immediately reuse (or recycle) the buffer.
 	Send(ctx context.Context, msg []byte) error
 	// Recv blocks for the next message. It returns io.EOF after the peer
 	// closes cleanly; cancelling ctx aborts a blocked receive with
 	// ctx.Err().
+	//
+	// The returned slice is valid only until the next Recv on the same
+	// transport — implementations may reuse the buffer. Callers that
+	// need the bytes longer must copy them first (every protocol parser
+	// in this module does).
 	Recv(ctx context.Context) ([]byte, error)
 	// Close releases the link. Safe to call multiple times.
 	Close() error
@@ -196,6 +203,15 @@ type connTransport struct {
 	ctrs     counters
 	lenBuf   [frameOverhead]byte
 	rLenBuf  [frameOverhead]byte
+	// wbufs is the two-element vector handed to net.Buffers so the
+	// length prefix and payload leave in one writev (one TCP segment for
+	// small messages) instead of two Writes. Guarded by sendMu.
+	wbufs [2][]byte
+	// rbuf is the grow-only receive buffer Recv reads frames into — the
+	// reuse behind the "valid until next Recv" contract. Guarded by
+	// recvMu. Frames above maxRetainedFrame are allocated fresh so a
+	// one-off jumbo frame is not pinned for the connection's lifetime.
+	rbuf []byte
 }
 
 // NewConn wraps a net.Conn (TCP, net.Pipe, Unix socket) with u32
@@ -306,10 +322,16 @@ func (t *connTransport) Send(ctx context.Context, msg []byte) error {
 	}
 	defer stop()
 	binary.LittleEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
-	if _, err := t.conn.Write(t.lenBuf[:]); err != nil {
-		return ctxErr(ctx, err)
-	}
-	if _, err := t.conn.Write(msg); err != nil {
+	// Prefix and payload go out as one writev: a single syscall, and for
+	// messages under the MSS a single TCP segment instead of two.
+	// net.Buffers falls back to sequential Writes on connections without
+	// writev (net.Pipe), which is no worse than writing them separately.
+	t.wbufs[0] = t.lenBuf[:]
+	t.wbufs[1] = msg
+	bufs := net.Buffers(t.wbufs[:])
+	_, err = bufs.WriteTo(t.conn)
+	t.wbufs[1] = nil // do not retain the caller's buffer
+	if err != nil {
 		return ctxErr(ctx, err)
 	}
 	t.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
@@ -338,7 +360,15 @@ func (t *connTransport) Recv(ctx context.Context) ([]byte, error) {
 	if int64(n) > int64(t.maxFrame) {
 		return nil, fmt.Errorf("transport: peer announced %d-byte frame (limit %d)", n, t.maxFrame)
 	}
-	msg := make([]byte, n)
+	var msg []byte
+	if n <= maxRetainedFrame && BufferPoolingEnabled() {
+		if cap(t.rbuf) < int(n) {
+			t.rbuf = make([]byte, n)
+		}
+		msg = t.rbuf[:n]
+	} else {
+		msg = make([]byte, n)
+	}
 	if _, err := io.ReadFull(t.conn, msg); err != nil {
 		if cerr := ctxErr(ctx, err); cerr != err {
 			return nil, cerr

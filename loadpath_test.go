@@ -1,0 +1,285 @@
+package robustset_test
+
+// Serving-path hardening tests for the allocation-elimination pass:
+// buffer pooling must not change reconciliation results, concurrent
+// session traffic must survive Client.Close and Server.Shutdown racing
+// it (run under -race in CI), and a full server+replicator teardown
+// must release every goroutine it started.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"robustset"
+	"robustset/internal/transport"
+)
+
+// canonical renders a point multiset in a stable order so two runs can
+// be compared byte-for-byte.
+func canonical(pts []robustset.Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = fmt.Sprint(p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// muxFetchAll reconciles every dataset concurrently over one mux
+// connection and returns the per-dataset results.
+func muxFetchAll(t *testing.T, addr string, sets map[string][]robustset.Point, strat robustset.Strategy) map[string][]string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl, err := robustset.DialClient(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	results := make(map[string][]string, len(sets))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(sets))
+	for name := range sets {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			cs, err := cl.Session(name, strat)
+			if err != nil {
+				errCh <- fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			_, bob := deterministicPair(8600, 120, 4, 2)
+			res, _, err := cs.Fetch(ctx, bob)
+			if err != nil {
+				errCh <- fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			mu.Lock()
+			results[name] = canonical(res.SPrime)
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestPoolingOnOffByteIdentical runs the same concurrent multi-dataset
+// mux reconciliation with buffer pooling enabled and disabled: the
+// recycled-buffer serving path must produce byte-identical results to
+// the fresh-allocation path, for both the classic and the rateless
+// (cell-streaming) strategies.
+func TestPoolingOnOffByteIdentical(t *testing.T) {
+	defer transport.SetBufferPooling(true)
+	run := func(pooling bool, strat robustset.Strategy) map[string][]string {
+		transport.SetBufferPooling(pooling)
+		srv := robustset.NewServer(WithTestLogger(t))
+		sets := publishMany(t, srv, 8, 7600)
+		addr := startServer(t, srv)
+		return muxFetchAll(t, addr.String(), sets, strat)
+	}
+	for _, strat := range []robustset.Strategy{robustset.ExactIBLT{}, robustset.Rateless{}} {
+		off := run(false, strat)
+		on := run(true, strat)
+		if len(on) != len(off) {
+			t.Fatalf("%T: pooled run returned %d datasets, unpooled %d", strat, len(on), len(off))
+		}
+		for name, want := range off {
+			got := on[name]
+			if len(got) != len(want) {
+				t.Fatalf("%T %s: pooled result has %d points, unpooled %d", strat, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%T %s: results diverge at point %d: pooled %q, unpooled %q", strat, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionsRaceCloseAndShutdown hammers one client with concurrent
+// Session+Fetch loops, then tears down the client and the server while
+// the load is in flight. Run under -race in CI; errors are expected
+// (and must be clean errors), hangs, panics and races are not.
+func TestSessionsRaceCloseAndShutdown(t *testing.T) {
+	srv := robustset.NewServer(WithTestLogger(t))
+	sets := publishMany(t, srv, 4, 8200)
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	addr := startServer(t, srv)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl, err := robustset.DialClient(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, bob := deterministicPair(8600, 120, 4, 2)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cs, err := cl.Session(names[(w+i)%len(names)], robustset.ExactIBLT{})
+				if err != nil {
+					return // client closed mid-load: a clean exit
+				}
+				if _, _, err := cs.Fetch(ctx, bob); err != nil {
+					return // server shut down mid-fetch: also clean
+				}
+			}
+		}(w)
+	}
+	// Let the load build, then tear both ends down while it runs.
+	time.Sleep(50 * time.Millisecond)
+	var td sync.WaitGroup
+	td.Add(2)
+	go func() { defer td.Done(); _ = cl.Close() }()
+	go func() {
+		defer td.Done()
+		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shCancel()
+		_ = srv.Shutdown(shCtx)
+	}()
+	td.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The closed client must fail fast, not hang. (Session itself is a
+	// pure constructor; the closed state surfaces at Fetch.)
+	cs, err := cl.Session(names[0], robustset.ExactIBLT{})
+	if err != nil {
+		t.Fatalf("Session construction failed: %v", err)
+	}
+	_, bob := deterministicPair(8600, 120, 4, 2)
+	if _, _, err := cs.Fetch(ctx, bob); err == nil {
+		t.Fatal("Fetch on a closed client succeeded")
+	}
+}
+
+// waitGoroutinesSettle polls until the goroutine count drops to at most
+// limit, failing after a few seconds. Teardown is asynchronous (conn
+// handlers observe closed sockets on their next poll), so a settle loop
+// is the honest assertion.
+func waitGoroutinesSettle(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalizer-driven cleanup
+		n := runtime.NumGoroutine()
+		if n <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("%d goroutines still running, want <= %d\n%s", n, limit, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestShutdownReleasesGoroutines asserts the satellite-3 audit: a full
+// stack — server with a metrics debug listener, a mux client, and a
+// replicator with cached per-peer clients — torn down cleanly leaves no
+// goroutines behind: Server.Shutdown closes the debug endpoint it owns,
+// and Replicator.Close closes its cached clients.
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m := robustset.NewMetrics()
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := robustset.NewServer(WithTestLogger(t),
+		robustset.WithServerMetrics(m), robustset.WithServerMetricsListener(mln))
+	setsA := publishMany(t, srvA, 3, 9000)
+	srvB := robustset.NewServer(WithTestLogger(t))
+	publishMany(t, srvB, 3, 9000) // same names, slightly different content is fine
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srvA.Serve(lnA)
+	go srvB.Serve(lnB)
+
+	// Drive real traffic through every component that spawns goroutines.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl, err := robustset.DialClient(ctx, lnA.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range setsA {
+		cs, err := cl.Session(name, robustset.ExactIBLT{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bob := deterministicPair(9300, 120, 4, 2)
+		if _, _, err := cs.Fetch(ctx, bob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := robustset.NewReplicator(srvA,
+		[]robustset.Peer{{Name: "b", Addr: lnB.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Poll the debug endpoint so the HTTP server holds a keep-alive
+	// connection — the leak the audit found.
+	httpc := &http.Client{}
+	resp, err := httpc.Get("http://" + mln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Tear everything down; every goroutine the stack spawned must exit.
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shCancel()
+	if err := srvA.Shutdown(shCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvB.Shutdown(shCtx); err != nil {
+		t.Fatal(err)
+	}
+	httpc.CloseIdleConnections() // release the client half of the keep-alive conn
+	waitGoroutinesSettle(t, before)
+}

@@ -49,6 +49,12 @@ type Dataset struct {
 	size       int
 	retired    bool        // set by Server.Unpublish; mutations and serving reject
 	store      store.Store // write-ahead engine; store.Mem() unless durable
+	// blobCache is the marshaled form of the maintained sketch, built
+	// lazily and invalidated by every mutation. Concurrent sessions
+	// serving an unchanged dataset share one immutable blob instead of
+	// each re-marshaling the whole sketch under d.mu — the snapshot-free
+	// concurrent read path. Callers must treat the blob as read-only.
+	blobCache []byte
 }
 
 // Name returns the dataset's published name.
@@ -138,6 +144,7 @@ func (d *Dataset) mutateLocked(op store.Op, pts []Point) error {
 			d.size--
 		}
 	}
+	d.blobCache = nil // the serialized-sketch cache is stale now
 	d.maybeSnapshotLocked()
 	return nil
 }
@@ -157,7 +164,7 @@ func (d *Dataset) encodedStateLocked() [][]byte {
 // writeSnapshotLocked offers the engine the full state: every encoded
 // point occurrence plus the serialized sketch, with d.mu held.
 func (d *Dataset) writeSnapshotLocked() error {
-	blob, err := d.maintainer.Sketch().MarshalBinary()
+	blob, err := d.sketchBlobLocked()
 	if err != nil {
 		return err
 	}
@@ -256,16 +263,33 @@ func (d *Dataset) servePoints() ([]Point, error) {
 	return d.snapshotLocked(), nil
 }
 
-// sketchBlob marshals the maintained sketch under the dataset lock, so a
-// session can serve a consistent snapshot without holding the lock for
-// the network round-trip. Retired datasets are rejected like servePoints.
+// sketchBlob returns the marshaled maintained sketch, so a session can
+// serve a consistent snapshot without holding the lock for the network
+// round-trip. The blob comes from the dataset's cache: the first
+// session after a mutation pays the marshal, every concurrent and later
+// session on the unchanged dataset shares the same immutable bytes.
+// Retired datasets are rejected like servePoints.
 func (d *Dataset) sketchBlob() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.retired {
 		return nil, d.errRetired()
 	}
-	return d.maintainer.Sketch().MarshalBinary()
+	return d.sketchBlobLocked()
+}
+
+// sketchBlobLocked returns the cached serialized sketch, rebuilding it
+// if a mutation invalidated it. Caller holds d.mu; the returned blob is
+// shared and must not be modified.
+func (d *Dataset) sketchBlobLocked() ([]byte, error) {
+	if d.blobCache == nil {
+		blob, err := d.maintainer.Sketch().MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		d.blobCache = blob
+	}
+	return d.blobCache, nil
 }
 
 // ShardedDataset is one logical point multiset published as K
@@ -380,6 +404,8 @@ type Server struct {
 	muxOff         bool
 	maxStreams     int
 	metrics        *metrics.Registry // nil-safe no-op when unset
+	debugLn        net.Listener      // metrics debug endpoint; closed on Shutdown/Close
+	debugDone      chan struct{}     // closed when the debug endpoint goroutine exits
 	dataDir        string            // root of durable dataset storage ("" = none)
 	fsync          FsyncPolicy
 	snapshotEvery  int
@@ -458,6 +484,17 @@ func WithServerMetrics(m *Metrics) ServerOption {
 	return func(s *Server) { s.metrics = m.registry() }
 }
 
+// WithServerMetricsListener serves the metrics JSON debug endpoint on
+// ln for the server's lifetime. Unlike a hand-rolled `go m.Serve(ln)`,
+// the listener is owned by the server: Shutdown and Close close it and
+// reap its handler goroutines, so a server torn down cleanly leaks
+// neither the listener nor the endpoint's connections. Combine with
+// WithServerMetrics (in any order) to expose the same registry the
+// server instruments.
+func WithServerMetricsListener(ln net.Listener) ServerOption {
+	return func(s *Server) { s.debugLn = ln }
+}
+
 // NewServer builds an empty server; Publish datasets, then Serve.
 func NewServer(opts ...ServerOption) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -477,7 +514,26 @@ func NewServer(opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.debugLn != nil {
+		// The registry's Serve reaps its handler connections when the
+		// listener closes, so closeDebugListener is a complete teardown.
+		s.debugDone = make(chan struct{})
+		go func(ln net.Listener) {
+			defer close(s.debugDone)
+			_ = s.metrics.Serve(ln)
+		}(s.debugLn)
+	}
 	return s
+}
+
+// closeDebugListener stops the metrics debug endpoint, waiting for its
+// serving goroutine (and handler connections) to wind down.
+func (s *Server) closeDebugListener() {
+	if s.debugLn == nil {
+		return
+	}
+	s.debugLn.Close()
+	<-s.debugDone
 }
 
 // newDataset builds an unregistered Dataset with its maintained sketch.
@@ -941,12 +997,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.closeStores()
+		s.closeDebugListener()
 		return nil
 	case <-ctx.Done():
 		s.cancelBase()
 		s.closeConns()
 		<-done
 		s.closeStores()
+		s.closeDebugListener()
 		return ctx.Err()
 	}
 }
@@ -961,5 +1019,6 @@ func (s *Server) Close() error {
 	s.closeConns()
 	s.wg.Wait()
 	s.closeStores()
+	s.closeDebugListener()
 	return nil
 }
