@@ -12,6 +12,7 @@ import (
 	"robustset/internal/metrics"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -127,6 +128,7 @@ type Replicator struct {
 	mux      bool
 	onRound  func(RoundStats)
 	metrics  *metrics.Registry // nil-safe no-op when unset
+	traces   *TraceLog         // nil-safe no-op when unset
 
 	// roundMu serializes rounds; mu guards the fields below.
 	roundMu sync.Mutex
@@ -295,6 +297,17 @@ func WithReplicatorMetrics(m *Metrics) ReplicatorOption {
 	}
 }
 
+// WithReplicatorTracing records a trace tree for every round into tl:
+// one root per round, one child per (peer, dataset) session carrying
+// that session's phase spans and wire-byte attribution. Round traces are
+// judged against the log's slow/expensive thresholds like any session.
+func WithReplicatorTracing(tl *TraceLog) ReplicatorOption {
+	return func(r *Replicator) error {
+		r.traces = tl
+		return nil
+	}
+}
+
 // NewReplicator builds a replicator for srv's datasets against the given
 // peers. Peers can also be added and removed later.
 func NewReplicator(srv *Server, peers []Peer, opts ...ReplicatorOption) (*Replicator, error) {
@@ -420,6 +433,13 @@ func (r *Replicator) RunRound(ctx context.Context) (RoundStats, error) {
 		ctx, cancel = context.WithTimeout(ctx, r.timeout)
 		defer cancel()
 	}
+	var roundTr *trace.Trace
+	if r.traces != nil {
+		// One root per round; syncDataset attaches a child per session, so
+		// the log renders round → peer/dataset → phase spans as one tree.
+		roundTr = trace.New("round")
+		ctx = trace.NewContext(ctx, roundTr)
+	}
 
 	r.mu.Lock()
 	round := r.round
@@ -483,12 +503,15 @@ func (r *Replicator) RunRound(ctx context.Context) (RoundStats, error) {
 						stats.Added += added
 						stats.Removed += removed
 						peerOK[peer.name()] = true
+						r.metrics.Counter("replicator_sessions_total:peer=" + peer.name() + ",outcome=ok").Inc()
 					case isUnknownDataset(err):
 						stats.Skipped++
 						peerOK[peer.name()] = true
+						r.metrics.Counter("replicator_sessions_total:peer=" + peer.name() + ",outcome=skip").Inc()
 					default:
 						stats.Errors++
 						peerFail[peer.name()] = true
+						r.metrics.Counter("replicator_sessions_total:peer=" + peer.name() + ",outcome=error").Inc()
 						r.logf("robustset: replicator: peer %s: dataset %q: %v", peer.name(), name, err)
 					}
 					resMu.Unlock()
@@ -537,6 +560,18 @@ func (r *Replicator) RunRound(ctx context.Context) (RoundStats, error) {
 	r.metrics.Counter("replicator_bytes_total").Add(stats.Bytes)
 	r.metrics.Histogram("replicator_round_seconds").Observe(stats.Duration)
 
+	if roundTr != nil {
+		roundTr.Stat("sessions", int64(stats.Sessions))
+		roundTr.Stat("added", int64(stats.Added))
+		roundTr.Stat("removed", int64(stats.Removed))
+		roundTr.Stat("skipped", int64(stats.Skipped))
+		roundTr.Stat("errors", int64(stats.Errors))
+		// Per-session failures are absorbed into stats, not the round's
+		// outcome; only a context-ended round finishes with an error.
+		roundTr.Finish(ctx.Err())
+		r.traces.add(roundTr.Snapshot())
+	}
+
 	if r.onRound != nil {
 		r.onRound(stats)
 	}
@@ -551,6 +586,12 @@ func (r *Replicator) syncDataset(ctx context.Context, peer Peer, name string) (a
 	d := r.srv.Dataset(name)
 	if d == nil {
 		return 0, 0, 0, nil // unpublished mid-round
+	}
+	if parent := trace.FromContext(ctx); parent != nil {
+		child := parent.Child("peer-session")
+		child.Label(name, r.strategy.Name(), peer.name())
+		ctx = trace.NewContext(ctx, child)
+		defer func() { child.Finish(err) }()
 	}
 	local := d.Snapshot()
 	var res *SyncResult

@@ -8,24 +8,33 @@ package main
 // pressure (allocs_per_op from runtime.MemStats deltas across the whole
 // process — both ends of every connection).
 //
-// Each cell runs twice: a "baseline" phase with transport buffer
+// Each cell runs three times: a "baseline" phase with transport buffer
 // pooling disabled (every frame freshly allocated, the pre-pooling
-// serving path) and a "pooled" phase with recycling on. Both rows are
-// recorded, so the allocation-elimination pass's effect lives in the
-// trajectory, and the -check gate enforces it: the pooled phase must
-// allocate at most loadAllocRatio of the baseline per session, stay
-// under an absolute ceiling, and clear a (deliberately conservative,
-// machine-independent-ish) throughput floor.
+// serving path), a "pooled" phase with recycling on, and a "traced"
+// phase with pooling on plus session tracing, trace capture and a live
+// metrics endpoint — the everything-on observability configuration. All
+// rows are recorded, so the allocation-elimination pass's effect lives
+// in the trajectory, and the -check gate enforces the contracts: the
+// pooled phase must allocate at most loadAllocRatio of the baseline per
+// session, stay under an absolute ceiling, and clear a (deliberately
+// conservative, machine-independent-ish) throughput floor; the traced
+// phase must hold at least loadTraceOverheadRatio of the pooled
+// throughput, bounding the cost of leaving observability on.
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"robustset"
+	"robustset/internal/metrics"
 	"robustset/internal/transport"
 )
 
@@ -51,6 +60,12 @@ const (
 	// ceiling holds the line well under the old figure while leaving
 	// headroom for bigger cells and machine variance.
 	loadMaxAllocsPerOp = 1000
+	// loadTraceOverheadRatio is the floor on traced/pooled throughput:
+	// running the identical closed loop with session tracing, a metrics
+	// endpoint and trace capture enabled may cost at most 5% of the
+	// pooled phase's sessions/sec. Tracing is advertised as cheap enough
+	// to leave on; this is where that claim is enforced.
+	loadTraceOverheadRatio = 0.95
 	// loadMinSessionsPerSec is the liveness floor for both phases. It
 	// deliberately gates pathology (a near-stalled serving path), not
 	// machine speed: even fully serialized loopback sessions clear
@@ -91,12 +106,15 @@ func loadMatrix(quick bool) []loadCell {
 	return []loadCell{{datasets: 16, conns: 8, workers: 16, iters: 16, n: 2000, diff: 8}}
 }
 
-// runLoadPhase executes one cell under the given pooling setting.
-func runLoadPhase(c loadCell, pooled bool) Result {
-	phase := "baseline"
-	if pooled {
-		phase = "pooled"
-	}
+// runLoadPhase executes one cell as the given phase: "baseline" runs
+// with transport buffer pooling off, "pooled" with pooling on, and
+// "traced" with pooling on plus the full observability stack — session
+// tracing into a TraceLog, a live metrics endpoint, and an in-run scrape
+// asserting /metrics serves well-formed Prometheus text and
+// /debug/traces captured at least one expensive session.
+func runLoadPhase(c loadCell, phase string) Result {
+	pooled := phase != "baseline"
+	traced := phase == "traced"
 	if c.delta == 0 {
 		c.delta = 1 << 20
 	}
@@ -111,9 +129,25 @@ func runLoadPhase(c loadCell, pooled bool) Result {
 
 	u := robustset.Universe{Dim: res.Dim, Delta: res.Delta}
 	params := robustset.Params{Universe: u, Seed: 1201, DiffBudget: c.diff + 4}
-	metrics := robustset.NewMetrics()
-	srv := robustset.NewServer(robustset.WithServerMetrics(metrics),
-		robustset.WithServerMaxStreamsPerConn(c.workers))
+	reg := robustset.NewMetrics()
+	opts := []robustset.ServerOption{robustset.WithServerMetrics(reg),
+		robustset.WithServerMaxStreamsPerConn(c.workers)}
+	var debugAddr string
+	if traced {
+		// Every session of this cell moves more than 4 KiB, so the byte
+		// threshold guarantees the slow ring captures traffic for the
+		// in-run scrape to assert on.
+		tl := robustset.NewTraceLog(robustset.WithByteThreshold(4096))
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		debugAddr = mln.Addr().String()
+		opts = append(opts, robustset.WithServerTracing(tl),
+			robustset.WithServerMetricsListener(mln))
+	}
+	srv := robustset.NewServer(opts...)
 	defer srv.Close()
 	names := make([]string, c.datasets)
 	locals := make([][]robustset.Point, c.datasets)
@@ -223,19 +257,77 @@ func runLoadPhase(c loadCell, pooled bool) Result {
 	for _, cl := range clients {
 		res.WireBytes += cl.Stats().Total()
 	}
-	snap := metrics.Snapshot()
+	snap := reg.Snapshot()
 	res.P50NS = snap["server_session_seconds_p50_ns"]
 	res.P99NS = snap["server_session_seconds_p99_ns"]
 	if decodeFails := snap["mux_decode_failures_total"]; decodeFails != 0 {
 		res.Err = fmt.Sprintf("%d mux decode failures", decodeFails)
+		return res
+	}
+	if traced {
+		if err := scrapeObservability(debugAddr); err != nil {
+			res.Err = err.Error()
+		}
 	}
 	return res
 }
 
-// runLoadCell runs the baseline phase, then the pooled phase, of one
-// cell.
+// scrapeObservability is the load run's observability smoke: with the
+// cell's traffic still hot it fetches the live /metrics endpoint and
+// lints it as Prometheus text 0.0.4, then fetches /debug/traces and
+// requires the slow ring to have captured at least one session. A
+// serving path whose telemetry cannot be scraped mid-load fails the
+// bench even if throughput is fine.
+func scrapeObservability(addr string) error {
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scrape %s: status %d", path, resp.StatusCode)
+		}
+		return body, nil
+	}
+	promText, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	if err := metrics.LintPrometheus(strings.NewReader(string(promText))); err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	if !strings.Contains(string(promText), "server_sessions_total") {
+		return fmt.Errorf("scrape /metrics: no server_sessions_total sample")
+	}
+	tracesJSON, err := get("/debug/traces")
+	if err != nil {
+		return err
+	}
+	var traces struct {
+		Recent []json.RawMessage `json:"recent"`
+		Slow   []json.RawMessage `json:"slow"`
+	}
+	if err := json.Unmarshal(tracesJSON, &traces); err != nil {
+		return fmt.Errorf("scrape /debug/traces: %w", err)
+	}
+	if len(traces.Slow) == 0 {
+		return fmt.Errorf("scrape /debug/traces: no slow traces captured (recent=%d)", len(traces.Recent))
+	}
+	return nil
+}
+
+// runLoadCell runs the baseline, pooled, and traced phases of one cell.
 func runLoadCell(c loadCell) []Result {
-	return []Result{runLoadPhase(c, false), runLoadPhase(c, true)}
+	return []Result{
+		runLoadPhase(c, "baseline"),
+		runLoadPhase(c, "pooled"),
+		runLoadPhase(c, "traced"),
+	}
 }
 
 // runLoadScenario executes the load matrix.
@@ -255,9 +347,13 @@ func runLoadScenario(quick bool, logf func(format string, args ...any)) []Result
 				i+1, len(cells), r.Phase, r.Conns, r.Workers, r.Sessions, r.SessionsPerSec,
 				time.Duration(r.P50NS), time.Duration(r.P99NS), r.AllocsPerOp, r.AllocBytesPerOp)
 		}
-		if len(rows) == 2 && rows[0].Err == "" && rows[1].Err == "" {
+		if len(rows) >= 2 && rows[0].Err == "" && rows[1].Err == "" {
 			logf("[load %d/%d] allocation ratio pooled/baseline = %.2f",
 				i+1, len(cells), float64(rows[1].AllocsPerOp)/float64(rows[0].AllocsPerOp))
+		}
+		if len(rows) >= 3 && rows[1].Err == "" && rows[2].Err == "" {
+			logf("[load %d/%d] throughput ratio traced/pooled = %.2f",
+				i+1, len(cells), rows[2].SessionsPerSec/rows[1].SessionsPerSec)
 		}
 	}
 	return out

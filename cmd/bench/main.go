@@ -1416,6 +1416,7 @@ func checkReport(data []byte) error {
 	// relative allocation-elimination gates on each cell.
 	loadBaseline := map[string]Result{}
 	loadPooled := map[string]Result{}
+	loadTraced := map[string]Result{}
 	loadKey := func(r Result) string {
 		return fmt.Sprintf("n=%d conns=%d workers=%d", r.N, r.Conns, r.Workers)
 	}
@@ -1529,7 +1530,7 @@ func checkReport(data []byte) error {
 			recoveryRows[r.Phase]++
 		}
 		if r.Mode == "load" {
-			if r.Phase != "baseline" && r.Phase != "pooled" {
+			if r.Phase != "baseline" && r.Phase != "pooled" && r.Phase != "traced" {
 				return fmt.Errorf("bench: load result %d carries phase %q", i, r.Phase)
 			}
 			if r.Conns < 1 || r.Workers < 1 || r.Sessions < 1 {
@@ -1557,6 +1558,8 @@ func checkReport(data []byte) error {
 						i, r.AllocsPerOp, loadMaxAllocsPerOp)
 				}
 				loadPooled[loadKey(r)] = r
+			case "traced":
+				loadTraced[loadKey(r)] = r
 			}
 			loadRows[r.Phase]++
 		}
@@ -1584,9 +1587,9 @@ func checkReport(data []byte) error {
 			recoveryRows["replay"], recoveryRows["rejoin"])
 	}
 	if has("load") {
-		if loadRows["baseline"] == 0 || loadRows["pooled"] == 0 {
-			return fmt.Errorf("bench: load scenario incomplete: %d baseline / %d pooled rows",
-				loadRows["baseline"], loadRows["pooled"])
+		if loadRows["baseline"] == 0 || loadRows["pooled"] == 0 || loadRows["traced"] == 0 {
+			return fmt.Errorf("bench: load scenario incomplete: %d baseline / %d pooled / %d traced rows",
+				loadRows["baseline"], loadRows["pooled"], loadRows["traced"])
 		}
 		// The allocation-elimination contract: on the identical closed
 		// loop, the pooled serving path must allocate decisively less per
@@ -1607,6 +1610,22 @@ func checkReport(data []byte) error {
 			if ratio := float64(pooled.AllocsPerOp) / float64(base.AllocsPerOp); ratio > loadAllocRatio {
 				return fmt.Errorf("bench: load cell %s: pooled/baseline allocation ratio %.2f exceeds %.2f",
 					key, ratio, loadAllocRatio)
+			}
+		}
+		// The tracing-overhead contract: turning on the full observability
+		// stack (session tracing, trace capture, a live metrics endpoint)
+		// on the identical closed loop may cost at most 5% of the pooled
+		// throughput. The traced phase is not held to the pooled allocation
+		// ceiling — trace capture allocates deliberately — only to staying
+		// cheap where it counts, wall-clock session rate.
+		for key, traced := range loadTraced {
+			pooled, ok := loadPooled[key]
+			if !ok {
+				return fmt.Errorf("bench: load cell %s has a traced row but no pooled row", key)
+			}
+			if ratio := traced.SessionsPerSec / pooled.SessionsPerSec; ratio < loadTraceOverheadRatio {
+				return fmt.Errorf("bench: load cell %s: traced/pooled throughput ratio %.2f under the %.2f floor",
+					key, ratio, loadTraceOverheadRatio)
 			}
 		}
 	}

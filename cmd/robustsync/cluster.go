@@ -106,7 +106,9 @@ func cmdCluster(args []string) error {
 		}
 		defer mln.Close()
 		go metrics.Serve(mln)
-		metricsURL = "http://" + mln.Addr().String() + "/metrics"
+		// The smoke assertion decodes the JSON document, which lives on
+		// /debug/vars now that /metrics speaks Prometheus text.
+		metricsURL = "http://" + mln.Addr().String() + "/debug/vars"
 		fmt.Printf("metrics endpoint: %s\n", metricsURL)
 	}
 

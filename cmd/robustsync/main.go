@@ -7,8 +7,9 @@
 //	robustsync gen      -out points.txt -n 1000 -dim 2 -delta 1048576 [-from base.txt -noise 4 -outliers 10]
 //	robustsync quantize -csv data.csv -cols 1,2 -out points.txt [-delta 16777216] [-min a,b -max c,d]
 //	robustsync local    -alice a.txt -bob b.txt [-k 16] [-proto adaptive] [-out sprime.txt]
-//	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16] [-data-dir ./state]
-//	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-mux] [-out sprime.txt]
+//	robustsync serve    -data a.txt [-data more.txt ...] -listen :7777 [-k 16] [-data-dir ./state] [-metrics-addr 127.0.0.1:9090]
+//	robustsync pull     -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-mux] [-trace] [-out sprime.txt]
+//	robustsync explain  -dataset a -data b.txt -connect host:7777 [-proto adaptive] [-mux]
 //	robustsync cluster  -nodes 3 -n 500 -extra 8 -shards 4 [-proto exact] [-mux] [-metrics 127.0.0.1:9090] [-deadline 1m]
 //
 // `serve` publishes each -data file as a named dataset (the file's base
@@ -63,6 +64,10 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "pull":
 		err = cmdPull(os.Args[2:])
+	case "explain":
+		// explain is pull with tracing forced on: run the sync and print
+		// the phase/byte breakdown of what just happened on the wire.
+		err = cmdPull(append([]string{"-trace"}, os.Args[2:]...))
 	case "cluster", "-cluster":
 		err = cmdCluster(os.Args[2:])
 	default:
@@ -75,12 +80,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: robustsync <gen|quantize|local|serve|pull|cluster> [flags]
+	fmt.Fprintln(os.Stderr, `usage: robustsync <gen|quantize|local|serve|pull|explain|cluster> [flags]
   gen       generate a point file (optionally a noisy copy of another file)
   quantize  ingest float CSV data into a point file
   local     reconcile two local point files in-process
   serve     publish point files as named datasets on a sync server (Alice)
   pull      reconcile the local file against a server dataset (Bob)
+  explain   pull with -trace: print the session's phase and wire-byte breakdown
   cluster   run an N-node anti-entropy replication demo to convergence
 run "robustsync <cmd> -h" for flags`)
 	os.Exit(2)
@@ -283,6 +289,7 @@ func cmdServe(args []string) error {
 	k := fs.Int("k", 16, "difference budget")
 	seed := fs.Uint64("seed", 42, "shared protocol seed")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight sessions")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/traces on this address")
 	dataDir := fs.String("data-dir", "", "durable storage root: WAL+snapshot per dataset, recovered on restart")
 	fsyncMode := fs.String("fsync", "always", "durable log fsync policy: always|none")
 	snapEvery := fs.Int("snapshot-every", 0, "snapshot after this many log records (0 = store default, <0 = never)")
@@ -297,6 +304,21 @@ func cmdServe(args []string) error {
 	opts := []robustset.ServerOption{robustset.WithServerLogger(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})}
+	if *metricsAddr != "" {
+		// Bind before the server starts: a taken port is an operator error
+		// the process must report and exit on, not serve half-configured.
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustsync: serve: metrics endpoint unavailable on %s: %v\n", *metricsAddr, err)
+			return fmt.Errorf("serve: metrics listener: %w", err)
+		}
+		opts = append(opts,
+			robustset.WithServerMetrics(robustset.NewMetrics()),
+			robustset.WithServerTracing(robustset.NewTraceLog()),
+			robustset.WithServerMetricsListener(mln),
+		)
+		fmt.Printf("observability on http://%s: /metrics /debug/vars /debug/traces\n", mln.Addr())
+	}
 	durable := *dataDir != ""
 	if durable {
 		opts = append(opts,
@@ -365,6 +387,7 @@ func cmdPull(args []string) error {
 	adaptive := fs.Bool("adaptive", false, "shorthand for -proto adaptive")
 	timeout := fs.Duration("timeout", time.Minute, "overall session deadline (0 = none)")
 	mux := fs.Bool("mux", false, "open the session over a multiplexed client connection")
+	showTrace := fs.Bool("trace", false, "print the session's phase spans and per-frame wire bytes")
 	out := fs.String("out", "", "write the reconciled set here")
 	fs.Parse(args)
 	if *data == "" || *connect == "" {
@@ -391,6 +414,21 @@ func cmdPull(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// With -trace the sink captures the completed trace (failed sessions
+	// included) and the breakdown prints after the report — or alone, when
+	// the session erred and there is nothing else to show.
+	var captured *robustset.SessionTrace
+	var traceOpts []robustset.Option
+	if *showTrace {
+		traceOpts = append(traceOpts, robustset.WithSessionTrace(func(st *robustset.SessionTrace) {
+			captured = st
+		}))
+	}
+	printTrace := func() {
+		if captured != nil {
+			captured.Format(os.Stdout)
+		}
+	}
 	var res *robustset.SyncResult
 	var stats robustset.TransferStats
 	if *mux {
@@ -399,15 +437,16 @@ func cmdPull(args []string) error {
 			return err
 		}
 		defer cl.Close()
-		cs, err := cl.Session(name, strat)
+		cs, err := cl.Session(name, strat, traceOpts...)
 		if err != nil {
 			return err
 		}
 		if res, stats, err = cs.Fetch(ctx, bob); err != nil {
+			printTrace()
 			return err
 		}
 	} else {
-		sess, err := robustset.NewSession(strat, robustset.WithDataset(name))
+		sess, err := robustset.NewSession(strat, append([]robustset.Option{robustset.WithDataset(name)}, traceOpts...)...)
 		if err != nil {
 			return err
 		}
@@ -417,6 +456,7 @@ func cmdPull(args []string) error {
 		}
 		defer conn.Close()
 		if res, stats, err = sess.Fetch(ctx, conn, bob); err != nil {
+			printTrace()
 			return err
 		}
 	}
@@ -424,6 +464,7 @@ func cmdPull(args []string) error {
 	// under that universe (it may be wider than the local file's).
 	u = res.Params.Universe
 	report(res, stats, u, nil, bob)
+	printTrace()
 	return writeResult(*out, u, res.SPrime)
 }
 

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"io"
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"robustset"
 	"robustset/internal/pointio"
 	"robustset/internal/points"
 )
@@ -128,5 +132,83 @@ func TestClusterValidation(t *testing.T) {
 	}
 	if err := cmdCluster([]string{"-nodes", "64", "-delta", "64"}); err == nil {
 		t.Error("delta too small for the extra stripes accepted")
+	}
+}
+
+// TestServeMetricsAddrInUse asserts the graceful failure mode of
+// -metrics-addr: with the port already taken, serve must report the
+// conflict and exit non-zero instead of running without observability.
+func TestServeMetricsAddrInUse(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.txt")
+	if err := cmdGen([]string{"-out", data, "-n", "20", "-dim", "2", "-delta", "1024", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = cmdServe([]string{"-data", data, "-listen", "127.0.0.1:0",
+		"-metrics-addr", ln.Addr().String()})
+	if err == nil {
+		t.Fatal("serve with an occupied metrics port succeeded")
+	}
+	if !strings.Contains(err.Error(), "metrics listener") {
+		t.Fatalf("error %q does not name the metrics listener", err)
+	}
+}
+
+// TestPullTrace drives pull -trace (the explain path) against a live
+// server and checks the printed breakdown carries the phase spans and
+// the wire table.
+func TestPullTrace(t *testing.T) {
+	dir := t.TempDir()
+	aliceFile := filepath.Join(dir, "demo.txt")
+	bobFile := filepath.Join(dir, "bob.txt")
+	if err := cmdGen([]string{"-out", aliceFile, "-n", "150", "-dim", "2", "-delta", "65536", "-seed", "11"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-out", bobFile, "-from", aliceFile, "-noise", "2", "-outliers", "3", "-seed", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	u, alice, err := readFile(aliceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := robustset.NewServer()
+	if _, err := srv.Publish("demo", robustset.Params{Universe: u, Seed: 42, DiffBudget: 16}, alice); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// Capture stdout across the pull; the trace breakdown prints there.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	pullErr := cmdPull([]string{"-data", bobFile, "-connect", ln.Addr().String(),
+		"-dataset", "demo", "-proto", "adaptive", "-trace"})
+	w.Close()
+	os.Stdout = old
+	outBytes, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pullErr != nil {
+		t.Fatalf("pull -trace: %v\noutput:\n%s", pullErr, outBytes)
+	}
+	out := string(outBytes)
+	for _, want := range []string{"client session #", "phases:", "estimate", "wire:", "HELLO", "total: in=", "strategy=robust-adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pull -trace output lacks %q:\n%s", want, out)
+		}
 	}
 }

@@ -296,10 +296,16 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// Handler returns an http.Handler serving the JSON document on every
-// path — the debug endpoint CI smoke runs poll.
+// Handler returns the registry's debug handler: "/metrics" serves the
+// Prometheus text exposition, "/debug/vars" (and, for back-compat,
+// every other path) serves the expvar-style JSON document.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
@@ -310,7 +316,14 @@ func (r *Registry) Handler() http.Handler {
 // connections and their handler goroutines are reaped before Serve
 // returns, so callers that `defer ln.Close()` leak nothing.
 func (r *Registry) Serve(ln net.Listener) error {
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return ServeHandler(ln, r.Handler())
+}
+
+// ServeHandler serves h on ln with the debug-listener semantics Serve
+// documents — the server may compose the registry handler with other
+// debug endpoints (e.g. /debug/traces) on one listener.
+func ServeHandler(ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	err := srv.Serve(ln)
 	// Serve returns once ln closes, but the http.Server still holds any
 	// keep-alive connections a poller left open; Close reaps them.

@@ -182,7 +182,7 @@ func TestJSONEndpoint(t *testing.T) {
 	defer ln.Close()
 	go func() { _ = r.Serve(ln) }()
 
-	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"robustset/internal/iblt"
 	"robustset/internal/points"
 	"robustset/internal/sketch"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -24,7 +25,12 @@ func RunNaiveAlice(ctx context.Context, t transport.Transport, u points.Universe
 	if err := u.CheckSet(pts); err != nil {
 		return sendErr(ctx, t, err)
 	}
-	return send(ctx, t, MsgSet, points.EncodeSet(pts, u.Dim))
+	sp := trace.FromContext(ctx).Begin("full_transfer")
+	if err := send(ctx, t, MsgSet, points.EncodeSet(pts, u.Dim)); err != nil {
+		return err
+	}
+	sp.End(trace.I("points", int64(len(pts))))
+	return nil
 }
 
 // RunNaiveBob receives Alice's entire set, which becomes Bob's result.
@@ -118,10 +124,12 @@ func exactTable(cfg ExactConfig, keys [][]byte, capacity int) (*iblt.Table, erro
 // first, then exactly-sized tables on request.
 func RunExactIBLTAlice(ctx context.Context, t transport.Transport, cfg ExactConfig, pts []points.Point) error {
 	cfg = cfg.filled()
+	tr := trace.FromContext(ctx)
 	if err := cfg.Universe.CheckSet(pts); err != nil {
 		return sendErr(ctx, t, err)
 	}
 	keys := exactKeys(cfg.Universe, pts)
+	sp := tr.Begin("strata")
 	st, err := exactStrata(cfg, keys)
 	if err != nil {
 		return sendErr(ctx, t, err)
@@ -133,6 +141,7 @@ func RunExactIBLTAlice(ctx context.Context, t transport.Transport, cfg ExactConf
 	if err := send(ctx, t, MsgStrata, blob); err != nil {
 		return err
 	}
+	sp.End(trace.I("bytes", int64(len(blob))))
 	for {
 		typ, body, err := recv(ctx, t)
 		if err != nil {
@@ -142,6 +151,8 @@ func RunExactIBLTAlice(ctx context.Context, t transport.Transport, cfg ExactConf
 		case MsgDone:
 			return nil
 		case MsgIBLTRequest:
+			round := tr.Begin("iblt_round")
+			tr.Stat("rounds", 1)
 			if len(body) != 4 {
 				return sendErr(ctx, t, errors.New("protocol: malformed IBLT request"))
 			}
@@ -160,6 +171,7 @@ func RunExactIBLTAlice(ctx context.Context, t transport.Transport, cfg ExactConf
 			if err := send(ctx, t, MsgIBLT, tb); err != nil {
 				return err
 			}
+			round.End(trace.I("capacity", int64(capacity)))
 		default:
 			return sendErr(ctx, t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
 		}
@@ -170,10 +182,12 @@ func RunExactIBLTAlice(ctx context.Context, t transport.Transport, cfg ExactConf
 // result equals Alice's multiset exactly.
 func RunExactIBLTBob(ctx context.Context, t transport.Transport, cfg ExactConfig, bobPts []points.Point) ([]points.Point, error) {
 	cfg = cfg.filled()
+	tr := trace.FromContext(ctx)
 	if err := cfg.Universe.CheckSet(bobPts); err != nil {
 		return nil, abort(ctx, t, err)
 	}
 	keys := exactKeys(cfg.Universe, bobPts)
+	sp := tr.Begin("strata")
 	blob, err := recvExpect(ctx, t, MsgStrata)
 	if err != nil {
 		return nil, err
@@ -190,9 +204,13 @@ func RunExactIBLTBob(ctx context.Context, t transport.Transport, cfg ExactConfig
 	if err != nil {
 		return nil, abort(ctx, t, err)
 	}
+	sp.End(trace.I("est", int64(est)))
+	tr.Stat("estimated_diff", int64(est))
 	capacity := int(est*cfg.Slack) + 8
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		round := tr.Begin("iblt_round")
+		tr.Stat("rounds", 1)
 		var req [4]byte
 		binary.LittleEndian.PutUint32(req[:], uint32(capacity))
 		if err := send(ctx, t, MsgIBLTRequest, req[:]); err != nil {
@@ -218,15 +236,21 @@ func RunExactIBLTBob(ctx context.Context, t transport.Transport, cfg ExactConfig
 			return nil, abort(ctx, t, err)
 		}
 		diff, derr := work.Decode()
+		round.End(trace.I("capacity", int64(capacity)), trace.I("cells", int64(mineTbl.Config().Cells)),
+			trace.I("decoded", boolStat(derr == nil)))
 		if derr != nil {
+			tr.Stat("decode_retries", 1)
 			lastErr = derr
 			capacity *= 2
 			continue
 		}
+		tr.Stat("actual_diff", int64(len(diff.Pos)+len(diff.Neg)))
+		ap := tr.Begin("apply")
 		res, err := applyExactDiff(cfg.Universe, bobPts, diff)
 		if err != nil {
 			return nil, abort(ctx, t, err)
 		}
+		ap.End(trace.I("added", int64(len(diff.Pos))), trace.I("removed", int64(len(diff.Neg))))
 		return res, send(ctx, t, MsgDone, nil)
 	}
 	_ = send(ctx, t, MsgDone, nil)
@@ -310,10 +334,12 @@ func RunCPIAlice(ctx context.Context, t transport.Transport, cfg CPIConfig, pts 
 	if err := cfg.Universe.CheckSet(pts); err != nil {
 		return sendErr(ctx, t, err)
 	}
+	tr := trace.FromContext(ctx)
 	elems, lookup, err := cpiElems(cfg, pts)
 	if err != nil {
 		return sendErr(ctx, t, err)
 	}
+	sp := tr.Begin("cpi_sketch")
 	sk, err := cpi.NewSketch(elems, cfg.Capacity, hashutil.DeriveSeed(cfg.Seed, "cpisync/sketch"))
 	if err != nil {
 		return sendErr(ctx, t, err)
@@ -325,6 +351,7 @@ func RunCPIAlice(ctx context.Context, t transport.Transport, cfg CPIConfig, pts 
 	if err := send(ctx, t, MsgCPISketch, blob); err != nil {
 		return err
 	}
+	sp.End(trace.I("bytes", int64(len(blob))))
 	for {
 		typ, body, err := recv(ctx, t)
 		if err != nil {
@@ -334,6 +361,7 @@ func RunCPIAlice(ctx context.Context, t transport.Transport, cfg CPIConfig, pts 
 		case MsgDone:
 			return nil
 		case MsgPayloadRequest:
+			tr.Stat("rounds", 1)
 			if len(body) < 4 {
 				return sendErr(ctx, t, errors.New("protocol: malformed payload request"))
 			}
@@ -366,10 +394,12 @@ func RunCPIBob(ctx context.Context, t transport.Transport, cfg CPIConfig, bobPts
 	if err := cfg.Universe.CheckSet(bobPts); err != nil {
 		return nil, abort(ctx, t, err)
 	}
+	tr := trace.FromContext(ctx)
 	elems, lookup, err := cpiElems(cfg, bobPts)
 	if err != nil {
 		return nil, abort(ctx, t, err)
 	}
+	sp := tr.Begin("cpi_sketch")
 	blob, err := recvExpect(ctx, t, MsgCPISketch)
 	if err != nil {
 		return nil, err
@@ -386,6 +416,10 @@ func RunCPIBob(ctx context.Context, t transport.Transport, cfg CPIConfig, bobPts
 	if err != nil {
 		return nil, abort(ctx, t, err)
 	}
+	sp.End(trace.I("only_a", int64(len(onlyA))), trace.I("only_b", int64(len(onlyB))))
+	tr.Stat("actual_diff", int64(len(onlyA)+len(onlyB)))
+	ap := tr.Begin("apply")
+	defer func() { ap.End() }()
 	var fetched []points.Point
 	if len(onlyA) > 0 {
 		req := binary.LittleEndian.AppendUint32(nil, uint32(len(onlyA)))

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"robustset/internal/core"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -204,7 +205,12 @@ func SendError(ctx context.Context, t transport.Transport, err error) error {
 // protocol's single message. Servers snapshot a Maintainer's sketch under
 // their dataset lock and serve concurrent sessions from the blob.
 func RunPushBlobAlice(ctx context.Context, t transport.Transport, blob []byte) error {
-	return send(ctx, t, MsgSketch, blob)
+	sp := trace.FromContext(ctx).Begin("sketch_send")
+	if err := send(ctx, t, MsgSketch, blob); err != nil {
+		return err
+	}
+	sp.End(trace.I("bytes", int64(len(blob))))
+	return nil
 }
 
 // ---------------------------------------------------------------------

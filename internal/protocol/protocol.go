@@ -19,8 +19,39 @@ import (
 	"fmt"
 	"io"
 
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
+
+// init registers the wire tags' mnemonics with the trace layer, which
+// attributes bytes by leading tag byte; the mapping lives here so the
+// dependency points protocol → trace only.
+func init() {
+	for tag, name := range map[byte]string{
+		MsgSketch:         "SKETCH",
+		MsgEstRequest:     "EST_REQUEST",
+		MsgEstimators:     "ESTIMATORS",
+		MsgLevelRequest:   "LEVEL_REQUEST",
+		MsgLevelTable:     "LEVEL_TABLE",
+		MsgDone:           "DONE",
+		MsgSet:            "SET",
+		MsgStrata:         "STRATA",
+		MsgIBLTRequest:    "IBLT_REQUEST",
+		MsgIBLT:           "IBLT",
+		MsgCPISketch:      "CPI_SKETCH",
+		MsgPayloadRequest: "PAYLOAD_REQUEST",
+		MsgPayloads:       "PAYLOADS",
+		MsgError:          "ERROR",
+		MsgCellsRequest:   "CELLS_REQUEST",
+		MsgCells:          "CELLS",
+		MsgHello:          "HELLO",
+		MsgAccept:         "ACCEPT",
+		MsgMuxHello:       "MUX_HELLO",
+		MsgMuxAccept:      "MUX_ACCEPT",
+	} {
+		trace.RegisterFrameName(tag, name)
+	}
+}
 
 // Message type tags.
 const (

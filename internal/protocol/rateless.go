@@ -11,6 +11,7 @@ import (
 	"robustset/internal/iblt"
 	"robustset/internal/points"
 	"robustset/internal/sketch"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -137,10 +138,12 @@ func parseCells(body []byte) (*iblt.CellBlock, error) {
 // on request until MsgDone.
 func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessConfig, pts []points.Point) error {
 	cfg = cfg.filled()
+	tr := trace.FromContext(ctx)
 	if err := cfg.Universe.CheckSet(pts); err != nil {
 		return sendErr(ctx, t, err)
 	}
 	keys := exactKeys(cfg.Universe, pts)
+	sp := tr.Begin("strata")
 	st, err := exactStrata(cfg.exact(), keys)
 	if err != nil {
 		return sendErr(ctx, t, err)
@@ -152,6 +155,7 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 	if err := send(ctx, t, MsgStrata, blob); err != nil {
 		return err
 	}
+	sp.End(trace.I("bytes", int64(len(blob))))
 	var stream *iblt.CellStream // built lazily on the first request
 	// One block and one encode buffer serve every cell request of the
 	// session: EmitInto and AppendBinary reuse their storage, so the
@@ -167,6 +171,8 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 		case MsgDone:
 			return nil
 		case MsgCellsRequest:
+			round := tr.Begin("cells_round")
+			tr.Stat("rounds", 1)
 			if len(body) != 4 {
 				return sendErr(ctx, t, errors.New("protocol: malformed cells request"))
 			}
@@ -190,9 +196,12 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 			if err := send(ctx, t, MsgCells, cellBuf); err != nil {
 				return err
 			}
+			round.End(trace.I("chunk", int64(n)), trace.I("frontier", int64(stream.Frontier())))
 		case MsgIBLTRequest:
 			// Doubling-path fallback: a peer that did not (or could not)
 			// negotiate the rateless feature speaks classic exact sync.
+			round := tr.Begin("iblt_round")
+			tr.Stat("rounds", 1)
 			if len(body) != 4 {
 				return sendErr(ctx, t, errors.New("protocol: malformed IBLT request"))
 			}
@@ -211,6 +220,7 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 			if err := send(ctx, t, MsgIBLT, tb); err != nil {
 				return err
 			}
+			round.End(trace.I("capacity", int64(capacity)))
 		default:
 			return sendErr(ctx, t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
 		}
@@ -223,10 +233,12 @@ func RunRatelessAlice(ctx context.Context, t transport.Transport, cfg RatelessCo
 // completion. On success Bob's result equals Alice's multiset exactly.
 func RunRatelessBob(ctx context.Context, t transport.Transport, cfg RatelessConfig, bobPts []points.Point) ([]points.Point, error) {
 	cfg = cfg.filled()
+	tr := trace.FromContext(ctx)
 	if err := cfg.Universe.CheckSet(bobPts); err != nil {
 		return nil, abort(ctx, t, err)
 	}
 	keys := exactKeys(cfg.Universe, bobPts)
+	sp := tr.Begin("strata")
 	blob, err := recvExpect(ctx, t, MsgStrata)
 	if err != nil {
 		return nil, err
@@ -243,6 +255,8 @@ func RunRatelessBob(ctx context.Context, t transport.Transport, cfg RatelessConf
 	if err != nil {
 		return nil, abort(ctx, t, err)
 	}
+	sp.End(trace.I("est", int64(est)))
+	tr.Stat("estimated_diff", int64(est))
 	dec, err := iblt.NewCellDecoder(cfg.extend(), keys)
 	if err != nil {
 		return nil, abort(ctx, t, err)
@@ -270,6 +284,8 @@ func RunRatelessBob(ctx context.Context, t transport.Transport, cfg RatelessConf
 		if chunk > maxChunk {
 			chunk = maxChunk
 		}
+		round := tr.Begin("cells_round")
+		tr.Stat("rounds", 1)
 		var req [4]byte
 		binary.LittleEndian.PutUint32(req[:], uint32(chunk))
 		if err := send(ctx, t, MsgCellsRequest, req[:]); err != nil {
@@ -288,11 +304,17 @@ func RunRatelessBob(ctx context.Context, t transport.Transport, cfg RatelessConf
 		if err := dec.AddBlock(block); err != nil {
 			return nil, abort(ctx, t, err)
 		}
-		if diff, ok := dec.Decoded(); ok {
+		diff, ok := dec.Decoded()
+		round.End(trace.I("chunk", int64(chunk)),
+			trace.I("frontier", int64(dec.Frontier())), trace.I("decoded", boolStat(ok)))
+		if ok {
+			ap := tr.Begin("apply")
 			res, err := applyExactDiff(cfg.Universe, bobPts, diff)
 			if err != nil {
 				return nil, abort(ctx, t, err)
 			}
+			ap.End(trace.I("added", int64(len(diff.Pos))), trace.I("removed", int64(len(diff.Neg))))
+			tr.Stat("actual_diff", int64(len(diff.Pos)+len(diff.Neg)))
 			return res, send(ctx, t, MsgDone, nil)
 		}
 		// Geometric growth: each round adds a third of everything streamed

@@ -9,6 +9,7 @@ import (
 	"robustset/internal/iblt"
 	"robustset/internal/points"
 	"robustset/internal/sketch"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -30,12 +31,19 @@ func RunPushSketchAlice(ctx context.Context, t transport.Transport, sk *core.Ske
 	if err != nil {
 		return sendErr(ctx, t, err)
 	}
-	return send(ctx, t, MsgSketch, blob)
+	sp := trace.FromContext(ctx).Begin("sketch_send")
+	if err := send(ctx, t, MsgSketch, blob); err != nil {
+		return err
+	}
+	sp.End(trace.I("bytes", int64(len(blob))))
+	return nil
 }
 
 // RunPushBob executes Bob's side of the one-shot robust protocol. The
 // sketch carries its own parameters, so Bob needs only his points.
 func RunPushBob(ctx context.Context, t transport.Transport, bobPts []points.Point) (*core.Result, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Begin("sketch_recv")
 	body, err := recvExpect(ctx, t, MsgSketch)
 	if err != nil {
 		return nil, err
@@ -44,7 +52,16 @@ func RunPushBob(ctx context.Context, t transport.Transport, bobPts []points.Poin
 	if err := sk.UnmarshalBinary(body); err != nil {
 		return nil, err
 	}
-	return core.Reconcile(&sk, bobPts)
+	sp.End(trace.I("bytes", int64(len(body))))
+	sp = tr.Begin("repair")
+	res, err := core.Reconcile(&sk, bobPts)
+	if err != nil {
+		return nil, err
+	}
+	sp.End(trace.I("level", int64(res.Level)),
+		trace.I("added", int64(len(res.Added))), trace.I("removed", int64(len(res.Removed))))
+	tr.Stat("actual_diff", int64(len(res.Added)+len(res.Removed)))
+	return res, nil
 }
 
 // EstimateOpts tunes the estimate-first robust protocol.
@@ -77,6 +94,8 @@ func (o EstimateOpts) filled(p core.Params) EstimateOpts {
 // she answers one estimator request and then any number of level-table
 // requests until Bob sends MsgDone.
 func RunEstimateAlice(ctx context.Context, t transport.Transport, p core.Params, pts []points.Point) error {
+	tr := trace.FromContext(ctx)
+	sp := tr.Begin("estimate")
 	body, err := recvExpect(ctx, t, MsgEstRequest)
 	if err != nil {
 		return err
@@ -101,6 +120,7 @@ func RunEstimateAlice(ctx context.Context, t transport.Transport, p core.Params,
 	if err := send(ctx, t, MsgEstimators, appendBlobList(nil, blobs)); err != nil {
 		return err
 	}
+	sp.End(trace.I("levels", int64(len(blobs))))
 	for {
 		typ, body, err := recv(ctx, t)
 		if err != nil {
@@ -110,6 +130,8 @@ func RunEstimateAlice(ctx context.Context, t transport.Transport, p core.Params,
 		case MsgDone:
 			return nil
 		case MsgLevelRequest:
+			round := tr.Begin("level_round")
+			tr.Stat("rounds", 1)
 			if len(body) != 6 {
 				return sendErr(ctx, t, errors.New("protocol: malformed level request"))
 			}
@@ -129,6 +151,7 @@ func RunEstimateAlice(ctx context.Context, t transport.Transport, p core.Params,
 			if err := send(ctx, t, MsgLevelTable, blob); err != nil {
 				return err
 			}
+			round.End(trace.I("level", int64(level)), trace.I("capacity", int64(capacity)))
 		default:
 			return sendErr(ctx, t, fmt.Errorf("%w: 0x%02x", ErrUnexpectedMessage, typ))
 		}
@@ -141,6 +164,8 @@ func RunEstimateAlice(ctx context.Context, t transport.Transport, p core.Params,
 // eventually a coarser level) if the table stalls.
 func RunEstimateBob(ctx context.Context, t transport.Transport, p core.Params, bobPts []points.Point, opts EstimateOpts) (*core.Result, error) {
 	opts = opts.filled(p)
+	tr := trace.FromContext(ctx)
+	sp := tr.Begin("estimate")
 	var req [4]byte
 	req[0], req[1], req[2], req[3] = byte(opts.EstimatorK), byte(opts.EstimatorK>>8), byte(opts.EstimatorK>>16), byte(opts.EstimatorK>>24)
 	if err := send(ctx, t, MsgEstRequest, req[:]); err != nil {
@@ -169,20 +194,28 @@ func RunEstimateBob(ctx context.Context, t transport.Transport, p core.Params, b
 	if err != nil {
 		return nil, abort(ctx, t, err)
 	}
+	sp.End(trace.I("level", int64(level)), trace.I("est", int64(est)))
+	tr.Stat("estimated_diff", int64(est))
 	capacity := int(est*1.5) + 16
 	var lastErr error
 	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		round := tr.Begin("level_round")
+		tr.Stat("rounds", 1)
 		tbl, err := fetchLevelTable(ctx, t, level, capacity)
 		if err != nil {
 			return nil, err
 		}
 		res, rerr := core.ReconcileLevel(p, tbl, bobPts, level)
+		round.End(trace.I("level", int64(level)), trace.I("capacity", int64(capacity)),
+			trace.I("decoded", boolStat(rerr == nil)))
 		if rerr == nil {
 			if err := send(ctx, t, MsgDone, nil); err != nil {
 				return nil, err
 			}
+			tr.Stat("actual_diff", int64(len(res.Added)+len(res.Removed)))
 			return res, nil
 		}
+		tr.Stat("decode_retries", 1)
 		lastErr = rerr
 		// Decode stalled: the estimate undershot. Double the capacity and
 		// step a level coarser, where the true difference shrinks — the
@@ -194,6 +227,14 @@ func RunEstimateBob(ctx context.Context, t transport.Transport, p core.Params, b
 	}
 	_ = send(ctx, t, MsgDone, nil)
 	return nil, fmt.Errorf("protocol: estimate-first reconciliation failed after retries: %w", lastErr)
+}
+
+// boolStat renders a bool as a span attribute value.
+func boolStat(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // abort tells Alice we are giving up and returns err.

@@ -703,6 +703,7 @@ func (s *Stream) Send(ctx context.Context, msg []byte) error {
 	}
 	s.ctrs.bytesSent.Add(int64(len(msg) + muxStreamOverhead))
 	s.ctrs.msgsSent.Add(1)
+	traceFrame(ctx, msg, true, len(msg)+muxStreamOverhead)
 	return nil
 }
 
@@ -735,6 +736,7 @@ func (s *Stream) Recv(ctx context.Context) ([]byte, error) {
 			s.mu.Unlock()
 			s.ctrs.bytesRecv.Add(int64(len(msg) + muxStreamOverhead))
 			s.ctrs.msgsRecv.Add(1)
+			traceFrame(ctx, msg, false, len(msg)+muxStreamOverhead)
 			if credit > 0 {
 				// Return the batch of consumed bytes so the peer can keep
 				// streaming; best-effort — if the write fails the mux is

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"robustset/internal/trace"
 )
 
 // Transport is a reliable, ordered, message-preserving duplex link.
@@ -80,6 +82,17 @@ func (c *counters) snapshot() Stats {
 // ErrClosed is returned for operations on a closed transport.
 var ErrClosed = errors.New("transport: closed")
 
+// traceFrame attributes one message's wire bytes (payload plus framing
+// overhead, i.e. exactly what the transport's own counters charge) to
+// the session trace carried by ctx, keyed by the message's leading
+// protocol tag byte. An untraced context is a zero-allocation no-op,
+// so the call sits beside every counter charge unconditionally.
+func traceFrame(ctx context.Context, msg []byte, out bool, n int) {
+	if tr := trace.FromContext(ctx); tr != nil && len(msg) > 0 {
+		tr.Frame(msg[0], out, n)
+	}
+}
+
 // frameOverhead is the per-message framing cost (u32 length prefix),
 // charged by both implementations so accounting is comparable.
 const frameOverhead = 4
@@ -135,6 +148,7 @@ func (m *memEnd) Send(ctx context.Context, msg []byte) error {
 	case m.send <- cp:
 		m.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
 		m.ctrs.msgsSent.Add(1)
+		traceFrame(ctx, msg, true, len(msg)+frameOverhead)
 		return nil
 	}
 }
@@ -147,6 +161,7 @@ func (m *memEnd) Recv(ctx context.Context) ([]byte, error) {
 		}
 		m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
 		m.ctrs.msgsRecv.Add(1)
+		traceFrame(ctx, msg, false, len(msg)+frameOverhead)
 		return msg, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -159,6 +174,7 @@ func (m *memEnd) Recv(ctx context.Context) ([]byte, error) {
 			}
 			m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
 			m.ctrs.msgsRecv.Add(1)
+			traceFrame(ctx, msg, false, len(msg)+frameOverhead)
 			return msg, nil
 		default:
 			return nil, ErrClosed
@@ -171,6 +187,7 @@ func (m *memEnd) Recv(ctx context.Context) ([]byte, error) {
 			}
 			m.ctrs.bytesRecv.Add(int64(len(msg) + frameOverhead))
 			m.ctrs.msgsRecv.Add(1)
+			traceFrame(ctx, msg, false, len(msg)+frameOverhead)
 			return msg, nil
 		default:
 			return nil, io.EOF
@@ -336,6 +353,7 @@ func (t *connTransport) Send(ctx context.Context, msg []byte) error {
 	}
 	t.ctrs.bytesSent.Add(int64(len(msg) + frameOverhead))
 	t.ctrs.msgsSent.Add(1)
+	traceFrame(ctx, msg, true, len(msg)+frameOverhead)
 	return nil
 }
 
@@ -377,6 +395,7 @@ func (t *connTransport) Recv(ctx context.Context) ([]byte, error) {
 	}
 	t.ctrs.bytesRecv.Add(int64(int(n) + frameOverhead))
 	t.ctrs.msgsRecv.Add(1)
+	traceFrame(ctx, msg, false, int(n)+frameOverhead)
 	return msg, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"robustset"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -283,3 +284,134 @@ func TestShutdownReleasesGoroutines(t *testing.T) {
 	httpc.CloseIdleConnections() // release the client half of the keep-alive conn
 	waitGoroutinesSettle(t, before)
 }
+
+// TestDisabledTracingZeroAllocs pins the cost contract of the tracing
+// instrumentation threaded through the serving path: with no trace in
+// the context — the default for every session unless WithSessionTrace
+// or WithServerTracing is configured — the exact call sequence the hot
+// path executes (context lookup, span begin/end with attributes, stat
+// and frame accumulation, labeling) must allocate nothing.
+func TestDisabledTracingZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := trace.FromContext(ctx)
+		sp := tr.Begin("estimate")
+		tr.Label("ds", "robust-oneshot", "")
+		tr.Stat("rounds", 1)
+		tr.Frame(0x01, true, 512)
+		sp.End(trace.I("est", 42), trace.I("capacity", 128))
+		if got := trace.NewContext(ctx, nil); got != ctx {
+			t.Fatal("NewContext with a nil trace must return ctx unchanged")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %.1f times per session-equivalent, want 0", allocs)
+	}
+}
+
+// TestTracedSessionsConcurrent hammers a tracing-enabled server with
+// concurrent traced client sessions over one mux connection — the
+// configuration where trace state (ring inserts, registry folds, span
+// appends) is written from many goroutines at once. Run under -race in
+// CI; every client sink must still receive a complete trace.
+func TestTracedSessionsConcurrent(t *testing.T) {
+	tl := robustset.NewTraceLog(robustset.WithByteThreshold(1))
+	m := robustset.NewMetrics()
+	srv := robustset.NewServer(WithTestLogger(t),
+		robustset.WithServerMetrics(m), robustset.WithServerTracing(tl))
+	sets := publishMany(t, srv, 4, 8600)
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	addr := startServer(t, srv)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl, err := robustset.DialClient(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers, iters = 8, 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	var captured sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, bob := deterministicPair(8600, 120, 4, 2)
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("%d/%d", w, i)
+				cs, err := cl.Session(names[(w+i)%len(names)], robustset.ExactIBLT{},
+					robustset.WithSessionTrace(func(st *robustset.SessionTrace) {
+						captured.Store(key, st)
+					}))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, _, err := cs.Fetch(ctx, bob); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	got := 0
+	captured.Range(func(_, v any) bool {
+		snap := v.(*robustset.SessionTrace)
+		if snap.TotalBytes() <= 0 || len(snap.Spans) == 0 {
+			t.Errorf("captured trace is incomplete: bytes=%d spans=%d", snap.TotalBytes(), len(snap.Spans))
+		}
+		got++
+		return true
+	})
+	if got != workers*iters {
+		t.Fatalf("captured %d traces, want %d", got, workers*iters)
+	}
+}
+
+// benchTracedSession measures one full loopback reconciliation per
+// iteration, with and without a client trace sink — the microbenchmark
+// behind the load harness's traced-phase overhead gate.
+func benchTracedSession(b *testing.B, traced bool) {
+	srv := robustset.NewServer()
+	defer srv.Close()
+	alice, bob := deterministicPair(8600, 120, 4, 2)
+	params := robustset.Params{Universe: testU, Seed: 300, DiffBudget: 8}
+	if _, err := srv.Publish("ds/0", params, alice); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	opts := []robustset.Option{robustset.WithDataset("ds/0")}
+	if traced {
+		opts = append(opts, robustset.WithSessionTrace(func(*robustset.SessionTrace) {}))
+	}
+	sess, err := robustset.NewSession(robustset.Robust{}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sess.FetchAddr(ctx, ln.Addr().String(), bob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionTraceOff(b *testing.B) { benchTracedSession(b, false) }
+func BenchmarkSessionTraceOn(b *testing.B)  { benchTracedSession(b, true) }

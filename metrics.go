@@ -68,8 +68,16 @@ func (m *Metrics) Snapshot() map[string]int64 { return m.registry().Snapshot() }
 // WriteJSON renders the registry as one JSON object with sorted keys.
 func (m *Metrics) WriteJSON(w io.Writer) error { return m.registry().WriteJSON(w) }
 
-// Handler returns an http.Handler serving the JSON document on every
-// path.
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// latency histograms as cumulative le-bucket series with _sum (seconds)
+// and _count. Names of the form "family:dataset" or "family:k=v,..."
+// become one family with a dataset label or the listed label pairs.
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.registry().WritePrometheus(w) }
+
+// Handler returns an http.Handler serving /metrics in Prometheus text
+// format and the JSON document on every other path (conventionally
+// polled as /debug/vars).
 func (m *Metrics) Handler() http.Handler { return m.registry().Handler() }
 
 // Serve serves the debug endpoint on ln until the listener closes —

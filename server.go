@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"robustset/internal/points"
 	"robustset/internal/protocol"
 	"robustset/internal/store"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -404,6 +406,7 @@ type Server struct {
 	muxOff         bool
 	maxStreams     int
 	metrics        *metrics.Registry // nil-safe no-op when unset
+	traces         *TraceLog         // nil-safe no-op when unset
 	debugLn        net.Listener      // metrics debug endpoint; closed on Shutdown/Close
 	debugDone      chan struct{}     // closed when the debug endpoint goroutine exits
 	dataDir        string            // root of durable dataset storage ("" = none)
@@ -484,15 +487,28 @@ func WithServerMetrics(m *Metrics) ServerOption {
 	return func(s *Server) { s.metrics = m.registry() }
 }
 
-// WithServerMetricsListener serves the metrics JSON debug endpoint on
-// ln for the server's lifetime. Unlike a hand-rolled `go m.Serve(ln)`,
-// the listener is owned by the server: Shutdown and Close close it and
-// reap its handler goroutines, so a server torn down cleanly leaks
-// neither the listener nor the endpoint's connections. Combine with
-// WithServerMetrics (in any order) to expose the same registry the
-// server instruments.
+// WithServerMetricsListener serves the observability endpoints on ln for
+// the server's lifetime: /metrics in Prometheus text exposition format,
+// /debug/vars as the expvar-style JSON document, and — when the server
+// also has WithServerTracing — /debug/traces as the trace log's JSON.
+// Unlike a hand-rolled `go m.Serve(ln)`, the listener is owned by the
+// server: Shutdown and Close close it and reap its handler goroutines,
+// so a server torn down cleanly leaks neither the listener nor the
+// endpoint's connections. Combine with WithServerMetrics (in any order)
+// to expose the same registry the server instruments.
 func WithServerMetricsListener(ln net.Listener) ServerOption {
 	return func(s *Server) { s.debugLn = ln }
+}
+
+// WithServerTracing records a SessionTrace for every served session into
+// tl: phase spans, estimated-vs-actual difference, per-frame-type wire
+// bytes. Completed traces also feed the registry's per-strategy session
+// families (session_*_total), so /metrics exposes difference and round
+// distributions without retaining individual traces. Tracing allocates
+// per session; leave it unset on latency-critical deployments and attach
+// it when diagnosing.
+func WithServerTracing(tl *TraceLog) ServerOption {
+	return func(s *Server) { s.traces = tl }
 }
 
 // NewServer builds an empty server; Publish datasets, then Serve.
@@ -515,15 +531,33 @@ func NewServer(opts ...ServerOption) *Server {
 		opt(s)
 	}
 	if s.debugLn != nil {
-		// The registry's Serve reaps its handler connections when the
+		// The serve helper reaps its handler connections when the
 		// listener closes, so closeDebugListener is a complete teardown.
 		s.debugDone = make(chan struct{})
-		go func(ln net.Listener) {
+		go func(ln net.Listener, h http.Handler) {
 			defer close(s.debugDone)
-			_ = s.metrics.Serve(ln)
-		}(s.debugLn)
+			_ = metrics.ServeHandler(ln, h)
+		}(s.debugLn, s.debugHandler())
 	}
 	return s
+}
+
+// debugHandler composes the debug listener's endpoints: /debug/traces
+// from the trace log (when tracing is on), everything else — /metrics,
+// /debug/vars — from the metrics registry.
+func (s *Server) debugHandler() http.Handler {
+	reg := s.metrics.Handler()
+	if s.traces == nil {
+		return reg
+	}
+	tr := s.traces.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/debug/traces" {
+			tr.ServeHTTP(w, req)
+			return
+		}
+		reg.ServeHTTP(w, req)
+	})
 }
 
 // closeDebugListener stops the metrics debug endpoint, waiting for its
@@ -840,10 +874,46 @@ func (s *Server) serveMux(conn net.Conn, t transport.Transport, mh protocol.MuxH
 func (s *Server) serveSession(ctx context.Context, t transport.Transport, hello protocol.Hello, remote net.Addr) {
 	start := time.Now()
 	s.metrics.Counter("server_sessions_total").Inc()
-	if err := s.runSession(ctx, t, hello, remote); err != nil {
+	var tr *trace.Trace
+	if s.traces != nil {
+		// Tracing is wired per session, not per server: the nil-trace path
+		// costs nothing, so untraced deployments keep their hot path.
+		tr = trace.New("server")
+		tr.Label(hello.Dataset, "", remote.String())
+		ctx = trace.NewContext(ctx, tr)
+	}
+	err := s.runSession(ctx, t, hello, remote)
+	if err != nil {
 		s.metrics.Counter("server_session_errors_total").Inc()
 	}
 	s.metrics.Histogram("server_session_seconds").Observe(time.Since(start))
+	if tr != nil {
+		tr.Finish(err)
+		snap := tr.Snapshot()
+		s.traces.add(snap)
+		s.recordSessionMetrics(snap)
+	}
+}
+
+// recordSessionMetrics folds one completed trace into the registry's
+// per-strategy session families, so /metrics carries difference sizes,
+// round counts and wire attribution in aggregate even though individual
+// traces age out of the ring. Label values come from the negotiated
+// strategy and the protocol's registered frame names — both closed sets —
+// never from untrusted client input.
+func (s *Server) recordSessionMetrics(snap *SessionTrace) {
+	strat := snap.Strategy
+	if strat == "" {
+		return // the session failed before a strategy was negotiated
+	}
+	for _, st := range []string{"estimated_diff", "actual_diff", "rounds", "decode_retries"} {
+		if v, ok := snap.Stat(st); ok {
+			s.metrics.Counter("session_" + st + "_total:strategy=" + strat).Add(v)
+		}
+	}
+	for _, f := range snap.Frames {
+		s.metrics.Counter("session_wire_bytes_total:frame=" + f.Type + ",dir=" + f.Dir).Add(f.Bytes)
+	}
 }
 
 // runSession performs the dataset/strategy dispatch and the protocol
@@ -867,6 +937,9 @@ func (s *Server) runSession(ctx context.Context, t transport.Transport, hello pr
 		s.logf("robustset: server: %v: %v", remote, err)
 		return err
 	}
+	// Labels come from the negotiated strategy, a closed set — never from
+	// raw hello bytes.
+	trace.FromContext(ctx).Label("", strat.Name(), "")
 	params := d.Params()
 	// Echo the features the negotiated strategy honors, so the client
 	// knows the rateless cell stream (rather than the doubling fallback)

@@ -480,7 +480,10 @@ func TestServerShutdownDuringBuild(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Shutdown returned %v, want DeadlineExceeded (stalled session)", err)
 	}
-	if elapsed := time.Since(start); elapsed > 5*time.Second {
+	// The bound only guards against a hung force-close; it is generous
+	// because full-package -race runs add several seconds of GC and
+	// scheduler pressure around the multi-megabyte sketch build.
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
 		t.Fatalf("Shutdown took %v to abort a stalled session", elapsed)
 	}
 	if err := <-serveDone; !errors.Is(err, robustset.ErrServerClosed) {

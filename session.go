@@ -10,6 +10,7 @@ import (
 
 	"robustset/internal/emd"
 	"robustset/internal/protocol"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -434,6 +435,7 @@ type Session struct {
 	params    Params
 	metric    Metric
 	statsSink func(TransferStats)
+	traceSink func(*SessionTrace)
 	maxMsg    int
 	dataset   string
 }
@@ -469,6 +471,21 @@ func WithMetric(m Metric) Option {
 func WithStatsSink(sink func(TransferStats)) Option {
 	return func(s *Session) error {
 		s.statsSink = sink
+		return nil
+	}
+}
+
+// WithSessionTrace enables session tracing on the fetching side: every
+// Fetch records phase spans and per-frame-type wire-byte attribution and
+// hands the completed SessionTrace to sink — including failed fetches,
+// whose trace carries the error. The sink runs synchronously at the end
+// of the fetch; tracing costs nothing on sessions without the option.
+func WithSessionTrace(sink func(*SessionTrace)) Option {
+	return func(s *Session) error {
+		if sink == nil {
+			return errors.New("robustset: nil trace sink")
+		}
+		s.traceSink = sink
 		return nil
 	}
 }
@@ -602,12 +619,26 @@ func (s *Session) Fetch(ctx context.Context, conn net.Conn, local []Point) (*Syn
 	return res, st, err
 }
 
-func (s *Session) fetchOver(ctx context.Context, t transport.Transport, local []Point) (*SyncResult, error) {
+func (s *Session) fetchOver(ctx context.Context, t transport.Transport, local []Point) (res *SyncResult, err error) {
 	p := s.params
 	strat := s.strategy
+	var tr *trace.Trace
+	if s.traceSink != nil {
+		tr = trace.New("client")
+		tr.Label(s.dataset, strat.Name(), "")
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			tr.Finish(err)
+			s.traceSink(tr.Snapshot())
+		}()
+	} else {
+		// An ambient trace (e.g. a replicator round's per-session child)
+		// still gets the handshake span and the negotiated-strategy label.
+		tr = trace.FromContext(ctx)
+	}
 	if s.dataset != "" {
+		hello := tr.Begin("hello")
 		var feats byte
-		var err error
 		p, feats, err = protocol.RunHelloClientExt(ctx, t, protocol.Hello{
 			Strategy: strat.code(),
 			Dataset:  s.dataset,
@@ -620,9 +651,12 @@ func (s *Session) fetchOver(ctx context.Context, t transport.Transport, local []
 			// Legacy server: it accepted the session but did not echo the
 			// rateless feature, so it will serve the doubling path.
 			strat = r.fallback()
+			// The trace must name the strategy actually spoken on the wire.
+			tr.Label("", strat.Name(), "")
 		}
+		hello.End(trace.I("features", int64(feats)))
 	}
-	res, err := strat.fetch(ctx, t, p, local)
+	res, err = strat.fetch(ctx, t, p, local)
 	if err != nil {
 		return nil, err
 	}
