@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"robustset/internal/protocol"
+	"robustset/internal/ranges"
+	"robustset/internal/trace"
 	"robustset/internal/transport"
 )
 
@@ -299,6 +301,16 @@ func (cs *ClientSession) Fetch(ctx context.Context, local []Point) (*SyncResult,
 		if legacy {
 			return cs.sess.FetchAddr(ctx, c.addr, local)
 		}
+		if r, ok := cs.sess.strategy.(Ranged); ok && r.Streams > 1 {
+			res, stats, ferr, opened := cs.sess.fetchRangedStreams(ctx, m, r, local)
+			if !opened {
+				// The mux died before any stream opened; redial once.
+				if attempt == 0 && ctx.Err() == nil {
+					continue
+				}
+			}
+			return res, stats, ferr
+		}
 		st, err := m.Open(ctx)
 		if err != nil {
 			// A dead mux surfaces here; redial and retry exactly once.
@@ -319,4 +331,168 @@ func (cs *ClientSession) Fetch(ctx context.Context, local []Point) (*SyncResult,
 		_ = st.Close()
 		return res, stats, nil
 	}
+}
+
+// fetchRangedStreams runs one ranged fetch as up to r.Streams parallel
+// pipelined streams of the multiplexed connection, each reconciling a
+// disjoint subrange of the key space against its own server session.
+// The partition comes from the local tree — no extra round trip — and
+// every stream performs its own handshake, so to the server this is
+// simply r.Streams concurrent ranged sessions. Wall-clock round depth
+// is the maximum over streams (recorded as the wall_rounds trace stat)
+// instead of the sum a serial walk would pay. opened=false means the
+// mux died before the first stream existed, so the caller may redial.
+func (s *Session) fetchRangedStreams(ctx context.Context, m *transport.Mux, r Ranged, local []Point) (res *SyncResult, st TransferStats, err error, opened bool) {
+	var tr *trace.Trace
+	if s.traceSink != nil {
+		tr = trace.New("client")
+		tr.Label(s.dataset, r.Name(), "")
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			tr.Finish(err)
+			s.traceSink(tr.Snapshot())
+		}()
+	} else {
+		tr = trace.FromContext(ctx)
+	}
+	hello := protocol.Hello{Strategy: r.code(), Dataset: s.dataset, Config: r.helloConfig()}
+	st0, err := m.Open(ctx)
+	if err != nil {
+		return nil, st, err, false
+	}
+	fail := func(stream *transport.Stream, ferr error) (*SyncResult, TransferStats, error, bool) {
+		stats := stream.Stats()
+		stream.Reset(ferr)
+		return nil, stats, ferr, true
+	}
+	hsp := tr.Begin("hello")
+	p, feats, err := protocol.RunHelloClientExt(ctx, st0, hello)
+	if err != nil {
+		hsp.End()
+		return fail(st0, err)
+	}
+	hsp.End(trace.I("features", int64(feats)))
+	if feats&protocol.FeatureRanged == 0 {
+		// Legacy server: no ranged feature echoed, so finish as a plain
+		// single-stream fetch of the fallback strategy on the stream the
+		// handshake already opened.
+		strat := r.fallback()
+		tr.Label("", strat.Name(), "")
+		res, err = strat.fetch(ctx, st0, p, local)
+		if err != nil {
+			return fail(st0, err)
+		}
+		st = st0.Stats()
+		_ = st0.Close()
+		res.Params = p
+		res.metric = s.metric
+		return res, st, nil, true
+	}
+	if err = p.Universe.CheckSet(local); err != nil {
+		return fail(st0, err)
+	}
+	cfg := r.config(p)
+	build := tr.Begin("range_tree_build")
+	tree, err := protocol.BuildRangeTree(cfg, local)
+	if err != nil {
+		build.End()
+		return fail(st0, err)
+	}
+	build.End(trace.I("keys", int64(tree.Len())))
+	// Partition the key space at the local tree's equal-count ranks. A
+	// sparse tree may yield fewer cuts than requested; every scope is
+	// non-empty locally and together they cover the whole space.
+	bounds := append(tree.PartitionBounds(r.Streams), ranges.TopBound(tree.KeyLen()))
+	type scope struct{ lo, hi []byte }
+	scopes := make([]scope, 0, len(bounds))
+	lo := []byte(nil)
+	for _, b := range bounds {
+		scopes = append(scopes, scope{lo, b})
+		lo = b
+	}
+
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu         sync.Mutex
+		adds, rems [][]byte
+		wallRounds int
+		firstErr   error
+	)
+	var wg sync.WaitGroup
+	for i, sc := range scopes {
+		wg.Add(1)
+		go func(i int, sc scope) {
+			defer wg.Done()
+			stream := st0
+			if i > 0 {
+				s2, oerr := m.Open(gctx)
+				if oerr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = oerr
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				_, f2, herr := protocol.RunHelloClientExt(gctx, s2, hello)
+				if herr == nil && f2&protocol.FeatureRanged == 0 {
+					herr = errors.New("robustset: server dropped the ranged feature on a sibling stream")
+				}
+				if herr != nil {
+					stats := s2.Stats()
+					s2.Reset(herr)
+					mu.Lock()
+					st.Add(stats)
+					if firstErr == nil {
+						firstErr = herr
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				stream = s2
+			}
+			add, rem, rounds, serr := protocol.RunRangedBobScoped(gctx, stream, cfg, tree, sc.lo, sc.hi)
+			stats := stream.Stats()
+			if serr != nil {
+				stream.Reset(serr)
+			} else {
+				_ = stream.Close()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			st.Add(stats)
+			if serr != nil {
+				if firstErr == nil {
+					firstErr = serr
+				}
+				cancel()
+				return
+			}
+			adds = append(adds, add...)
+			rems = append(rems, rem...)
+			if rounds > wallRounds {
+				wallRounds = rounds
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, st, firstErr, true
+	}
+	ap := tr.Begin("apply")
+	sp, err := protocol.ApplyRangedDiff(cfg.Universe, local, adds, rems)
+	if err != nil {
+		ap.End()
+		return nil, st, err, true
+	}
+	ap.End(trace.I("added", int64(len(adds))), trace.I("removed", int64(len(rems))))
+	tr.Stat("actual_diff", int64(len(adds)+len(rems)))
+	tr.Stat("wall_rounds", int64(wallRounds))
+	tr.Stat("streams", int64(len(scopes)))
+	res = &SyncResult{SPrime: sp, Params: p}
+	res.metric = s.metric
+	return res, st, nil, true
 }

@@ -7,8 +7,9 @@
 // The matrix is deterministic — workload seeds are a function of the
 // cell coordinates — so two runs on the same machine measure the same
 // work. Sizes span 1e3–1e6 points (the -quick mode trims the matrix for
-// CI smoke runs), crossed with diff rates, point dimensions and the six
-// strategies. Cells whose protocol cost would be pathological for the
+// CI smoke runs), crossed with diff rates, point dimensions and the
+// built-in strategies. Cells whose protocol cost would be pathological
+// for the
 // configuration (CPI beyond its capacity budget) are recorded as skipped
 // with a reason rather than silently dropped. A cluster scenario then
 // stands up a 3-node sharded anti-entropy cluster over loopback TCP and
@@ -25,6 +26,15 @@
 // gate enforces the robustness contract on them: at most 0.6× the
 // doubling bytes when the estimate undershoots, at most 1.1× when it is
 // accurate.
+//
+// A ranges scenario (mode "ranges" rows) pins the divide-and-conquer
+// strategy's contract in its headline regime — huge sets, tiny
+// differences: ranged wire bytes against the exact-IBLT doubling path
+// on the identical workload (wire_bytes vs baseline_bytes, the -check
+// gate demands ≤0.5×), and the sequential round-trip depth of the same
+// reconciliation pipelined as sibling-range mux streams against a
+// serial one-probe-per-frame run (rounds vs baseline_rounds, gated at
+// ≤0.6× on quick reports).
 //
 // A recovery scenario (mode "recovery" rows) measures the durable
 // storage engine. "replay" rows churn a write-ahead-logged dataset,
@@ -61,6 +71,7 @@ import (
 	"robustset/internal/hashutil"
 	"robustset/internal/iblt"
 	"robustset/internal/points"
+	"robustset/internal/ranges"
 	"robustset/internal/sketch"
 	"robustset/internal/workload"
 )
@@ -87,7 +98,7 @@ type Report struct {
 }
 
 // allModes enumerates the scenarios -mode can select, in run order.
-var allModes = []string{"core", "cluster", "rateless", "mux", "recovery", "load"}
+var allModes = []string{"core", "cluster", "rateless", "mux", "ranges", "recovery", "load"}
 
 // Result is one matrix cell.
 type Result struct {
@@ -129,6 +140,15 @@ type Result struct {
 	// contracted against.
 	Estimate      string `json:"estimate,omitempty"`
 	BaselineBytes int64  `json:"baseline_bytes,omitempty"`
+
+	// Ranges-scenario rows (Mode == "ranges") compare the ranged
+	// divide-and-conquer strategy's wire bytes against the exact-IBLT
+	// doubling path's (baseline_bytes) on an identical tiny-difference
+	// workload, plus the sequential round-trip depth of the same
+	// reconciliation pipelined as sibling-range mux streams (rounds,
+	// mux_streams) against a serial one-probe-per-frame run
+	// (baseline_rounds).
+	BaselineRounds int `json:"baseline_rounds,omitempty"`
 
 	// Mux-scenario rows (Mode == "mux") compare one multiplexed
 	// connection carrying all shard sessions as pipelined streams
@@ -185,7 +205,7 @@ type cell struct {
 }
 
 // matrix enumerates the workload cells. Quick mode trims sizes and
-// dimensions for CI smoke runs while still covering all six strategies.
+// dimensions for CI smoke runs while still covering every strategy.
 func matrix(quick bool) []cell {
 	sizes := []int{1_000, 10_000, 100_000, 1_000_000}
 	rates := []float64{0.001, 0.01}
@@ -205,7 +225,7 @@ func matrix(quick bool) []cell {
 				for _, s := range robustset.Strategies() {
 					regime := "noisy"
 					switch s.(type) {
-					case robustset.ExactIBLT, robustset.Rateless, robustset.CPI:
+					case robustset.ExactIBLT, robustset.Rateless, robustset.Ranged, robustset.CPI:
 						// The exact comparators get the regime they are
 						// designed for; under value noise their cost is
 						// Θ(n) by construction, which would measure the
@@ -350,6 +370,13 @@ func timeBuild(c cell, p robustset.Params, alice []robustset.Point) (int64, erro
 			elems[i] = h.Hash(buf) % (1<<61 - 1)
 		}
 		if _, err := cpi.NewSketch(elems, cpiCapacityFor(outliersFor(c.n, c.rate)), 5); err != nil {
+			return 0, err
+		}
+	case robustset.Ranged:
+		// The ordered fingerprint tree over Morton-interleaved occurrence
+		// keys the divide-and-conquer protocol probes.
+		u := points.Universe{Dim: c.dim, Delta: c.delta}
+		if _, err := ranges.NewFromSorted(ranges.KeyLen(c.dim), 21, ranges.Keys(u, alice)); err != nil {
 			return 0, err
 		}
 	case robustset.Naive:
@@ -1373,7 +1400,7 @@ func runMatrix(cells []cell, quick bool, logf func(format string, args ...any)) 
 }
 
 // checkReport validates a serialized report against the schema contract:
-// version match, all six strategies covered, and every non-skipped row
+// version match, every strategy covered, and every non-skipped row
 // carrying real measurements. CI runs this as its drift gate.
 func checkReport(data []byte) error {
 	var rep Report
@@ -1409,6 +1436,7 @@ func checkReport(data []byte) error {
 	}
 	clusterRows := 0
 	muxRows := 0
+	rangesRows := 0
 	ratelessRows := map[string]int{}
 	recoveryRows := map[string]int{}
 	loadRows := map[string]int{}
@@ -1474,6 +1502,32 @@ func checkReport(data []byte) error {
 				}
 			}
 			muxRows++
+		}
+		if r.Mode == "ranges" {
+			if r.BaselineBytes <= 0 {
+				return fmt.Errorf("bench: ranges result %d carries no exact-IBLT baseline", i)
+			}
+			if r.Rounds < 1 || r.BaselineRounds < 1 || r.MuxStreams < 2 {
+				return fmt.Errorf("bench: ranges result %d carries no pipelined round-depth comparison", i)
+			}
+			// The divide-and-conquer contract: on a tiny difference the
+			// probe tree must decisively undercut the exact-IBLT path,
+			// whose strata estimator costs tens of kilobytes before a
+			// single differing key moves.
+			if ratio := float64(r.WireBytes) / float64(r.BaselineBytes); ratio > 0.5 {
+				return fmt.Errorf("bench: ranges result %d (n=%d): wire ratio %.2f exceeds 0.5", i, r.N, ratio)
+			}
+			// The pipelining contract: reconciling sibling subranges as
+			// concurrent mux streams must cut the sequential round-trip
+			// depth well below the serial run's. Like the mux wall-clock
+			// gate, it is enforced on the quick reports CI measures fresh
+			// and recorded, not gated, in the committed trajectory.
+			if rep.Quick {
+				if ratio := float64(r.Rounds) / float64(r.BaselineRounds); ratio > 0.6 {
+					return fmt.Errorf("bench: ranges result %d (n=%d): pipelined/serial round ratio %.2f exceeds 0.6", i, r.N, ratio)
+				}
+			}
+			rangesRows++
 		}
 		if r.Mode == "rateless" {
 			if r.Estimate != "accurate" && r.Estimate != "undershoot" {
@@ -1581,6 +1635,9 @@ func checkReport(data []byte) error {
 	}
 	if has("mux") && muxRows == 0 {
 		return fmt.Errorf("bench: no successful multiplexed-serving comparison result")
+	}
+	if has("ranges") && rangesRows == 0 {
+		return fmt.Errorf("bench: no successful range-reconciliation comparison result")
 	}
 	if has("recovery") && (recoveryRows["replay"] == 0 || recoveryRows["rejoin"] == 0) {
 		return fmt.Errorf("bench: recovery scenario incomplete: %d replay / %d rejoin rows",
@@ -1731,6 +1788,9 @@ func main() {
 	}
 	if sel["mux"] {
 		rep.Results = append(rep.Results, runMuxScenario(*quick, logf)...)
+	}
+	if sel["ranges"] {
+		rep.Results = append(rep.Results, runRangesScenario(*quick, logf)...)
 	}
 	if sel["recovery"] {
 		rep.Results = append(rep.Results, runRecoveryScenario(*quick, logf)...)

@@ -14,7 +14,7 @@ func tinyMatrix() []cell {
 	for _, s := range robustset.Strategies() {
 		regime := "noisy"
 		switch s.(type) {
-		case robustset.ExactIBLT, robustset.Rateless, robustset.CPI:
+		case robustset.ExactIBLT, robustset.Rateless, robustset.Ranged, robustset.CPI:
 			regime = "exact"
 		}
 		cells = append(cells, cell{
@@ -60,6 +60,14 @@ func tinyMuxCell() muxCell {
 	return muxCell{shards: 4, perShard: 60, diff: 16, budget: 12}
 }
 
+// tinyRangesCell is a minimal divide-and-conquer comparison for
+// in-process testing: the difference is tiny relative to n, so the
+// wire contract against the exact-IBLT path's fixed strata cost holds
+// even at test scale.
+func tinyRangesCell() rangesCell {
+	return rangesCell{n: 2_000, replaced: 4, streams: 2}
+}
+
 // tinyLoadCell is a minimal closed-loop load scenario for in-process
 // testing: enough concurrent sessions to exercise the worker fan-out
 // and the MemStats accounting, small enough for a unit-test budget —
@@ -74,14 +82,15 @@ func tinyLoadCell() loadCell {
 // validates the produced report with the same checker CI uses.
 func TestRunMatrixAndCheck(t *testing.T) {
 	rep := runMatrix(tinyMatrix(), false, t.Logf)
-	if len(rep.Results) != 6 {
-		t.Fatalf("got %d results, want 6", len(rep.Results))
+	if len(rep.Results) != 7 {
+		t.Fatalf("got %d results, want 7", len(rep.Results))
 	}
 	rep.Results = append(rep.Results, runClusterCell(tinyClusterCell()))
 	for _, c := range tinyRatelessCells() {
 		rep.Results = append(rep.Results, runRatelessCell(c))
 	}
 	rep.Results = append(rep.Results, runMuxCell(tinyMuxCell()))
+	rep.Results = append(rep.Results, runRangesCell(tinyRangesCell()))
 	replayCell, rejoinCell := tinyRecoveryCells()
 	rep.Results = append(rep.Results, runRecoveryReplayCell(replayCell))
 	rep.Results = append(rep.Results, runRecoveryRejoinCell(rejoinCell))
@@ -150,6 +159,7 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 		rep.Results = append(rep.Results, runRatelessCell(c))
 	}
 	rep.Results = append(rep.Results, runMuxCell(tinyMuxCell()))
+	rep.Results = append(rep.Results, runRangesCell(tinyRangesCell()))
 	replayCell, rejoinCell := tinyRecoveryCells()
 	rep.Results = append(rep.Results, runRecoveryReplayCell(replayCell))
 	rep.Results = append(rep.Results, runRecoveryRejoinCell(rejoinCell))
@@ -166,11 +176,11 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 		{"strategy", func(r *Report) { r.Results[0].Strategy = "bogus" }, "unknown strategy"},
 		{"missing", func(r *Report) { r.Results = r.Results[:1] }, "no successful result"},
 		{"nomeasure", func(r *Report) { r.Results[2].SyncNS = 0 }, "no measurements"},
-		{"nocluster", func(r *Report) { r.Results = append(r.Results[:6:6], r.Results[7:]...) }, "no successful cluster-convergence"},
-		{"norounds", func(r *Report) { r.Results[6].Rounds = 0 }, "no convergence measurements"},
-		{"norateless", func(r *Report) { r.Results = r.Results[:7] }, "rateless scenario incomplete"},
-		{"badestimate", func(r *Report) { r.Results[7].Estimate = "wild" }, "estimate regime"},
-		{"nobaseline", func(r *Report) { r.Results[7].BaselineBytes = 0 }, "no doubling baseline"},
+		{"nocluster", func(r *Report) { r.Results = append(r.Results[:7:7], r.Results[8:]...) }, "no successful cluster-convergence"},
+		{"norounds", func(r *Report) { r.Results[7].Rounds = 0 }, "no convergence measurements"},
+		{"norateless", func(r *Report) { r.Results = r.Results[:8] }, "rateless scenario incomplete"},
+		{"badestimate", func(r *Report) { r.Results[8].Estimate = "wild" }, "estimate regime"},
+		{"nobaseline", func(r *Report) { r.Results[8].BaselineBytes = 0 }, "no doubling baseline"},
 		{"contract", func(r *Report) {
 			for i := range r.Results {
 				if r.Results[i].Estimate == "undershoot" {
@@ -178,23 +188,34 @@ func TestCheckReportRejectsDrift(t *testing.T) {
 				}
 			}
 		}, "undershoot wire ratio"},
-		{"nomux", func(r *Report) { r.Results = r.Results[:9] }, "no successful multiplexed-serving"},
-		{"muxstreams", func(r *Report) { r.Results[9].MuxStreams = 1 }, "streams on one connection"},
-		{"muxbytes", func(r *Report) { r.Results[9].WireBytes = r.Results[9].BaselineBytes }, "wire ratio"},
+		{"nomux", func(r *Report) { r.Results = r.Results[:10] }, "no successful multiplexed-serving"},
+		{"muxstreams", func(r *Report) { r.Results[10].MuxStreams = 1 }, "streams on one connection"},
+		{"muxbytes", func(r *Report) { r.Results[10].WireBytes = r.Results[10].BaselineBytes }, "wire ratio"},
 		{"muxwall", func(r *Report) {
 			r.Quick = true
-			r.Results[9].SyncNS = r.Results[9].BaselineNS
+			r.Results[10].SyncNS = r.Results[10].BaselineNS
 		}, "wall-clock ratio"},
-		{"norecovery", func(r *Report) { r.Results = r.Results[:10] }, "recovery scenario incomplete"},
-		{"noreplay", func(r *Report) { r.Results[10].ReplayRecords = 0 }, "replayed no log records"},
-		{"writeamp", func(r *Report) { r.Results[10].WALBytes = 100 * r.Results[10].LogicalBytes }, "write amplification"},
-		{"rejoinratio", func(r *Report) { r.Results[11].WireBytes = r.Results[11].BaselineBytes }, "rejoin wire ratio"},
-		{"noload", func(r *Report) { r.Results = r.Results[:12] }, "load scenario incomplete"},
-		{"loadrate", func(r *Report) { r.Results[12].SessionsPerSec = 1 }, "sessions/sec under"},
-		{"loadceiling", func(r *Report) { r.Results[13].AllocsPerOp = loadMaxAllocsPerOp + 1 }, "allocs/op exceeds"},
-		{"loadbytesratio", func(r *Report) { r.Results[13].AllocBytesPerOp = 2 * r.Results[12].AllocBytesPerOp }, "alloc-bytes ratio"},
-		{"loadallocratio", func(r *Report) { r.Results[13].AllocsPerOp = r.Results[12].AllocsPerOp + 1 }, "allocation ratio"},
-		{"loadorphan", func(r *Report) { r.Results[12].Conns++ }, "no baseline row"},
+		{"noranges", func(r *Report) { r.Results = r.Results[:11] }, "no successful range-reconciliation"},
+		{"norangesdepth", func(r *Report) { r.Results[11].BaselineRounds = 0 }, "no pipelined round-depth comparison"},
+		{"rangeswire", func(r *Report) { r.Results[11].WireBytes = r.Results[11].BaselineBytes }, "exceeds 0.5"},
+		{"rangesrounds", func(r *Report) {
+			// Quick also arms the mux wall-clock gate, which this tiny
+			// single-core fixture cannot honestly pass; pin it green so
+			// the ranges round gate is the one that fires.
+			r.Quick = true
+			r.Results[10].SyncNS = 1
+			r.Results[11].Rounds = r.Results[11].BaselineRounds
+		}, "round ratio"},
+		{"norecovery", func(r *Report) { r.Results = r.Results[:12] }, "recovery scenario incomplete"},
+		{"noreplay", func(r *Report) { r.Results[12].ReplayRecords = 0 }, "replayed no log records"},
+		{"writeamp", func(r *Report) { r.Results[12].WALBytes = 100 * r.Results[12].LogicalBytes }, "write amplification"},
+		{"rejoinratio", func(r *Report) { r.Results[13].WireBytes = r.Results[13].BaselineBytes }, "rejoin wire ratio"},
+		{"noload", func(r *Report) { r.Results = r.Results[:14] }, "load scenario incomplete"},
+		{"loadrate", func(r *Report) { r.Results[14].SessionsPerSec = 1 }, "sessions/sec under"},
+		{"loadceiling", func(r *Report) { r.Results[15].AllocsPerOp = loadMaxAllocsPerOp + 1 }, "allocs/op exceeds"},
+		{"loadbytesratio", func(r *Report) { r.Results[15].AllocBytesPerOp = 2 * r.Results[14].AllocBytesPerOp }, "alloc-bytes ratio"},
+		{"loadallocratio", func(r *Report) { r.Results[15].AllocsPerOp = r.Results[14].AllocsPerOp + 1 }, "allocation ratio"},
+		{"loadorphan", func(r *Report) { r.Results[14].Conns++ }, "no baseline row"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -236,5 +257,32 @@ func TestRunRatelessCell(t *testing.T) {
 		if want := c.n + c.diff; r.ResultSize != want {
 			t.Errorf("converged size %d, want %d", r.ResultSize, want)
 		}
+	}
+}
+
+// TestRunRangesCell pins the divide-and-conquer scenario's contract at
+// test scale: on a tiny difference the probe tree must decisively beat
+// the exact-IBLT path's fixed strata cost, and pipelining sibling
+// subranges must cut the round depth below the serial run's.
+func TestRunRangesCell(t *testing.T) {
+	c := tinyRangesCell()
+	r := runRangesCell(c)
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	if r.Mode != "ranges" || r.MuxStreams < 2 {
+		t.Errorf("row coordinates %+v", r)
+	}
+	ratio := float64(r.WireBytes) / float64(r.BaselineBytes)
+	t.Logf("ranged %d B vs exact-IBLT %d B (×%.2f), rounds %d vs serial %d",
+		r.WireBytes, r.BaselineBytes, ratio, r.Rounds, r.BaselineRounds)
+	if ratio > 0.5 {
+		t.Errorf("wire ratio %.2f exceeds the 0.5 contract", ratio)
+	}
+	if r.Rounds < 1 || r.BaselineRounds <= r.Rounds {
+		t.Errorf("pipelined rounds %d not below serial %d", r.Rounds, r.BaselineRounds)
+	}
+	if r.ResultSize != c.n {
+		t.Errorf("converged size %d, want %d", r.ResultSize, c.n)
 	}
 }

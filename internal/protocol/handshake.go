@@ -62,6 +62,10 @@ const (
 	// FeatureRateless negotiates the rateless cell-stream protocol
 	// (MsgCellsRequest/MsgCells) in place of the doubling retry path.
 	FeatureRateless byte = 1 << 0
+	// FeatureRanged negotiates range-based divide-and-conquer sync
+	// (MsgRangeFingerprints/MsgRangeItems) on the Robust-family hello in
+	// place of the sketch exchange.
+	FeatureRanged byte = 1 << 1
 )
 
 // MaxDatasetName bounds the dataset-name length a server will parse.

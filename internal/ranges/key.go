@@ -1,0 +1,131 @@
+// Package ranges implements the ordered-key machinery behind the ranged
+// divide-and-conquer reconciliation strategy: a canonical order-preserving
+// Morton (Z-order) encoding of points into fixed-length byte keys, and a
+// balanced B-tree over those keys that maintains an XOR monoid fingerprint
+// per subtree so any contiguous key range can be fingerprinted in
+// O(B·log N) without touching the items.
+//
+// The key codec is part of the wire contract: both parties must derive the
+// identical total order from a shared Universe, so the encoding is fully
+// deterministic and versioned by the protocol, not by this package.
+package ranges
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"robustset/internal/points"
+)
+
+// KeyLen returns the encoded key length for a universe of the given
+// dimension: 8 bytes per coordinate of interleaved Morton bits plus a
+// 4-byte big-endian occurrence index that makes multiset keys unique.
+func KeyLen(dim int) int { return 8*dim + 4 }
+
+// occLen is the width of the occurrence-index suffix.
+const occLen = 4
+
+// EncodeKey appends the canonical key of the occ-th occurrence of p to
+// dst and returns the extended slice. Coordinates must be non-negative
+// (the points.Universe contract); the encoding interleaves the 64
+// coordinate bits most-significant first, dimension-minor, so
+// lexicographic byte order equals Morton order.
+func EncodeKey(dst []byte, p points.Point, occ uint32) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, KeyLen(len(p)))...)
+	mortonInto(dst[off:off+8*len(p)], p)
+	binary.BigEndian.PutUint32(dst[off+8*len(p):], occ)
+	return dst
+}
+
+// mortonInto writes the 8·d-byte Morton interleaving of p into buf,
+// which must be zeroed and exactly 8·len(p) bytes.
+func mortonInto(buf []byte, p points.Point) {
+	d := len(p)
+	for dim, c := range p {
+		u := uint64(c)
+		for u != 0 {
+			level := bits.LeadingZeros64(u)
+			pos := level*d + dim
+			buf[pos>>3] |= 1 << (7 - pos&7)
+			u &^= 1 << (63 - level)
+		}
+	}
+}
+
+// DecodeKey inverts EncodeKey: it recovers the point and occurrence
+// index from a key of a dim-dimensional universe.
+func DecodeKey(key []byte, dim int) (points.Point, uint32, error) {
+	if len(key) != KeyLen(dim) {
+		return nil, 0, fmt.Errorf("ranges: key length %d, want %d for dim %d", len(key), KeyLen(dim), dim)
+	}
+	p := make(points.Point, dim)
+	total := 64 * dim
+	for pos := 0; pos < total; pos++ {
+		if key[pos>>3]&(1<<(7-pos&7)) != 0 {
+			p[pos%dim] |= 1 << (63 - pos/dim)
+		}
+	}
+	for _, c := range p {
+		if c < 0 {
+			return nil, 0, fmt.Errorf("ranges: key decodes to negative coordinate")
+		}
+	}
+	return p, binary.BigEndian.Uint32(key[8*dim:]), nil
+}
+
+// Keys builds the sorted occurrence-indexed key multiset for pts: each
+// point contributes one key per occurrence, suffixed 0,1,2,... so
+// duplicates stay distinct and XOR fingerprints never cancel. The keys
+// share one backing buffer; callers must treat them as immutable.
+func Keys(u points.Universe, pts []points.Point) [][]byte {
+	kl := KeyLen(u.Dim)
+	buf := make([]byte, len(pts)*kl)
+	keys := make([][]byte, len(pts))
+	for i, p := range pts {
+		k := buf[i*kl : (i+1)*kl : (i+1)*kl]
+		mortonInto(k[:kl-occLen], p)
+		keys[i] = k
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	// Occurrence suffixes were zero during the sort, so equal points are
+	// adjacent; numbering them by run position keeps the slice sorted.
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && bytes.Equal(keys[j][:kl-occLen], keys[i][:kl-occLen]) {
+			j++
+		}
+		for r := i; r < j; r++ {
+			binary.BigEndian.PutUint32(keys[r][kl-occLen:], uint32(r-i))
+		}
+		i = j
+	}
+	return keys
+}
+
+// TopBound returns a bound strictly greater than every key of the given
+// length: one byte longer than a key and all-0xFF, so a plain
+// bytes.Compare places every real key below it. The empty slice is the
+// matching bottom bound (≤ every key).
+func TopBound(keyLen int) []byte {
+	b := make([]byte, keyLen+1)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	return b
+}
+
+// CutBetween returns the shortest prefix of hi that still compares
+// strictly greater than lo — the minimal separating bound between two
+// adjacent keys, used to keep range boundaries short on the wire. lo
+// and hi must be distinct equal-length keys with lo < hi.
+func CutBetween(lo, hi []byte) []byte {
+	i := 0
+	for i < len(lo) && i < len(hi) && lo[i] == hi[i] {
+		i++
+	}
+	return append([]byte(nil), hi[:i+1]...)
+}

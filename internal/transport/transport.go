@@ -60,6 +60,15 @@ type Stats struct {
 // Total returns bytes sent plus received.
 func (s Stats) Total() int64 { return s.BytesSent + s.BytesRecv }
 
+// Add accumulates another endpoint's counts into s — merging the stats
+// of parallel streams into one session total.
+func (s *Stats) Add(o Stats) {
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.MsgsSent += o.MsgsSent
+	s.MsgsRecv += o.MsgsRecv
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("sent %dB/%d msgs, recv %dB/%d msgs", s.BytesSent, s.MsgsSent, s.BytesRecv, s.MsgsRecv)
 }

@@ -15,6 +15,7 @@ import (
 	"robustset/internal/metrics"
 	"robustset/internal/points"
 	"robustset/internal/protocol"
+	"robustset/internal/ranges"
 	"robustset/internal/store"
 	"robustset/internal/trace"
 	"robustset/internal/transport"
@@ -57,6 +58,12 @@ type Dataset struct {
 	// each re-marshaling the whole sketch under d.mu — the snapshot-free
 	// concurrent read path. Callers must treat the blob as read-only.
 	blobCache []byte
+	// rtree is the ranged strategy's fingerprint tree over the multiset's
+	// Morton keys. It is built lazily by the first ranged session and
+	// from then on maintained incrementally through mutateLocked, so
+	// ranged sessions on a high-churn dataset never pay an O(n log n)
+	// rebuild. nil until a ranged session has run.
+	rtree *ranges.Tree
 }
 
 // Name returns the dataset's published name.
@@ -88,7 +95,38 @@ func (d *Dataset) errRetired() error {
 func (d *Dataset) retire() {
 	d.mu.Lock()
 	d.retired = true
+	d.rtree = nil // free the range tree; no future session can use it
 	d.mu.Unlock()
+}
+
+// rangeView returns the live range-tree view a ranged session serves
+// from, building the tree on first use. Each probe round runs under
+// d.mu, so a round sees a write-atomic tree; between rounds the tree
+// may advance with the dataset, which at worst re-opens a range in a
+// later probe. The view rejects retired datasets like servePoints.
+func (d *Dataset) rangeView() (protocol.TreeView, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired {
+		return nil, d.errRetired()
+	}
+	if d.rtree == nil {
+		p := d.maintainer.Params()
+		tree, err := protocol.BuildRangeTree(
+			protocol.RangedConfig{Universe: p.Universe, Seed: p.Seed}, d.snapshotLocked())
+		if err != nil {
+			return nil, err
+		}
+		d.rtree = tree
+	}
+	return func(fn func(*ranges.Tree) error) error {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.retired {
+			return d.errRetired()
+		}
+		return fn(d.rtree)
+	}, nil
 }
 
 // mutateLocked is the single write path behind Add/Remove/AddBatch/
@@ -129,17 +167,30 @@ func (d *Dataset) mutateLocked(op store.Op, pts []Point) error {
 	// The batch validated and is on disk; application cannot fail short
 	// of internal state corruption, which must not pass silently.
 	for i, pt := range pts {
+		enc := string(encs[i])
 		if op == store.OpAdd {
 			if err := d.maintainer.Add(pt); err != nil {
 				panic("robustset: validated add failed: " + err.Error())
 			}
-			d.counts[string(encs[i])]++
+			// A new occurrence takes the next free occurrence index, so the
+			// range tree's key multiset stays dense per point.
+			if d.rtree != nil {
+				if err := d.rtree.Insert(ranges.EncodeKey(nil, pt, uint32(d.counts[enc]))); err != nil {
+					panic("robustset: range tree insert failed: " + err.Error())
+				}
+			}
+			d.counts[enc]++
 			d.size++
 		} else {
 			if err := d.maintainer.Remove(pt); err != nil {
 				panic("robustset: validated remove failed: " + err.Error())
 			}
-			enc := string(encs[i])
+			// Removing the highest occurrence index keeps indexes dense.
+			if d.rtree != nil {
+				if err := d.rtree.Delete(ranges.EncodeKey(nil, pt, uint32(d.counts[enc]-1))); err != nil {
+					panic("robustset: range tree delete failed: " + err.Error())
+				}
+			}
 			if d.counts[enc]--; d.counts[enc] == 0 {
 				delete(d.counts, enc)
 			}
@@ -942,11 +993,14 @@ func (s *Server) runSession(ctx context.Context, t transport.Transport, hello pr
 	trace.FromContext(ctx).Label("", strat.Name(), "")
 	params := d.Params()
 	// Echo the features the negotiated strategy honors, so the client
-	// knows the rateless cell stream (rather than the doubling fallback)
-	// will be spoken on this session.
+	// knows the feature protocol (rather than the legacy fallback) will
+	// be spoken on this session.
 	var feats byte
 	if _, ok := strat.(Rateless); ok {
 		feats = protocol.FeatureRateless
+	}
+	if _, ok := strat.(Ranged); ok {
+		feats = protocol.FeatureRanged
 	}
 	if err := protocol.SendAcceptFeatures(ctx, t, params, feats); err != nil {
 		s.logf("robustset: server: %v: accept: %v", remote, err)
@@ -964,6 +1018,26 @@ func (s *Server) runSession(ctx context.Context, t transport.Transport, hello pr
 			return err
 		}
 		if err := protocol.RunPushBlobAlice(ctx, t, blob); err != nil {
+			s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
+			return err
+		}
+		return nil
+	}
+	// Ranged sessions serve from the dataset's incrementally maintained
+	// fingerprint tree — no O(n) snapshot, and concurrent mutations only
+	// re-open ranges in later probe rounds.
+	if r, ok := strat.(Ranged); ok {
+		view, err := d.rangeView()
+		if err != nil {
+			_ = protocol.SendError(ctx, t, err)
+			s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
+			return err
+		}
+		cfg := protocol.RangedConfig{
+			Universe: params.Universe, Seed: params.Seed,
+			Branch: r.Branch, ItemLimit: r.ItemLimit,
+		}
+		if err := protocol.RunRangedAliceView(ctx, t, cfg, view); err != nil {
 			s.logf("robustset: server: %v: dataset %q (%s): %v", remote, d.Name(), strat.Name(), err)
 			return err
 		}

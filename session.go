@@ -14,8 +14,9 @@ import (
 	"robustset/internal/transport"
 )
 
-// Strategy selects which reconciliation protocol a Session runs. The six
-// implementations — Robust, Adaptive, ExactIBLT, Rateless, CPI and Naive
+// Strategy selects which reconciliation protocol a Session runs. The
+// seven implementations — Robust, Adaptive, ExactIBLT, Rateless, Ranged,
+// CPI and Naive
 // — wrap the module's wire protocols behind one interface, so serving and
 // fetching code is written once and the protocol is a configuration
 // choice. The interface is closed (its lower-case methods cannot be
@@ -285,6 +286,91 @@ func (r Rateless) fetch(ctx context.Context, t transport.Transport, p Params, lo
 	return &SyncResult{SPrime: sp}, nil
 }
 
+// Ranged is divide-and-conquer exact synchronization over the Morton
+// key order: the fetching side probes key ranges with (count,
+// fingerprint) aggregates, mismatched ranges split k ways, and ranges of
+// at most ItemLimit keys terminate by exact item transfer. Wire cost
+// scales with the difference (times log of the set size), not with the
+// set size itself — the strategy of choice for huge sets with tiny
+// differences, where every sized sketch pays its estimator up front.
+//
+// Against a Server (WithDataset) the strategy advertises itself as a
+// feature bit on the Robust-family hello; a legacy server that does not
+// echo the bit is synced with the one-shot robust path automatically.
+// Peer-to-peer (WithParams), both endpoints must run Ranged. When
+// fetching over a mux-capable client connection, Streams > 1 reconciles
+// that many disjoint subranges as parallel pipelined streams, cutting
+// wall-clock round depth without changing the result.
+type Ranged struct {
+	// Branch is the split fan-out k for mismatched ranges; both endpoints
+	// must agree (a server session adopts it from the hello). 0 means 8.
+	Branch int
+	// ItemLimit is the serving-side range size at which splitting stops
+	// and exact keys are transferred. 0 means 16.
+	ItemLimit int
+	// Serial probes one range per round trip instead of batching each
+	// recursion level into one frame — the classic recursive ping-pong,
+	// kept for latency comparisons (fetch side only).
+	Serial bool
+	// Streams is the number of parallel sibling-range streams a
+	// mux-capable Client.Fetch fans out to. 0 or 1 means a single
+	// stream; plain Session connections always use one stream.
+	Streams int
+}
+
+// Name implements Strategy.
+func (Ranged) Name() string { return "ranged" }
+
+func (r Ranged) validate() error {
+	if r.Branch != 0 && (r.Branch < 2 || r.Branch > protocol.MaxRangedBranch) {
+		return fmt.Errorf("robustset: ranged branch %d outside [2,%d]", r.Branch, protocol.MaxRangedBranch)
+	}
+	if r.ItemLimit < 0 || r.ItemLimit > protocol.MaxRangedItemLimit {
+		return fmt.Errorf("robustset: ranged item limit %d outside [0,%d]", r.ItemLimit, protocol.MaxRangedItemLimit)
+	}
+	if r.Streams < 0 || r.Streams > 64 {
+		return fmt.Errorf("robustset: ranged streams %d outside [0,64]", r.Streams)
+	}
+	return nil
+}
+
+// code shares Robust's wire code: the ranged capability rides the hello
+// as a feature bit, which is what lets legacy peers fall back.
+func (r Ranged) code() byte { return protocol.StrategyRobust }
+
+func (r Ranged) helloConfig() []byte {
+	return []byte{byte(r.Branch), protocol.FeatureRanged, byte(r.ItemLimit), byte(r.ItemLimit >> 8)}
+}
+
+// fallback returns the one-shot robust strategy a fetch downgrades to
+// when the server's accept does not echo the ranged feature bit.
+func (r Ranged) fallback() Strategy { return Robust{} }
+
+func (r Ranged) config(p Params) protocol.RangedConfig {
+	return protocol.RangedConfig{
+		Universe:  p.Universe,
+		Seed:      p.Seed,
+		Branch:    r.Branch,
+		ItemLimit: r.ItemLimit,
+		Serial:    r.Serial,
+	}
+}
+
+func (r Ranged) serve(ctx context.Context, t transport.Transport, p Params, pts []Point) error {
+	return protocol.RunRangedAlice(ctx, t, r.config(p), pts)
+}
+
+func (r Ranged) fetch(ctx context.Context, t transport.Transport, p Params, local []Point) (*SyncResult, error) {
+	sp, rounds, err := protocol.RunRangedBob(ctx, t, r.config(p), local)
+	if err != nil {
+		return nil, err
+	}
+	// wall_rounds is the sequential round-trip depth of the exchange; the
+	// pipelined client overwrites it with the per-stream maximum.
+	trace.FromContext(ctx).Stat("wall_rounds", int64(rounds))
+	return &SyncResult{SPrime: sp}, nil
+}
+
 // CPI is characteristic-polynomial exact synchronization
 // (minisketch-class: optimal O(capacity) communication for exact
 // differences, no cheap retry path).
@@ -376,6 +462,20 @@ func (Naive) fetch(ctx context.Context, t transport.Transport, p Params, local [
 func strategyFromCode(code byte, cfg []byte) (Strategy, error) {
 	switch code {
 	case protocol.StrategyRobust:
+		// Byte 1 of the config, when present, carries feature bits; a
+		// ranged-capable client negotiates divide-and-conquer sync on the
+		// same wire code (legacy servers ignore the config and serve the
+		// one-shot push, which the client detects via the bare accept).
+		if len(cfg) >= 2 && cfg[1]&protocol.FeatureRanged != 0 {
+			r := Ranged{Branch: int(cfg[0])}
+			if len(cfg) >= 4 {
+				r.ItemLimit = int(cfg[2]) | int(cfg[3])<<8
+			}
+			if err := r.validate(); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
 		return Robust{}, nil
 	case protocol.StrategyAdaptive:
 		return Adaptive{}, nil
@@ -654,6 +754,12 @@ func (s *Session) fetchOver(ctx context.Context, t transport.Transport, local []
 			// The trace must name the strategy actually spoken on the wire.
 			tr.Label("", strat.Name(), "")
 		}
+		if r, ok := strat.(Ranged); ok && feats&protocol.FeatureRanged == 0 {
+			// Legacy server: no ranged feature echoed, so it will serve the
+			// one-shot robust push.
+			strat = r.fallback()
+			tr.Label("", strat.Name(), "")
+		}
 		hello.End(trace.I("features", int64(feats)))
 	}
 	res, err = strat.fetch(ctx, t, p, local)
@@ -703,5 +809,5 @@ func (s *Session) Sync(ctx context.Context, conn net.Conn, pts []Point) (*SyncRe
 // Strategies returns one value of every built-in strategy, in a stable
 // order — handy for tools and tests that iterate over all protocols.
 func Strategies() []Strategy {
-	return []Strategy{Robust{}, Adaptive{}, ExactIBLT{}, Rateless{}, CPI{}, Naive{}}
+	return []Strategy{Robust{}, Adaptive{}, ExactIBLT{}, Rateless{}, Ranged{}, CPI{}, Naive{}}
 }
